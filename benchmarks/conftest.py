@@ -1,0 +1,20 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one of the paper's artifacts and prints the
+reproduced rows/series (run with ``-s`` to see them live; pytest captures
+them otherwise).  ``pytest benchmarks/ --benchmark-only`` runs everything.
+"""
+
+import sys
+
+import pytest
+
+
+@pytest.fixture
+def show():
+    """Print a titled block so reproduced tables are easy to find in output."""
+
+    def _show(title: str, body: str) -> None:
+        sys.stdout.write(f"\n=== {title} ===\n{body}\n")
+
+    return _show

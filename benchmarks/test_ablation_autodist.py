@@ -1,0 +1,43 @@
+"""ABL5 — automatic data distribution (Section 9 future work).
+
+The paper speculates that access normalization could run "in reverse" to
+pick data distributions, with load balance being the hard part.  The
+searcher in ``repro.core.autodist`` evaluates every wrapped/blocked
+assignment through the full normalize -> codegen -> simulate pipeline,
+which prices locality, block transfers and load balance together.
+"""
+
+from repro.bench import format_table
+from repro.blas import gemm_program
+from repro.core.autodist import search_distributions
+from repro.distributions import Wrapped
+from repro.numa import butterfly_gp1000
+
+
+def test_autodist_gemm(benchmark, show):
+    program = gemm_program(24)
+    outcome = benchmark.pedantic(
+        search_distributions,
+        args=(program,),
+        kwargs={"processors": 8, "machine": butterfly_gp1000()},
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        (rank + 1, candidate.describe(), f"{candidate.time_us:,.0f}")
+        for rank, candidate in enumerate(outcome.ranking[:6])
+    ]
+    show("ABL5: distribution search for GEMM (N=24, P=8)",
+         format_table(["rank", "distribution", "time (us)"], rows))
+
+    # The paper's assumed distribution (all wrapped columns) must tie the
+    # winner; its row-wise mirror has the same cost by symmetry.
+    best_time = outcome.best.time_us
+    all_wrapped_col = next(
+        c for c in outcome.ranking
+        if all(isinstance(d, Wrapped) and d.dim == 1
+               for d in c.distributions.values())
+    )
+    assert abs(all_wrapped_col.time_us - best_time) / best_time < 1e-9
+    # And the spread matters: the worst choice must be clearly worse.
+    assert outcome.ranking[-1].time_us > 1.2 * best_time

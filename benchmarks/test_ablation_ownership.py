@@ -1,0 +1,63 @@
+"""ABL2 — Section 2.1's claim: the ownership rule alone generates
+inefficient code ("all processors execute all iterations looking for work
+to do") when loop structure does not match the data distribution.
+
+Compares three compilations of GEMM: the ownership-rule baseline, naive
+outer-loop distribution, and access-normalized SPMD code.
+"""
+
+from repro.bench import figure_machine, format_table
+from repro.blas import gemm_program
+from repro.codegen import generate_ownership, generate_spmd
+from repro.core import access_normalize
+from repro.numa import simulate
+
+
+def sweep(n=64, procs=(1, 4, 8, 16)):
+    program = gemm_program(n)
+    nodes = {
+        "ownership": generate_ownership(program),
+        "naive": generate_spmd(program, block_transfers=False),
+        "normalized": generate_spmd(access_normalize(program).transformed),
+    }
+    machine = figure_machine()
+    sequential = simulate(
+        nodes["normalized"], processors=1, machine=machine
+    ).total_time_us
+    rows = []
+    speeds = {}
+    for processors in procs:
+        row = [processors]
+        for name, node in nodes.items():
+            result = simulate(node, processors=processors, machine=machine)
+            speed = sequential / result.total_time_us
+            speeds.setdefault(name, []).append(speed)
+            row.append(f"{speed:.2f}")
+        rows.append(row)
+    return rows, speeds
+
+
+def test_ownership_rule_inefficiency(benchmark, show):
+    rows, speeds = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    show(
+        "ABL2: ownership rule vs restructuring (GEMM N=64)",
+        format_table(["P", "ownership", "naive", "normalized"], rows),
+    )
+    # Normalized code dominates both baselines at scale.
+    assert speeds["normalized"][-1] > speeds["naive"][-1]
+    assert speeds["normalized"][-1] > speeds["ownership"][-1]
+    # The ownership rule pays guard sweeps on every processor: it must not
+    # scale anywhere near linearly.
+    assert speeds["ownership"][-1] < 0.6 * speeds["normalized"][-1]
+
+
+def test_ownership_guard_counts(benchmark):
+    """Every processor evaluates every iteration's guard."""
+    program = gemm_program(24)
+    node = generate_ownership(program)
+    result = benchmark.pedantic(
+        simulate, args=(node,), kwargs={"processors": 4},
+        rounds=1, iterations=1,
+    )
+    assert result.totals.guards == 4 * 24 ** 3
+    assert result.totals.statements == 24 ** 3

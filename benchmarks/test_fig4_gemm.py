@@ -1,0 +1,67 @@
+"""FIG4 — Figure 4 of the paper: GEMM speedup on the Butterfly GP-1000.
+
+Regenerates the three curves (``gemm``, ``gemmT``, ``gemmB``) at the
+paper's scale (400x400 arrays, P = 1..28) with the exact closed-form model,
+and cross-checks one point against the event-exact simulator.
+
+Expected shape (paper): the untransformed ``gemm`` saturates at low
+speedup; the normalized variants scale to ~20 at 28 processors with
+``gemmB`` above ``gemmT`` by a modest margin (three of four accesses are
+already local after normalization, so block transfers add relatively
+little here).
+"""
+
+import pytest
+
+from repro.bench import (
+    PAPER_PROCS,
+    fig4_series,
+    fig4_series_simulated,
+    figure_machine,
+    render_chart,
+    speedup_table,
+)
+
+
+def test_fig4_model_paper_scale(benchmark, show):
+    procs, series = benchmark(fig4_series, 400, PAPER_PROCS)
+    show("Figure 4: GEMM speedups (N=400, model)",
+         speedup_table(procs, series) + "\n\n"
+         + render_chart(procs, series, title="speedup vs processors"))
+    last = {name: values[-1] for name, values in series.items()}
+    # Shape assertions: ordering and saturation as in the paper.
+    assert last["gemmB"] > last["gemmT"] > last["gemm"]
+    assert last["gemm"] < 8.0            # naive saturates low
+    assert last["gemmT"] > 12.0          # normalized scales
+    assert last["gemmB"] > 18.0          # block transfers help a bit more
+    # Monotone growth for the normalized variants.
+    assert series["gemmB"] == sorted(series["gemmB"])
+    assert series["gemmT"] == sorted(series["gemmT"])
+
+
+def test_fig4_simulated_cross_check(benchmark, show):
+    procs = (1, 8, 16, 28)
+    procs_out, series = benchmark.pedantic(
+        fig4_series_simulated, args=(96, procs), rounds=1, iterations=1
+    )
+    show("Figure 4 cross-check (N=96, event-exact simulator)",
+         speedup_table(procs_out, series))
+    assert series["gemmB"][-1] > series["gemmT"][-1] > series["gemm"][-1]
+
+
+def test_fig4_model_matches_simulator_midscale(benchmark):
+    """The model and the simulator must agree exactly at any scale."""
+    from repro.bench import gemm_variants
+    from repro.numa import simulate
+    from repro.numa.model import gemm_model
+
+    machine = figure_machine()
+    nodes = gemm_variants(48)
+
+    def run():
+        sim = simulate(nodes["gemmB"], processors=12, machine=machine)
+        mod = gemm_model(48, 12, "gemmB", machine)
+        return sim.total_time_us, mod.time_us
+
+    sim_time, model_time = benchmark(run)
+    assert sim_time == pytest.approx(model_time, rel=1e-9)

@@ -1,0 +1,38 @@
+"""FIG5 — Figure 5 of the paper: banded SYR2K speedup on the GP-1000.
+
+Regenerates the three curves (``syr2k``, ``syr2kT``, ``syr2kB``) with the
+event-exact simulator at paper scale (N=400; band width 48 gives every one
+of 28 processors outer-loop work).
+
+Expected shape (paper): many non-local accesses remain after
+normalization, so block transfers matter much more than in GEMM —
+``syr2kB`` clearly dominates ``syr2kT``; the untransformed ``syr2k`` stays
+low.
+"""
+
+from repro.bench import PAPER_PROCS, fig5_series, render_chart, speedup_table
+
+
+def test_fig5_paper_scale(benchmark, show):
+    procs, series = benchmark.pedantic(
+        fig5_series, args=(400, 48, PAPER_PROCS), rounds=1, iterations=1
+    )
+    show("Figure 5: banded SYR2K speedups (N=400, b=48)",
+         speedup_table(procs, series) + "\n\n"
+         + render_chart(procs, series, title="speedup vs processors"))
+    last = {name: values[-1] for name, values in series.items()}
+    # Shape assertions: block transfers are the difference-maker here.
+    assert last["syr2kB"] > last["syr2kT"]
+    assert last["syr2kB"] > 1.6 * last["syr2kT"]
+    assert last["syr2kB"] > 8.0
+    assert last["syr2k"] < 6.0
+    assert series["syr2kB"] == sorted(series["syr2kB"])
+
+
+def test_fig5_small_scale_ordering(benchmark, show):
+    procs = (1, 4, 8, 16)
+    procs_out, series = benchmark.pedantic(
+        fig5_series, args=(120, 16, procs), rounds=1, iterations=1
+    )
+    show("Figure 5 (small N=120, b=16)", speedup_table(procs_out, series))
+    assert series["syr2kB"][-1] > series["syr2kT"][-1]

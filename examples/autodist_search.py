@@ -1,0 +1,69 @@
+"""Automatic data-distribution search (Section 9's closing speculation).
+
+The paper suggests running access normalization "in reverse" to choose the
+data distribution, flagging load balance as the open difficulty.  The
+search below sidesteps the difficulty directly: every candidate assignment
+of wrapped/blocked distributions is pushed through the complete pipeline
+(normalize -> SPMD codegen -> event-exact simulation), so locality, block
+transfers and load balance are priced together in the simulated makespan.
+
+Run:  python examples/autodist_search.py
+"""
+
+from repro.bench import format_table
+from repro.blas import gemm_program, jacobi_program
+from repro.core import access_normalize
+from repro.core.autodist import search_distributions
+from repro.numa import butterfly_gp1000
+
+
+def search(title, program, processors=8):
+    print(f"\n=== {title} (P={processors}) ===")
+    outcome = search_distributions(
+        program, processors=processors, machine=butterfly_gp1000()
+    )
+    rows = [
+        (rank + 1, candidate.describe(),
+         f"{candidate.time_us:,.0f}",
+         ", ".join(candidate.transformation_labels))
+        for rank, candidate in enumerate(outcome.ranking[:5])
+    ]
+    rows.append(("...", f"(worst of {outcome.evaluated})",
+                 f"{outcome.ranking[-1].time_us:,.0f}", ""))
+    print(format_table(["rank", "distribution", "time (us)", "derived T"], rows))
+    best = outcome.best
+    spread = outcome.ranking[-1].time_us / best.time_us
+    print(f"best-to-worst spread: {spread:.2f}x")
+    return best
+
+
+def main() -> None:
+    best_gemm = search("GEMM 24x24", gemm_program(24))
+    print("\nThe winner ties the paper's all-wrapped-column choice "
+          "(rows and columns are symmetric for GEMM).")
+
+    best_jacobi = search("Jacobi stencil 24x24", jacobi_program(24))
+    print("\nFor the stencil the search confirms that either wrapped axis "
+          "works once the pass is free to interchange the loops; what it "
+          "refuses to pick is a distribution the transformed code cannot "
+          "keep local.")
+
+    # Show the transformation the winning GEMM assignment induces.
+    program = gemm_program(24)
+    result = access_normalize(
+        type(program)(
+            nest=program.nest,
+            arrays=program.arrays,
+            distributions={
+                k: v for k, v in best_gemm.distributions.items() if v
+            },
+            params=program.params,
+            name=program.name,
+        )
+    )
+    print("\nderived transformation for the winner:")
+    print(result.report())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Jacobi stencil: the distribution decides the loop structure.
+
+The same 5-point stencil is compiled twice — once with wrapped-row
+distributions and once with wrapped-column — and access normalization
+derives a different loop order each time: the identity for rows, a loop
+interchange for columns, keeping the distributed loop aligned with the
+data in both cases.  A deliberately mismatched compilation shows what that
+alignment is worth.
+
+Run:  python examples/stencil_numa.py
+"""
+
+import numpy as np
+
+from repro.blas import jacobi_program, jacobi_reference
+from repro.codegen import generate_spmd, render_node_program
+from repro.core import access_normalize
+from repro.distributions import wrapped_column, wrapped_row
+from repro.ir import allocate_arrays, render_nest
+from repro.numa import butterfly_gp1000, simulate
+
+
+def compile_and_run(title, distribution, mismatch=False):
+    n, processors = 128, 8
+    program = jacobi_program(n, distribution)
+    result = access_normalize(program)
+    chosen = program if mismatch else result.transformed
+    node = generate_spmd(chosen, block_transfers=False)
+
+    print(f"\n=== {title} ===")
+    print(f"T = {result.matrix!r}  ({', '.join(result.labels)})")
+    print(render_nest(chosen.nest))
+
+    arrays = allocate_arrays(program, seed=0)
+    expected = jacobi_reference(arrays)
+    outcome = simulate(
+        node, processors=processors, arrays=arrays, mode="execute",
+        machine=butterfly_gp1000(),
+    )
+    assert np.allclose(arrays["B"], expected), "stencil result mismatch"
+    totals = outcome.totals
+    fraction = totals.local / (totals.local + totals.remote)
+    print(f"local fraction: {fraction:6.1%}   time: {outcome.total_time_us/1e3:9.1f} ms")
+    return outcome.total_time_us
+
+
+def main() -> None:
+    time_rows = compile_and_run(
+        "wrapped rows -> identity (i outermost)", wrapped_row()
+    )
+    time_cols = compile_and_run(
+        "wrapped columns -> interchange (j outermost)", wrapped_column()
+    )
+    time_bad = compile_and_run(
+        "wrapped columns WITHOUT restructuring (mismatch)",
+        wrapped_column(),
+        mismatch=True,
+    )
+    print("\nmatched compilations are equivalent "
+          f"({time_rows/1e3:.1f} vs {time_cols/1e3:.1f} ms); the mismatch "
+          f"costs {time_bad/min(time_rows, time_cols):.2f}x.")
+
+    node = generate_spmd(
+        access_normalize(jacobi_program(128, wrapped_column())).transformed,
+        block_transfers=False,
+    )
+    print("\n=== node program (wrapped columns) ===")
+    print(render_node_program(node))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""Banded SYR2K on a simulated NUMA machine (Section 8.2 / Figure 5).
+
+The rank-2k update is the paper's showcase for block transfers: even after
+access normalization many accesses stay non-local, so fetching whole band
+columns with single block transfers is what makes the code scale.
+
+Run:  python examples/syr2k_numa.py
+"""
+
+import numpy as np
+
+from repro.bench import figure_machine, run_speedup_sweep, speedup_table
+from repro.blas import PAPER_PRIORITY, syr2k_program, syr2k_reference
+from repro.codegen import generate_spmd, render_node_program
+from repro.core import access_normalize
+from repro.ir import allocate_arrays
+from repro.numa import simulate
+
+
+def main() -> None:
+    n, b = 200, 24
+    program = syr2k_program(n, b)
+    result = access_normalize(program, priority=PAPER_PRIORITY)
+    print("=== transformation (matches Section 8.2) ===")
+    print(result.report())
+
+    nodes = {
+        "syr2k": generate_spmd(program, block_transfers=False),
+        "syr2kT": generate_spmd(result.transformed, block_transfers=False),
+        "syr2kB": generate_spmd(result.transformed),
+    }
+    print("\n=== node program (syr2kB) ===")
+    print(render_node_program(nodes["syr2kB"]))
+
+    # Functional verification against a dense numpy reference.
+    arrays = allocate_arrays(program, seed=1)
+    expected = syr2k_reference(arrays, n, b)
+    simulate(nodes["syr2kB"], processors=6, arrays=arrays, mode="execute")
+    assert np.allclose(arrays["Cb"], expected), "parallel SYR2K disagrees"
+    print("\nparallel execution verified against dense numpy reference ✓")
+
+    procs = (1, 4, 8, 16, 24, 28)
+    series = run_speedup_sweep(
+        nodes, procs, machine=figure_machine(), baseline="syr2kB"
+    )
+    print(f"\n=== speedups (N={n}, b={b}, simulated GP-1000) ===")
+    print(speedup_table(procs, series))
+    print("\nNote how syr2kB pulls away from syr2kT: block transfers are")
+    print("what pays here, exactly as Section 8.2 reports.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""The Section 9 application: access normalization for vector machines.
+
+CRAY-style vector units need constant-stride loads; normalization turns the
+column-crossing access ``A[i, j+k]`` of the Figure 1 program into the
+unit-stride ``A[w, v]``.  This example prints the per-reference strides
+before and after, and the predicted vector execution time under a simple
+CRAY-like cost model.
+
+Run:  python examples/vectorize.py
+"""
+
+from repro import access_normalize, parse_program
+from repro.ir import render_nest
+from repro.vector import VectorCostModel, stride_report, vector_loop_cycles
+
+SOURCE = """
+program figure1
+param N1 = 512
+param N2 = 512
+param b = 16
+real B(N1, b)         distribute (*, wrapped)
+real A(N1, N1+b+N2)   distribute (*, wrapped)
+
+for i = 0, N1-1
+    for j = i, i+b-1
+        for k = 0, N2-1
+            B[i, j-i] = B[i, j-i] + A[i, j+k]
+"""
+
+
+def show_strides(title, program) -> None:
+    print(f"\n=== {title} ===")
+    print(render_nest(program.nest))
+    innermost = program.nest.indices[-1]
+    for info in stride_report(program):
+        kind = "write" if info.is_write else "read "
+        stride = info.stride
+        label = (
+            "unit stride (vectorizes perfectly)" if stride == 1 else
+            "loop invariant (scalar register)" if stride == 0 else
+            f"stride {stride} (bank conflicts / gather)"
+        )
+        print(f"  {kind} {info.ref}: per-{innermost} {label}")
+
+
+def main() -> None:
+    program = parse_program(SOURCE)
+    show_strides("original program", program)
+
+    result = access_normalize(program)
+    show_strides("after access normalization", result.transformed)
+
+    model = VectorCostModel()
+    vector_length = 64
+    before = vector_loop_cycles(program, vector_length, model=model)
+    after = vector_loop_cycles(result.transformed, vector_length, model=model)
+    print("\n=== predicted cycles per 64-element inner sweep ===")
+    print(f"  original:   {before:8.0f}")
+    print(f"  normalized: {after:8.0f}  ({before/after:.2f}x faster)")
+
+
+if __name__ == "__main__":
+    main()

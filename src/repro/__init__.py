@@ -1,0 +1,90 @@
+"""repro — Access Normalization: Loop Restructuring for NUMA Compilers.
+
+A full reproduction of Li & Pingali (ASPLOS 1992).  The typical pipeline::
+
+    from repro import (
+        parse_program, access_normalize, generate_spmd, simulate,
+        butterfly_gp1000,
+    )
+
+    program = parse_program(source_text)          # FORTRAN-D-style input
+    result = access_normalize(program)            # the paper's pass
+    node = generate_spmd(result.transformed)      # SPMD + block transfers
+    stats = simulate(node, processors=16)         # Butterfly GP-1000 model
+
+Subpackages: :mod:`repro.linalg` (exact lattice math), :mod:`repro.ir`
+(loop-nest IR), :mod:`repro.lang` (front end), :mod:`repro.distributions`,
+:mod:`repro.dependence`, :mod:`repro.core` (the contribution),
+:mod:`repro.codegen`, :mod:`repro.numa` (machine + simulator),
+:mod:`repro.blas` (workloads), :mod:`repro.vector` (Section 9 application),
+:mod:`repro.bench` (figure harness).
+"""
+
+from repro.codegen import (
+    compile_program,
+    generate_ownership,
+    generate_spmd,
+    render_node_program,
+)
+from repro.core import (
+    NormalizationResult,
+    Transformation,
+    access_normalize,
+    apply_transformation,
+    build_access_matrix,
+)
+from repro.distributions import (
+    Blocked,
+    Replicated,
+    Wrapped,
+    blocked_column,
+    blocked_row,
+    wrapped_column,
+    wrapped_row,
+)
+from repro.errors import ReproError
+from repro.ir import AffineExpr, Loop, LoopNest, Program, make_nest, make_program
+from repro.lang import parse_program
+from repro.linalg import Matrix
+from repro.numa import (
+    MachineConfig,
+    butterfly_gp1000,
+    ipsc860,
+    sequential_time,
+    simulate,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AffineExpr",
+    "Blocked",
+    "Loop",
+    "LoopNest",
+    "MachineConfig",
+    "Matrix",
+    "NormalizationResult",
+    "Program",
+    "Replicated",
+    "ReproError",
+    "Transformation",
+    "Wrapped",
+    "access_normalize",
+    "apply_transformation",
+    "blocked_column",
+    "blocked_row",
+    "build_access_matrix",
+    "butterfly_gp1000",
+    "compile_program",
+    "generate_ownership",
+    "generate_spmd",
+    "ipsc860",
+    "make_nest",
+    "make_program",
+    "parse_program",
+    "render_node_program",
+    "sequential_time",
+    "simulate",
+    "wrapped_column",
+    "wrapped_row",
+]

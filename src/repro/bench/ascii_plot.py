@@ -1,0 +1,61 @@
+"""A small ASCII chart renderer for speedup curves.
+
+The paper's Figures 4 and 5 are speedup-vs-processors plots; the benchmark
+suite prints their regenerated counterparts as terminal charts so the shape
+comparison does not require a plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+_MARKS = "oxz*#@"
+
+
+def render_chart(
+    procs: Sequence[int],
+    series: Mapping[str, Sequence[float]],
+    *,
+    height: int = 16,
+    width: int = 58,
+    title: str = "",
+) -> str:
+    """Render speedup curves as an ASCII scatter chart.
+
+    The x axis is the processor count, the y axis the speedup; each series
+    gets one mark character, listed in the legend.
+    """
+    names = list(series)
+    max_y = max(max(values) for values in series.values())
+    max_y = max(max_y, 1.0)
+    min_x, max_x = min(procs), max(procs)
+    span_x = max(max_x - min_x, 1)
+
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    for index, name in enumerate(names):
+        mark = _MARKS[index % len(_MARKS)]
+        for x_value, y_value in zip(procs, series[name]):
+            col = round((x_value - min_x) / span_x * (width - 1))
+            row = round(y_value / max_y * (height - 1))
+            grid[height - 1 - row][col] = mark
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for row_index, row in enumerate(grid):
+        y_label = max_y * (height - 1 - row_index) / (height - 1)
+        lines.append(f"{y_label:6.1f} |" + "".join(row))
+    lines.append(" " * 7 + "+" + "-" * width)
+    axis = [" "] * width
+    for x_value in procs:
+        col = round((x_value - min_x) / span_x * (width - 1))
+        label = str(x_value)
+        start = min(col, width - len(label))
+        for offset, char in enumerate(label):
+            axis[start + offset] = char
+    lines.append(" " * 8 + "".join(axis) + "   (processors)")
+    legend = "  ".join(
+        f"{_MARKS[i % len(_MARKS)]} = {name}" for i, name in enumerate(names)
+    )
+    lines.append(" " * 8 + legend)
+    return "\n".join(lines)

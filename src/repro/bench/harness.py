@@ -1,0 +1,72 @@
+"""Benchmark harness utilities: sweeps and paper-style tables."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.codegen.spmd import NodeProgram
+from repro.numa.machine import MachineConfig, butterfly_gp1000
+from repro.numa.simulator import simulate
+
+#: The processor counts of the paper's speedup plots (x-axis 1..28).
+PAPER_PROCS = (1, 4, 8, 12, 16, 20, 24, 28)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Plain-text aligned table, for printing bench results."""
+    materialized = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        "  ".join(h.rjust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in materialized:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def speedup_table(
+    procs: Sequence[int], series: Mapping[str, Sequence[float]]
+) -> str:
+    """Render speedup curves as a table with one column per variant."""
+    headers = ["P"] + list(series)
+    rows = []
+    for position, processors in enumerate(procs):
+        row = [processors] + [
+            f"{series[name][position]:.2f}" for name in series
+        ]
+        rows.append(row)
+    return format_table(headers, rows)
+
+
+def run_speedup_sweep(
+    nodes: Mapping[str, NodeProgram],
+    procs: Sequence[int] = PAPER_PROCS,
+    *,
+    machine: Optional[MachineConfig] = None,
+    params: Optional[Mapping[str, int]] = None,
+    baseline: Optional[str] = None,
+) -> Dict[str, List[float]]:
+    """Simulate every variant at every processor count and return speedups.
+
+    All curves share one sequential baseline (the one-processor time of
+    ``baseline``, defaulting to the first variant) so they are directly
+    comparable, as in the paper's figures.
+    """
+    machine = machine or butterfly_gp1000()
+    names = list(nodes)
+    base_name = baseline or names[0]
+    sequential = simulate(
+        nodes[base_name], processors=1, params=params, machine=machine
+    ).total_time_us
+    series: Dict[str, List[float]] = {name: [] for name in names}
+    for processors in procs:
+        for name in names:
+            result = simulate(
+                nodes[name], processors=processors, params=params, machine=machine
+            )
+            series[name].append(result.speedup(sequential))
+    return series

@@ -1,0 +1,27 @@
+"""The BLAS workloads of the paper's evaluation (plus extensions)."""
+
+from repro.blas.gemm import gemm_program, gemm_reference
+from repro.blas.gemv import gemv_program, gemv_reference
+from repro.blas.syr2k import (
+    PAPER_PRIORITY,
+    band_to_dense,
+    syr2k_program,
+    syr2k_reference,
+)
+from repro.blas.stencil import jacobi_program, jacobi_reference
+from repro.blas.syrk import syrk_program, syrk_reference
+
+__all__ = [
+    "PAPER_PRIORITY",
+    "band_to_dense",
+    "gemm_program",
+    "gemm_reference",
+    "gemv_program",
+    "gemv_reference",
+    "jacobi_program",
+    "jacobi_reference",
+    "syr2k_program",
+    "syr2k_reference",
+    "syrk_program",
+    "syrk_reference",
+]

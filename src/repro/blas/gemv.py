@@ -1,0 +1,37 @@
+"""GEMV — matrix-vector multiplication (BLAS level-2 extension workload).
+
+``Y[i] += A[i,j] * X[j]`` exercises one-dimensional distributions: with
+``Y`` and ``X`` wrapped over their only dimension and ``A`` wrapped by
+row, the normalized code keeps ``Y`` and ``A`` local and block-transfers
+``X`` once per processor sweep.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.distributions import Wrapped, wrapped_row
+from repro.ir import Program, make_program
+
+
+def gemv_program(n: int = 400) -> Program:
+    """The GEMV source program: row-wrapped matrix, wrapped vectors."""
+    return make_program(
+        loops=[("i", 0, "N-1"), ("j", 0, "N-1")],
+        body=["Y[i] = Y[i] + A[i, j] * X[j]"],
+        arrays=[("Y", "N"), ("A", "N", "N"), ("X", "N")],
+        distributions={
+            "Y": Wrapped(0),
+            "A": wrapped_row(),
+            "X": Wrapped(0),
+        },
+        params={"N": n},
+        name="gemv",
+    )
+
+
+def gemv_reference(arrays: Dict[str, np.ndarray]) -> np.ndarray:
+    """What Y must equal after running GEMV on the *initial* arrays."""
+    return arrays["Y"] + arrays["A"] @ arrays["X"]

@@ -1,0 +1,85 @@
+"""Banded SYR2K — symmetric rank-2k update (Section 8.2).
+
+Computes ``C = alpha*A^T*B + alpha*B^T*A + C`` for banded ``A``, ``B`` of
+band width ``b``; ``C`` is then symmetric and banded with band width
+``2b - 1`` and only its upper triangle is stored.  Band storage (0-based
+variant of the paper's layout): element ``A(k, i)`` lives in
+``Ab[k, i-k+b-1]`` (valid for ``|i-k| <= b-1``), and ``C(i, j)`` lives in
+``Cb[i, j-i]`` for ``i <= j <= i+2b-2``.
+
+With this layout the distribution-dimension subscript of the output is
+``j - i``, which access normalization makes the (local) outermost loop;
+the ``Ab``/``Bb`` band subscripts become invariant in the innermost loop,
+enabling one block transfer per middle-loop iteration — the structure of
+the paper's transformed code.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.distributions import wrapped_column
+from repro.ir import Program, make_program
+
+#: The published access-matrix row order of Section 8.2 (the paper's
+#: tie-breaking between equally-ranked subscripts is otherwise unspecified).
+PAPER_PRIORITY = ("j-i", "j-k", "k", "i-k", "i")
+
+
+def syr2k_program(n: int = 400, b: int = 40, alpha: int = 1) -> Program:
+    """The banded SYR2K source program with wrapped-column distributions."""
+    return make_program(
+        loops=[
+            ("i", 0, "N-1"),
+            ("j", "i", "min(i+2b-2, N-1)"),
+            ("k", "max(i-b+1, j-b+1, 0)", "min(i+b-1, j+b-1, N-1)"),
+        ],
+        body=[
+            "Cb[i, j-i] = Cb[i, j-i]"
+            " + alpha*Ab[k, i-k+b-1]*Bb[k, j-k+b-1]"
+            " + alpha*Ab[k, j-k+b-1]*Bb[k, i-k+b-1]"
+        ],
+        arrays=[
+            ("Cb", "N", "2*b-1"),
+            ("Ab", "N", "2*b-1"),
+            ("Bb", "N", "2*b-1"),
+        ],
+        distributions={
+            "Ab": wrapped_column(),
+            "Bb": wrapped_column(),
+            "Cb": wrapped_column(),
+        },
+        params={"N": n, "b": b, "alpha": alpha},
+        name="syr2k",
+    )
+
+
+def band_to_dense(banded: np.ndarray, b: int) -> np.ndarray:
+    """Expand band storage ``Xb[k, i-k+b-1]`` to a dense ``N x N`` matrix."""
+    n = banded.shape[0]
+    dense = np.zeros((n, n))
+    for k in range(n):
+        for i in range(max(0, k - b + 1), min(n, k + b)):
+            dense[k, i] = banded[k, i - k + b - 1]
+    return dense
+
+
+def syr2k_reference(
+    arrays: Dict[str, np.ndarray], n: int, b: int, alpha: float = 1.0
+) -> np.ndarray:
+    """What ``Cb`` must equal after running SYR2K on the *initial* arrays.
+
+    Builds dense matrices from the band storage, computes
+    ``alpha*A^T*B + alpha*B^T*A + C`` densely, and re-extracts the stored
+    upper band of ``C``.
+    """
+    dense_a = band_to_dense(arrays["Ab"], b)
+    dense_b = band_to_dense(arrays["Bb"], b)
+    update = alpha * dense_a.T @ dense_b + alpha * dense_b.T @ dense_a
+    expected = arrays["Cb"].copy()
+    for i in range(n):
+        for j in range(i, min(i + 2 * b - 1, n)):
+            expected[i, j - i] += update[i, j]
+    return expected

@@ -1,0 +1,38 @@
+"""SYRK — symmetric rank-k update (BLAS extension workload).
+
+``C[i,j] += A[k,i] * A[k,j]`` over the upper triangle ``j >= i``.  Not in
+the paper's evaluation, but it exercises the same machinery on a triangular
+iteration space: access normalization makes the ``C``/second-``A``
+distribution subscript the outer loop and block-transfers the first ``A``
+operand's columns.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.distributions import wrapped_column
+from repro.ir import Program, make_program
+
+
+def syrk_program(n: int = 400) -> Program:
+    """The SYRK source program with wrapped-column distributions."""
+    return make_program(
+        loops=[("i", 0, "N-1"), ("j", "i", "N-1"), ("k", 0, "N-1")],
+        body=["C[i, j] = C[i, j] + A[k, i] * A[k, j]"],
+        arrays=[("C", "N", "N"), ("A", "N", "N")],
+        distributions={"A": wrapped_column(), "C": wrapped_column()},
+        params={"N": n},
+        name="syrk",
+    )
+
+
+def syrk_reference(arrays: Dict[str, np.ndarray]) -> np.ndarray:
+    """What the upper triangle of C must equal after running SYRK."""
+    dense = arrays["C"] + arrays["A"].T @ arrays["A"]
+    expected = arrays["C"].copy()
+    upper = np.triu_indices_from(expected)
+    expected[upper] = dense[upper]
+    return expected

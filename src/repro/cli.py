@@ -1,0 +1,233 @@
+"""Command-line driver: the 'compiler binary' of this reproduction.
+
+Three subcommands:
+
+* ``compile FILE``  — run access normalization and print the requested
+  artifacts (report, transformed IR, node program, generated Python);
+* ``simulate FILE`` — compile and sweep processor counts on a simulated
+  NUMA machine, printing a speedup table;
+* ``autodist FILE`` — search for a good data distribution (the Section 9
+  "use our techniques in reverse" speculation).
+
+Programs are written in the FORTRAN-D-style DSL (see ``repro.lang``);
+sample programs live in ``examples/programs/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.bench.harness import format_table, run_speedup_sweep, speedup_table
+from repro.codegen import (
+    emit_python,
+    generate_ownership,
+    generate_spmd,
+    render_node_program,
+)
+from repro.core import access_normalize
+from repro.errors import ReproError
+from repro.ir import render_nest
+from repro.lang import parse_program
+from repro.numa import butterfly_gp1000, ipsc860, simulate, uniform_memory
+
+_MACHINES = {
+    "butterfly": butterfly_gp1000,
+    "ipsc860": ipsc860,
+    "uniform": uniform_memory,
+}
+
+
+def _load(path: str):
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_program(handle.read(), name=path)
+
+
+def _machine(args):
+    factory = _MACHINES[args.machine]
+    overrides = {}
+    if args.contention is not None:
+        overrides["contention_coefficient"] = args.contention
+    return factory(**overrides)
+
+
+def _parse_procs(text: str) -> List[int]:
+    return [int(part) for part in text.split(",") if part.strip()]
+
+
+def cmd_compile(args) -> int:
+    program = _load(args.file)
+    priority = args.priority.split(",") if args.priority else None
+    result = access_normalize(
+        program, priority=priority,
+        assumptions=(tuple(program.assumptions) + tuple(args.assume)) or None,
+    )
+    emit = args.emit
+    out = []
+    if emit in ("report", "all"):
+        out.append("=== access normalization report ===")
+        out.append(result.report())
+    if emit in ("ir", "all"):
+        out.append("=== transformed loop nest ===")
+        out.append(render_nest(result.transformed.nest))
+    node = generate_spmd(
+        result.transformed,
+        schedule=args.schedule,
+        block_transfers=not args.no_block_transfers,
+    )
+    if emit in ("node", "all"):
+        out.append("=== SPMD node program ===")
+        out.append(render_node_program(node))
+    if emit in ("python", "all"):
+        out.append("=== generated Python ===")
+        out.append(emit_python(node.program))
+    print("\n".join(out))
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    program = _load(args.file)
+    priority = args.priority.split(",") if args.priority else None
+    result = access_normalize(
+        program, priority=priority,
+        assumptions=(tuple(program.assumptions) + tuple(args.assume)) or None,
+    )
+    machine = _machine(args)
+    nodes = {
+        "naive": generate_spmd(program, block_transfers=False),
+        "normalized": generate_spmd(result.transformed, block_transfers=False),
+        "normalized+bt": generate_spmd(result.transformed),
+    }
+    if args.ownership:
+        try:
+            nodes["ownership"] = generate_ownership(program)
+        except ReproError as error:
+            print(f"(skipping ownership baseline: {error})", file=sys.stderr)
+    procs = _parse_procs(args.processors)
+    series = run_speedup_sweep(
+        nodes, procs, machine=machine, baseline="normalized+bt"
+    )
+    print(f"machine: {machine.name}")
+    print(speedup_table(procs, series))
+    if args.detail:
+        outcome = simulate(
+            nodes["normalized+bt"], processors=procs[-1], machine=machine
+        )
+        print(f"\nper-processor breakdown (normalized+bt, P={procs[-1]}):")
+        print(outcome.table())
+    return 0
+
+
+def cmd_autodist(args) -> int:
+    from repro.core.autodist import search_distributions
+
+    program = _load(args.file)
+    machine = _machine(args)
+    outcome = search_distributions(
+        program,
+        processors=args.single_p,
+        machine=machine,
+        max_candidates=args.max_candidates,
+    )
+    rows = [
+        (rank + 1, candidate.describe(), f"{candidate.time_us:,.0f}")
+        for rank, candidate in enumerate(outcome.ranking[: args.top])
+    ]
+    print(f"machine: {machine.name}; P={args.single_p}; "
+          f"{outcome.evaluated} candidates evaluated")
+    print(format_table(["rank", "distribution", "time (us)"], rows))
+    print(f"\nbest: {outcome.best.describe()}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Access normalization for NUMA machines (Li & Pingali, "
+        "ASPLOS 1992) — reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("file", help="DSL source file")
+    common.add_argument(
+        "--priority",
+        help="comma-separated subscript expressions pinning access-matrix "
+        "row order (e.g. 'j-i,j-k,k')",
+    )
+    common.add_argument(
+        "--assume",
+        action="append",
+        default=[],
+        metavar="FACT",
+        help="parameter fact like 'N >= 2*b' used to simplify generated "
+        "bounds (repeatable)",
+    )
+    machine = argparse.ArgumentParser(add_help=False)
+    machine.add_argument(
+        "--machine", choices=sorted(_MACHINES), default="butterfly"
+    )
+    machine.add_argument(
+        "--contention", type=float, default=None,
+        help="contention coefficient override",
+    )
+
+    compile_cmd = sub.add_parser(
+        "compile", parents=[common], help="run the pass and print artifacts"
+    )
+    compile_cmd.add_argument(
+        "--emit",
+        choices=["report", "ir", "node", "python", "all"],
+        default="all",
+    )
+    compile_cmd.add_argument(
+        "--schedule", choices=["wrapped", "blocked"], default="wrapped"
+    )
+    compile_cmd.add_argument("--no-block-transfers", action="store_true")
+    compile_cmd.set_defaults(func=cmd_compile)
+
+    simulate_cmd = sub.add_parser(
+        "simulate", parents=[common, machine],
+        help="sweep processor counts and print speedups",
+    )
+    simulate_cmd.add_argument(
+        "-P", "--processors", default="1,4,8,16,28",
+        help="comma-separated processor counts",
+    )
+    simulate_cmd.add_argument(
+        "--ownership", action="store_true",
+        help="include the ownership-rule baseline",
+    )
+    simulate_cmd.add_argument(
+        "--detail", action="store_true",
+        help="print a per-processor breakdown at the largest P",
+    )
+    simulate_cmd.set_defaults(func=cmd_simulate)
+
+    autodist_cmd = sub.add_parser(
+        "autodist", parents=[common, machine],
+        help="search for a good data distribution (Section 9 future work)",
+    )
+    autodist_cmd.add_argument("--single-p", type=int, default=16)
+    autodist_cmd.add_argument("--top", type=int, default=5)
+    autodist_cmd.add_argument("--max-candidates", type=int, default=None)
+    autodist_cmd.set_defaults(func=cmd_autodist)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,30 @@
+"""NUMA code generation (Section 7): locality planning, SPMD node programs,
+the ownership-rule baseline, and pseudo-C / executable-Python emitters."""
+
+from repro.codegen.ccodegen import render_node_program
+from repro.codegen.locality import (
+    LocalityPlan,
+    RefClass,
+    ReferenceInfo,
+    plan_locality,
+)
+from repro.codegen.ownership import generate_ownership
+from repro.codegen.pycodegen import compile_program, emit_python
+from repro.codegen.spmd import NodeProgram, generate_spmd
+from repro.codegen.tiling import generate_tiled_spmd, strip_mine, tile_nest
+
+__all__ = [
+    "LocalityPlan",
+    "NodeProgram",
+    "RefClass",
+    "ReferenceInfo",
+    "compile_program",
+    "emit_python",
+    "generate_ownership",
+    "generate_spmd",
+    "generate_tiled_spmd",
+    "plan_locality",
+    "render_node_program",
+    "strip_mine",
+    "tile_nest",
+]

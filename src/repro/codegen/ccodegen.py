@@ -1,0 +1,62 @@
+"""Paper-style pseudo-C rendering of node programs.
+
+Reproduces the display form of Figures 1(d) and the Section 8 listings:
+the distributed outer loop prints as ``for u = p, UB, step P`` and block
+transfers print as ``read A[*, v];`` lines.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.codegen.spmd import NodeProgram
+from repro.ir.loop import Loop
+from repro.ir.printer import _render_statement
+
+
+def _bound_text(exprs, combiner: str) -> str:
+    if len(exprs) == 1:
+        return str(exprs[0])
+    return f"{combiner}(" + ", ".join(str(e) for e in exprs) + ")"
+
+
+def _outer_loop_line(loop: Loop, node: NodeProgram) -> str:
+    lower = _bound_text(loop.lower, "max")
+    upper = _bound_text(loop.upper, "min")
+    p = node.proc_param
+    cap = node.procs_param
+    if node.schedule == "wrapped":
+        if loop.step == 1:
+            return f"for {loop.index} = {p} /* first >= {lower} with {loop.index} === {p} mod {cap} */, {upper}, step {cap}"
+        return (
+            f"for {loop.index} = /* {loop.index} === {p} (mod {cap}) and "
+            f"{loop.index} === {loop.align} (mod {loop.step}) */ {lower}, "
+            f"{upper}, step lcm({loop.step}, {cap})"
+        )
+    if node.schedule == "blocked":
+        return (
+            f"for {loop.index} = max({lower}, {p}*S), "
+            f"min({upper}, ({p}+1)*S - 1)  /* S = block size */"
+        )
+    return f"for {loop.index} = {lower}, {upper}" + (
+        f", step {loop.step}" if loop.step != 1 else ""
+    )
+
+
+def render_node_program(node: NodeProgram, indent: str = "    ") -> str:
+    """Render a node program as paper-style pseudo code."""
+    nest = node.nest
+    lines: List[str] = [f"/* node program for processor {node.proc_param} "
+                        f"of {node.procs_param}: {node.schedule} schedule */"]
+    for depth, loop in enumerate(nest.loops):
+        if depth == 0:
+            lines.append(_outer_loop_line(loop, node))
+        else:
+            lines.append(indent * depth + str(loop))
+        for statement in loop.prologue:
+            for line in _render_statement(statement, indent * (depth + 1), indent):
+                lines.append(line + ";")
+    body_indent = indent * nest.depth
+    for statement in nest.body:
+        lines.extend(_render_statement(statement, body_indent, indent))
+    return "\n".join(lines)

@@ -1,0 +1,238 @@
+"""Per-reference locality planning for SPMD code generation (Section 7).
+
+After access normalization the outermost loop is distributed across the
+processors.  Each array reference then falls into one of three classes:
+
+* ``LOCAL`` — provably local: the subscript in the distribution dimension is
+  *normal* with respect to the distributed loop (Definition 4.1), so the
+  wrapped iteration assignment ``u === p (mod P)`` lands exactly on the
+  owner;
+* ``COVERED`` — non-local, but the distribution-dimension subscript is
+  invariant in the inner loops, so one ``read A[*, v]`` block transfer per
+  iteration of the fixing loop covers all its accesses;
+* ``CHECK`` — locality varies access by access; the simulator resolves the
+  owner at run time (this is also what untransformed baselines get).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.distributions.base import Distribution, Replicated
+from repro.ir.affine import AffineExpr
+from repro.ir.loop import LoopNest
+from repro.ir.scalar import ArrayRef
+from repro.ir.stmt import BlockRead
+
+
+class RefClass(Enum):
+    """Locality classification of an array reference."""
+
+    LOCAL = "local"
+    COVERED = "covered"
+    CHECK = "check"
+
+
+@dataclass(frozen=True)
+class ReferenceInfo:
+    """One reference's classification with the reason for it."""
+
+    ref: ArrayRef
+    is_write: bool
+    ref_class: RefClass
+    reason: str
+    block_level: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class LocalityPlan:
+    """The complete locality plan of a nest under outer-loop distribution."""
+
+    refs: Tuple[ReferenceInfo, ...]
+    block_reads: Tuple[Tuple[int, BlockRead], ...]
+
+    def class_of(self, ref: ArrayRef, is_write: bool) -> RefClass:
+        """Look up the classification of a reference."""
+        for info in self.refs:
+            if info.ref == ref and info.is_write == is_write:
+                return info.ref_class
+        return RefClass.CHECK
+
+    def counts(self) -> Dict[RefClass, int]:
+        """How many references fall into each class."""
+        result = {cls: 0 for cls in RefClass}
+        for info in self.refs:
+            result[info.ref_class] += 1
+        return result
+
+    def describe(self) -> str:
+        """Readable summary, one line per reference."""
+        lines = []
+        for info in self.refs:
+            mode = "write" if info.is_write else "read"
+            extra = (
+                f" (block read at loop {info.block_level})"
+                if info.block_level is not None
+                else ""
+            )
+            lines.append(
+                f"{info.ref} [{mode}]: {info.ref_class.value} - {info.reason}{extra}"
+            )
+        return "\n".join(lines)
+
+
+def plan_locality(
+    nest: LoopNest,
+    distributions: Mapping[str, Distribution],
+    *,
+    schedule: str = "wrapped",
+    block_transfers: bool = True,
+) -> LocalityPlan:
+    """Classify every reference of ``nest`` for outer-loop distribution.
+
+    ``schedule`` is how the outermost loop is split (``"wrapped"`` or
+    ``"blocked"``); the provable-``LOCAL`` shortcut only applies to wrapped
+    schedules over cyclically distributed arrays — everything else is still
+    correct, just resolved at run time (``CHECK``).
+    """
+    indices = nest.indices
+    outer = indices[0] if indices else None
+    # The provable-LOCAL shortcut relies on value-based wrapping, which
+    # only holds for unit-step, unaligned outer loops (strided outers are
+    # distributed by iteration position instead).
+    if nest.loops and (nest.loops[0].step != 1 or nest.loops[0].align is not None):
+        outer = None
+    depth = nest.depth
+    infos: List[ReferenceInfo] = []
+    block_reads: List[Tuple[int, BlockRead]] = []
+    seen_reads: set = set()
+
+    for ref, is_write in nest.array_refs():
+        distribution = distributions.get(ref.array)
+        if distribution is None or isinstance(distribution, Replicated):
+            infos.append(
+                ReferenceInfo(ref, is_write, RefClass.LOCAL, "array is replicated")
+            )
+            continue
+        dims = distribution.distribution_dims()
+        if len(dims) != 1:
+            infos.append(
+                ReferenceInfo(
+                    ref, is_write, RefClass.CHECK, "multi-dimensional distribution"
+                )
+            )
+            continue
+        dim = dims[0]
+        if dim >= ref.rank:
+            infos.append(
+                ReferenceInfo(ref, is_write, RefClass.CHECK, "rank mismatch")
+            )
+            continue
+        subscript = ref.subscripts[dim]
+        is_cyclic = type(distribution).__name__ == "Wrapped"
+        if (
+            schedule == "wrapped"
+            and is_cyclic
+            and outer is not None
+            and subscript == AffineExpr.var(outer)
+        ):
+            infos.append(
+                ReferenceInfo(
+                    ref,
+                    is_write,
+                    RefClass.LOCAL,
+                    "distribution-dimension subscript is normal w.r.t. the "
+                    "distributed loop",
+                )
+            )
+            continue
+        fix_level = _deepest_level(subscript, indices)
+        if (
+            block_transfers
+            and not is_write
+            and fix_level == depth - 1
+            and _gatherable(ref, indices, nest)
+        ):
+            # The distribution-dimension subscript changes every innermost
+            # iteration, but the whole (read-only) array is swept: gather
+            # it once with a single bulk transfer (``read X[*]``-style).
+            pattern = tuple(None for _ in range(ref.rank))
+            read = BlockRead(ref.array, pattern)
+            key = (0, ref.array, pattern)
+            if key not in seen_reads:
+                seen_reads.add(key)
+                block_reads.append((0, read))
+            infos.append(
+                ReferenceInfo(
+                    ref,
+                    is_write,
+                    RefClass.COVERED,
+                    "read-only array gathered whole with one bulk transfer",
+                    block_level=0,
+                )
+            )
+            continue
+        if (
+            block_transfers
+            and not is_write
+            and fix_level < depth - 1
+        ):
+            level = max(fix_level, 0)
+            pattern = tuple(
+                subscript if d == dim else None for d in range(ref.rank)
+            )
+            read = BlockRead(ref.array, pattern)
+            key = (level, ref.array, pattern)
+            if key not in seen_reads:
+                seen_reads.add(key)
+                block_reads.append((level, read))
+            infos.append(
+                ReferenceInfo(
+                    ref,
+                    is_write,
+                    RefClass.COVERED,
+                    "distribution-dimension subscript invariant in inner loops",
+                    block_level=level,
+                )
+            )
+            continue
+        infos.append(
+            ReferenceInfo(
+                ref,
+                is_write,
+                RefClass.CHECK,
+                "locality varies access by access",
+            )
+        )
+    return LocalityPlan(refs=tuple(infos), block_reads=tuple(block_reads))
+
+
+def _gatherable(ref, indices, nest: LoopNest) -> bool:
+    """May this reference be satisfied by gathering the whole array once?
+
+    Requires every subscript to depend only on the innermost loop index (or
+    on nothing), so the sweep touches a fixed region, and the array to be
+    read-only in the nest (a gathered copy of a written array would go
+    stale).
+    """
+    if not indices:
+        return False
+    outer_names = set(indices[:-1])
+    for subscript in ref.subscripts:
+        if subscript.depends_on(outer_names):
+            return False
+    for other, is_write in nest.array_refs():
+        if is_write and other.array == ref.array:
+            return False
+    return True
+
+
+def _deepest_level(expr: AffineExpr, indices: Tuple[str, ...]) -> int:
+    """The innermost loop level whose index appears in ``expr`` (-1 if none)."""
+    deepest = -1
+    for level, name in enumerate(indices):
+        if expr.coeff(name):
+            deepest = level
+    return deepest

@@ -1,0 +1,79 @@
+"""The ownership-rule baseline code generator (Section 2.1).
+
+FORTRAN-D-style compilation without loop restructuring: every processor
+executes *every* iteration of the original nest, testing at run time whether
+it owns the left-hand side ("looking for work to do").  The guard is the
+modular ownership test of the wrapped distribution.  This generator exists
+to reproduce the paper's argument that the ownership rule alone generates
+inefficient code when the loop structure does not match the distribution.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.codegen.locality import LocalityPlan, RefClass, ReferenceInfo, plan_locality
+from repro.codegen.spmd import NodeProgram
+from repro.errors import CodegenError, DistributionError
+from repro.ir.affine import AffineExpr
+from repro.ir.program import Program
+from repro.ir.stmt import Assign, IfThen, Statement
+
+
+def generate_ownership(
+    program: Program,
+    *,
+    proc_param: str = "p",
+    procs_param: str = "P",
+) -> NodeProgram:
+    """Generate the ownership-rule node program for an (untransformed) program.
+
+    Every assignment is wrapped in ``if owner(lhs) == p``; all references
+    are classified ``CHECK`` so the simulator resolves owners exactly.  The
+    per-iteration guard cost is what makes all processors sweep the full
+    iteration space.
+    """
+    processors = AffineExpr.var(procs_param)
+    proc = AffineExpr.var(proc_param)
+    body: List[Statement] = []
+    guards = 0
+    for statement in program.nest.body:
+        if not isinstance(statement, Assign):
+            raise CodegenError(
+                "ownership-rule generation expects plain assignments"
+            )
+        distribution = program.distribution(statement.lhs.array)
+        if distribution is None:
+            body.append(statement)  # Replicated LHS: everyone updates.
+            continue
+        try:
+            guard = distribution.ownership_guard(
+                statement.lhs.subscripts, processors, proc
+            )
+        except DistributionError as error:
+            raise CodegenError(
+                f"ownership rule needs a modular guard for "
+                f"{statement.lhs.array!r}: {error}"
+            ) from error
+        body.append(IfThen((guard,), statement))
+        guards += 1
+
+    nest = program.nest.with_body(body)
+    base_plan = plan_locality(
+        program.nest, program.distributions, schedule="all", block_transfers=False
+    )
+    # Everything is CHECK under the ownership rule: no restructuring means
+    # no provable locality and no block-transfer opportunities.
+    refs = tuple(
+        ReferenceInfo(info.ref, info.is_write, RefClass.CHECK, "ownership rule")
+        for info in base_plan.refs
+    )
+    return NodeProgram(
+        program=program.with_nest(nest, name=f"{program.name}-ownership"),
+        schedule="all",
+        plan=LocalityPlan(refs=refs, block_reads=()),
+        proc_param=proc_param,
+        procs_param=procs_param,
+        guards_per_iteration=guards,
+        description="ownership-rule baseline: all processors sweep all iterations",
+    )

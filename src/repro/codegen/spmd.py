@@ -1,0 +1,124 @@
+"""SPMD node-program generation (Section 7).
+
+The same code runs on every processor, parameterized by the processor
+number ``p`` and the processor count ``P``.  Iterations of the outermost
+loop are distributed — wrapped (round-robin by value, matching cyclic data
+distributions) or blocked — and ``read A[*, v]`` block transfers are hoisted
+into the prologue of the loop that fixes the distribution-dimension
+subscript.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.codegen.locality import LocalityPlan, plan_locality
+from repro.errors import CodegenError
+from repro.ir.loop import Loop, LoopNest
+from repro.ir.program import Program
+
+SCHEDULES = ("wrapped", "blocked", "all")
+
+
+@dataclass(frozen=True)
+class NodeProgram:
+    """A per-processor program plus the metadata the simulator needs.
+
+    ``program.nest`` keeps *sequential* semantics (the union over all
+    processors); the ``schedule`` says how the outermost loop's iterations
+    are split at run time.  ``plan`` classifies every reference; block
+    transfers already sit in the loop prologues.
+    """
+
+    program: Program
+    schedule: str
+    plan: LocalityPlan
+    proc_param: str = "p"
+    procs_param: str = "P"
+    guards_per_iteration: int = 0
+    sync_per_outer_iteration: int = 0
+    description: str = ""
+
+    @property
+    def nest(self) -> LoopNest:
+        """The node program's loop nest."""
+        return self.program.nest
+
+
+def generate_spmd(
+    program: Program,
+    *,
+    schedule: str = "wrapped",
+    block_transfers: bool = True,
+    proc_param: str = "p",
+    procs_param: str = "P",
+    dependences=None,
+    sync_events: Optional[int] = None,
+) -> NodeProgram:
+    """Generate the SPMD node program for a (typically normalized) program.
+
+    The locality plan classifies each reference for outer-loop distribution;
+    every planned block transfer is inserted into the prologue of its loop.
+
+    ``dependences`` optionally passes the dependence matrix of *this* nest
+    (for a normalized program, the columns of ``T @ D``).  Columns whose
+    leading entry is positive are carried by the distributed loop and need
+    one post/wait synchronization per outer iteration (Section 7 notes the
+    insertion is routine); the simulator charges
+    ``machine.sync_cost_us`` per event.  ``sync_events`` overrides the
+    count directly (e.g. from
+    :attr:`~repro.core.NormalizationResult.outer_carried_count`, which also
+    accounts for direction-vector dependences).
+    """
+    if schedule not in SCHEDULES:
+        raise CodegenError(f"unknown schedule {schedule!r}; pick one of {SCHEDULES}")
+    if program.nest.depth == 0:
+        raise CodegenError("cannot distribute an empty loop nest")
+    for reserved in (proc_param, procs_param):
+        if reserved in program.nest.indices:
+            raise CodegenError(
+                f"parameter name {reserved!r} collides with a loop index"
+            )
+
+    plan = plan_locality(
+        program.nest,
+        program.distributions,
+        schedule=schedule,
+        block_transfers=block_transfers,
+    )
+    by_level: Dict[int, List] = {}
+    for level, read in plan.block_reads:
+        by_level.setdefault(level, []).append(read)
+
+    loops: List[Loop] = []
+    for level, loop in enumerate(program.nest.loops):
+        reads = by_level.get(level, [])
+        if reads:
+            loops.append(loop.with_prologue(tuple(loop.prologue) + tuple(reads)))
+        else:
+            loops.append(loop)
+    nest = program.nest.with_loops(loops)
+    counts = plan.counts()
+    syncs = 0
+    if dependences is not None and dependences.ncols:
+        syncs = sum(
+            1
+            for j in range(dependences.ncols)
+            if dependences[0, j] > 0
+        )
+    if sync_events is not None:
+        syncs = sync_events
+    description = (
+        f"{schedule} outer-loop distribution; "
+        f"{counts}"
+    )
+    return NodeProgram(
+        program=program.with_nest(nest, name=f"{program.name}-spmd"),
+        schedule=schedule,
+        plan=plan,
+        proc_param=proc_param,
+        procs_param=procs_param,
+        sync_per_outer_iteration=syncs,
+        description=description,
+    )

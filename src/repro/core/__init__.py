@@ -1,0 +1,89 @@
+"""Access normalization — the paper's primary contribution.
+
+Pipeline: :func:`build_access_matrix` (Section 2.2) ->
+:func:`basis_matrix` (Section 5.1) -> :func:`legal_basis` (Figure 2) ->
+:func:`legal_invertible` (Figure 3, includes :func:`padding_matrix` from
+Section 5.2) -> :func:`apply_transformation` (Section 3).  The one-call
+driver is :func:`access_normalize`.
+"""
+
+from repro.core.access_matrix import (
+    DataAccessMatrix,
+    SubscriptRow,
+    SubscriptSource,
+    build_access_matrix,
+)
+from repro.core.autodist import AutoDistResult, search_distributions
+from repro.core.basis import BasisResult, basis_matrix
+from repro.core.cachepad import innermost_stride_score, optimize_padding_order
+from repro.core.directions import (
+    distance_to_direction,
+    is_legal_direction_transformation,
+    legal_basis_directions,
+    row_direction_interval,
+)
+from repro.core.classify import (
+    classify,
+    has_skewing,
+    is_identity,
+    is_interchange,
+    is_reversal,
+    is_scaling,
+)
+from repro.core.legal import (
+    LegalBasisResult,
+    is_legal_transformation,
+    legal_basis,
+    legal_invertible,
+)
+from repro.core.normalize import (
+    NormalizationResult,
+    access_normalize,
+    derive_transformation_matrix,
+)
+from repro.core.padding import pad_to_invertible, padding_matrix
+from repro.core.prenormalize import normalize_program_steps, normalize_steps
+from repro.core.transform import (
+    Transformation,
+    apply_transformation,
+    choose_new_indices,
+    nest_constraints,
+)
+
+__all__ = [
+    "AutoDistResult",
+    "BasisResult",
+    "DataAccessMatrix",
+    "LegalBasisResult",
+    "NormalizationResult",
+    "SubscriptRow",
+    "SubscriptSource",
+    "Transformation",
+    "access_normalize",
+    "apply_transformation",
+    "basis_matrix",
+    "build_access_matrix",
+    "choose_new_indices",
+    "classify",
+    "derive_transformation_matrix",
+    "distance_to_direction",
+    "has_skewing",
+    "is_identity",
+    "is_interchange",
+    "is_legal_direction_transformation",
+    "is_legal_transformation",
+    "legal_basis_directions",
+    "is_reversal",
+    "innermost_stride_score",
+    "is_scaling",
+    "legal_basis",
+    "legal_invertible",
+    "nest_constraints",
+    "normalize_program_steps",
+    "normalize_steps",
+    "row_direction_interval",
+    "search_distributions",
+    "optimize_padding_order",
+    "pad_to_invertible",
+    "padding_matrix",
+]

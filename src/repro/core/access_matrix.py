@@ -1,0 +1,160 @@
+"""The data access matrix (Section 2.2).
+
+The data access matrix represents the array subscripts of a loop nest: its
+product with the iteration vector reproduces each subscript (constants
+dropped).  Row order encodes relative importance — the paper's heuristic
+puts subscripts appearing in distribution dimensions first, breaking ties by
+occurrence count — so that the greedy basis selection discards the least
+important subscripts when the matrix is singular.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import List, Mapping, Optional, Sequence, Tuple
+
+from repro.distributions.base import Distribution
+from repro.ir.affine import AffineExpr
+from repro.ir.loop import LoopNest
+from repro.linalg.fraction_matrix import Matrix
+
+
+@dataclass(frozen=True)
+class SubscriptSource:
+    """Where a subscript row came from: which array, dimension, and whether
+    that dimension is a distribution dimension of the array."""
+
+    array: str
+    dim: int
+    is_distribution_dim: bool
+    is_write: bool
+
+
+@dataclass
+class SubscriptRow:
+    """One candidate row of the data access matrix with its provenance."""
+
+    coeffs: Tuple[Fraction, ...]
+    expr: AffineExpr
+    sources: List[SubscriptSource] = field(default_factory=list)
+    first_seen: int = 0
+
+    @property
+    def distribution_count(self) -> int:
+        """How many times this subscript occurs in a distribution dimension."""
+        return sum(1 for s in self.sources if s.is_distribution_dim)
+
+    @property
+    def total_count(self) -> int:
+        """Total occurrences of this subscript across all references."""
+        return len(self.sources)
+
+
+@dataclass(frozen=True)
+class DataAccessMatrix:
+    """The ranked data access matrix of a loop nest."""
+
+    matrix: Matrix
+    rows: Tuple[SubscriptRow, ...]
+    indices: Tuple[str, ...]
+
+    @property
+    def depth(self) -> int:
+        """Loop nest depth (number of columns)."""
+        return len(self.indices)
+
+    def describe(self) -> str:
+        """Human-readable summary with provenance, for logs and reports."""
+        lines = []
+        for position, row in enumerate(self.rows):
+            where = ", ".join(
+                f"{s.array}[dim {s.dim}]{'*' if s.is_distribution_dim else ''}"
+                for s in row.sources
+            )
+            lines.append(f"row {position}: {row.expr}  <- {where}")
+        return "\n".join(lines)
+
+
+def build_access_matrix(
+    nest: LoopNest,
+    distributions: Optional[Mapping[str, Distribution]] = None,
+    *,
+    skip_nonintegral: bool = True,
+    priority: Optional[Sequence[str]] = None,
+) -> DataAccessMatrix:
+    """Build the data access matrix for a loop nest.
+
+    Ranking heuristic (Section 2.2): subscripts occurring in distribution
+    dimensions come first, ordered by how often they occur in distribution
+    dimensions (then by total occurrences, then by first appearance);
+    remaining subscripts follow ordered by total occurrences.  Constant
+    subscripts, zero rows and (optionally) non-integral rows are omitted —
+    the paper allows dropping "overly complex" subscripts without affecting
+    correctness.
+
+    ``priority`` optionally pins specific subscripts (given as expression
+    strings like ``"j-k"``; constants are ignored when matching) to the
+    front, in the given order.  The paper notes the technical development is
+    independent of the ordering; this hook reproduces its worked examples
+    exactly where the published tie-breaking is unspecified.
+    """
+    distributions = dict(distributions or {})
+    indices = nest.indices
+    rows: List[SubscriptRow] = []
+    by_coeffs = {}
+
+    order = 0
+    for ref, is_write in nest.array_refs():
+        distribution = distributions.get(ref.array)
+        dist_dims = set(distribution.distribution_dims()) if distribution else set()
+        for dim, subscript in enumerate(ref.subscripts):
+            coeffs = subscript.coefficient_vector(indices)
+            if all(c == 0 for c in coeffs):
+                continue  # Constant subscript: nothing to normalize.
+            if skip_nonintegral and any(c.denominator != 1 for c in coeffs):
+                continue  # 'Overly complex' (Section 2.2): safe to omit.
+            source = SubscriptSource(
+                array=ref.array,
+                dim=dim,
+                is_distribution_dim=dim in dist_dims,
+                is_write=is_write,
+            )
+            row = by_coeffs.get(coeffs)
+            if row is None:
+                row = SubscriptRow(
+                    coeffs=coeffs,
+                    expr=AffineExpr.from_coeffs(indices, coeffs),
+                    first_seen=order,
+                )
+                by_coeffs[coeffs] = row
+                rows.append(row)
+            row.sources.append(source)
+            order += 1
+
+    pinned = _priority_positions(priority, indices)
+    ranked = sorted(
+        rows,
+        key=lambda row: (
+            pinned.get(row.coeffs, len(pinned)),
+            -row.distribution_count,
+            -row.total_count,
+            row.first_seen,
+        ),
+    )
+    matrix = Matrix([row.coeffs for row in ranked]) if ranked else Matrix([])
+    return DataAccessMatrix(matrix=matrix, rows=tuple(ranked), indices=indices)
+
+
+def _priority_positions(
+    priority: Optional[Sequence[str]], indices: Sequence[str]
+) -> dict:
+    """Map pinned coefficient vectors to their requested rank."""
+    positions: dict = {}
+    if not priority:
+        return positions
+    for rank, text in enumerate(priority):
+        expr = AffineExpr.parse(text)
+        coeffs = expr.coefficient_vector(indices)
+        positions[coeffs] = rank
+    return positions

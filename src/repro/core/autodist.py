@@ -1,0 +1,150 @@
+"""Automatic data-distribution selection (Section 9, future work).
+
+The paper speculates: "it might be possible to start with the dependence
+matrix and use our techniques in reverse, so to speak, to determine what a
+good data distribution should be", noting that the main difficulty is load
+balance.  This module implements that idea as an empirical search: for
+each candidate assignment of wrapped/blocked/replicated distributions to
+the program's arrays, run the *full* pipeline — access normalization,
+SPMD code generation with block transfers, event-exact simulation — and
+rank candidates by simulated makespan (which accounts for locality, block
+transfers *and* load balance at once, addressing the paper's concern).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.codegen.spmd import generate_spmd
+from repro.core.normalize import access_normalize
+from repro.distributions import Blocked, Distribution, Wrapped
+from repro.errors import ReproError
+from repro.ir.program import Program
+from repro.numa.machine import MachineConfig, butterfly_gp1000
+from repro.numa.simulator import simulate
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One evaluated distribution assignment."""
+
+    distributions: Mapping[str, Optional[Distribution]]
+    time_us: float
+    transformation_labels: Tuple[str, ...]
+
+    def describe(self) -> str:
+        parts = []
+        for name in sorted(self.distributions):
+            distribution = self.distributions[name]
+            label = distribution.describe() if distribution else "replicated"
+            parts.append(f"{name}: {label}")
+        return "; ".join(parts)
+
+
+@dataclass(frozen=True)
+class AutoDistResult:
+    """Outcome of the search: every candidate, best first."""
+
+    ranking: Tuple[Candidate, ...]
+    evaluated: int
+
+    @property
+    def best(self) -> Candidate:
+        return self.ranking[0]
+
+
+def _array_options(rank: int, allow_replicated: bool) -> List[Optional[Distribution]]:
+    options: List[Optional[Distribution]] = []
+    for dim in range(rank):
+        options.append(Wrapped(dim))
+        options.append(Blocked(dim))
+    if allow_replicated:
+        options.append(None)
+    return options
+
+
+def candidate_assignments(
+    program: Program, *, allow_replicated: bool = False
+) -> Iterator[Dict[str, Optional[Distribution]]]:
+    """All combinations of per-dimension wrapped/blocked per array."""
+    names = [decl.name for decl in program.arrays]
+    option_lists = [
+        _array_options(program.array(name).rank, allow_replicated)
+        for name in names
+    ]
+    for combo in product(*option_lists):
+        yield dict(zip(names, combo))
+
+
+def evaluate_assignment(
+    program: Program,
+    assignment: Mapping[str, Optional[Distribution]],
+    *,
+    processors: int,
+    machine: MachineConfig,
+    params: Optional[Mapping[str, int]] = None,
+) -> Candidate:
+    """Simulated makespan of the program under one distribution choice."""
+    distributions = {
+        name: distribution
+        for name, distribution in assignment.items()
+        if distribution is not None
+    }
+    trial = Program(
+        nest=program.nest,
+        arrays=program.arrays,
+        distributions=distributions,
+        params=program.bound_params(params),
+        name=program.name,
+    )
+    result = access_normalize(trial)
+    node = generate_spmd(result.transformed)
+    outcome = simulate(node, processors=processors, machine=machine)
+    return Candidate(
+        distributions=dict(assignment),
+        time_us=outcome.total_time_us,
+        transformation_labels=tuple(result.labels),
+    )
+
+
+def search_distributions(
+    program: Program,
+    *,
+    processors: int = 16,
+    machine: Optional[MachineConfig] = None,
+    params: Optional[Mapping[str, int]] = None,
+    max_candidates: Optional[int] = None,
+    allow_replicated: bool = False,
+) -> AutoDistResult:
+    """Search distribution assignments, best (lowest makespan) first.
+
+    ``params`` can scale the problem down so the search stays cheap; the
+    *relative* ranking is what matters.  Candidates whose pipeline fails
+    (e.g. no legal transformation) are skipped.
+    """
+    machine = machine or butterfly_gp1000()
+    candidates: List[Candidate] = []
+    evaluated = 0
+    for assignment in candidate_assignments(
+        program, allow_replicated=allow_replicated
+    ):
+        if max_candidates is not None and evaluated >= max_candidates:
+            break
+        try:
+            candidate = evaluate_assignment(
+                program,
+                assignment,
+                processors=processors,
+                machine=machine,
+                params=params,
+            )
+        except ReproError:
+            continue
+        evaluated += 1
+        candidates.append(candidate)
+    if not candidates:
+        raise ReproError("no distribution candidate could be evaluated")
+    candidates.sort(key=lambda c: c.time_us)
+    return AutoDistResult(ranking=tuple(candidates), evaluated=evaluated)

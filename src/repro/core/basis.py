@@ -1,0 +1,48 @@
+"""Algorithm BasisMatrix (Section 5.1).
+
+Selects a maximal set of linearly independent rows of the data access
+matrix, scanning top-down so that lower-ranked (less important) subscripts
+are the ones discarded.  Following the paper, the result is reported as a
+permutation matrix plus the rank: the first ``rank`` rows of ``P @ A`` form
+the basis matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.linalg.fraction_matrix import Matrix
+
+
+@dataclass(frozen=True)
+class BasisResult:
+    """Output of Algorithm BasisMatrix."""
+
+    permutation: Matrix
+    rank: int
+    kept_rows: Tuple[int, ...]
+
+    def basis_of(self, matrix: Matrix) -> Matrix:
+        """The basis matrix: the kept rows of ``matrix``, in original order."""
+        return matrix.select_rows(list(self.kept_rows))
+
+
+def basis_matrix(matrix: Matrix) -> BasisResult:
+    """Run Algorithm BasisMatrix on a data access matrix.
+
+    Returns the permutation ``P`` (kept rows first, discarded rows after, each
+    group in original order) and the rank ``d``.  The efficient
+    implementation in the paper is a Hermite-normal-form variation; an exact
+    rational elimination keeps the same greedy semantics here.
+    """
+    kept = matrix.independent_row_indices()
+    discarded = [i for i in range(matrix.nrows) if i not in kept]
+    order = list(kept) + discarded
+    permutation_rows = []
+    for target in order:
+        permutation_rows.append([1 if j == target else 0 for j in range(matrix.nrows)])
+    permutation = (
+        Matrix(permutation_rows) if permutation_rows else Matrix([])
+    )
+    return BasisResult(permutation=permutation, rank=len(kept), kept_rows=tuple(kept))

@@ -1,0 +1,96 @@
+"""Cache-aware padding selection (Section 6's closing remark).
+
+"The choice of the padding matrix in this paper is quite arbitrary.  For a
+machine in which processors have a first-level cache, there is the obvious
+possibility of selecting the padding to improve cache performance" — the
+paper leaves this for future work.  This module implements a concrete
+version: among the orderings of the transformation's *free* trailing rows
+(the ones that did not come from the data access matrix and are therefore
+unconstrained apart from legality), pick the one minimizing the total
+innermost-loop memory stride of the transformed program.  Unit-stride
+innermost access maximizes spatial cache-line reuse (and doubles as the
+Section 9 vectorization win).
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+from typing import Optional, Sequence, Tuple
+
+from repro.core.legal import is_legal_transformation
+from repro.core.transform import apply_transformation
+from repro.errors import ReproError
+from repro.ir.program import Program
+from repro.linalg.fraction_matrix import Matrix
+
+#: Don't enumerate orderings of more than this many free rows (6! = 720).
+MAX_FREE_ROWS = 5
+
+
+def innermost_stride_score(program: Program, nest) -> Optional[int]:
+    """Total |innermost stride| over all references (lower is better)."""
+    from repro.vector.stride import reference_stride
+
+    if nest.depth == 0:
+        return 0
+    innermost = nest.indices[-1]
+    bound = program.bound_params()
+    total = 0
+    for ref, _ in nest.array_refs():
+        try:
+            shape = program.array(ref.array).shape(bound)
+        except (ReproError, KeyError, ValueError):
+            return None
+        stride = reference_stride(ref, innermost, shape)
+        if stride is None:
+            return None
+        total += abs(stride)
+    return total
+
+
+def optimize_padding_order(
+    program: Program,
+    matrix: Matrix,
+    fixed_rows: int,
+    deps: Matrix,
+    directions: Sequence[Tuple[str, ...]] = (),
+) -> Matrix:
+    """Reorder the trailing (free) rows of ``matrix`` for cache behaviour.
+
+    ``fixed_rows`` rows at the top came from the data access matrix and are
+    kept in place; the remaining rows (projection and padding rows) are
+    permuted, each candidate checked for dependence legality — against the
+    distance columns ``deps`` and any direction vectors — and the one with
+    the lowest innermost-stride score wins.  Ties (and scoring failures)
+    keep the original order.
+    """
+    from repro.core.directions import is_legal_direction_transformation
+
+    depth = matrix.nrows
+    free = depth - fixed_rows
+    if free <= 1 or free > MAX_FREE_ROWS:
+        return matrix
+    head = [list(matrix.row_at(i)) for i in range(fixed_rows)]
+    tail = [list(matrix.row_at(i)) for i in range(fixed_rows, depth)]
+
+    best_matrix = matrix
+    best_score = None
+    for order in permutations(range(free)):
+        candidate = Matrix(head + [tail[i] for i in order])
+        if not is_legal_transformation(candidate, deps):
+            continue
+        if directions and not is_legal_direction_transformation(
+            candidate, directions
+        ):
+            continue
+        try:
+            transformation = apply_transformation(program.nest, candidate)
+        except ReproError:
+            continue
+        score = innermost_stride_score(program, transformation.nest)
+        if score is None:
+            continue
+        if best_score is None or score < best_score:
+            best_score = score
+            best_matrix = candidate
+    return best_matrix

@@ -1,0 +1,92 @@
+"""Classification of transformation matrices.
+
+Access normalization subsumes loop interchange, skewing, reversal and
+scaling (Section 1).  This module names the elementary transformations a
+given matrix composes — useful for reports and for asserting that a derived
+matrix is (or is not) in Banerjee's unimodular class.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.linalg.fraction_matrix import Matrix
+
+
+def is_identity(matrix: Matrix) -> bool:
+    """True for the identity transformation."""
+    return matrix.is_square and matrix == Matrix.identity(matrix.nrows)
+
+
+def is_interchange(matrix: Matrix) -> bool:
+    """True for a pure loop permutation (non-identity permutation matrix)."""
+    return matrix.is_permutation() and not is_identity(matrix)
+
+
+def is_reversal(matrix: Matrix) -> bool:
+    """True for a diagonal ±1 matrix with at least one -1."""
+    if not matrix.is_square:
+        return False
+    has_negative = False
+    for i in range(matrix.nrows):
+        for j in range(matrix.ncols):
+            value = matrix[i, j]
+            if i == j:
+                if value not in (1, -1):
+                    return False
+                has_negative = has_negative or value == -1
+            elif value != 0:
+                return False
+    return has_negative
+
+
+def is_scaling(matrix: Matrix) -> bool:
+    """True for a diagonal integer matrix with some |entry| > 1."""
+    if not matrix.is_square or not matrix.is_integer():
+        return False
+    saw_big = False
+    for i in range(matrix.nrows):
+        for j in range(matrix.ncols):
+            value = matrix[i, j]
+            if i == j:
+                if value == 0:
+                    return False
+                saw_big = saw_big or abs(value) > 1
+            elif value != 0:
+                return False
+    return saw_big
+
+
+def has_skewing(matrix: Matrix) -> bool:
+    """True when some off-diagonal entry is non-zero."""
+    return any(
+        matrix[i, j] != 0
+        for i in range(matrix.nrows)
+        for j in range(matrix.ncols)
+        if i != j
+    )
+
+
+def classify(matrix: Matrix) -> List[str]:
+    """Labels for the elementary transformations composed in ``matrix``.
+
+    Possible labels: ``identity``, ``interchange``, ``reversal``,
+    ``skewing``, ``scaling``, ``non-unimodular``, ``unimodular``.
+    """
+    labels: List[str] = []
+    if is_identity(matrix):
+        return ["identity", "unimodular"]
+    if is_interchange(matrix):
+        labels.append("interchange")
+    if is_reversal(matrix):
+        labels.append("reversal")
+    if has_skewing(matrix) and not is_interchange(matrix):
+        labels.append("skewing")
+    if any(abs(matrix[i, i]) > 1 for i in range(min(matrix.nrows, matrix.ncols))):
+        labels.append("scaling")
+    if any(
+        matrix[i, i] < 0 for i in range(min(matrix.nrows, matrix.ncols))
+    ) and "reversal" not in labels:
+        labels.append("reversal")
+    labels.append("unimodular" if matrix.is_unimodular() else "non-unimodular")
+    return labels

@@ -1,0 +1,180 @@
+"""Legality with dependence *direction* vectors.
+
+Section 6 treats dependences represented by distance vectors and notes that
+extending the results to dependence directions is straightforward (the
+companion TR carries it out).  A direction vector classifies each loop's
+dependence component as ``'<'`` (positive), ``'='`` (zero), ``'>'``
+(negative) or ``'*'`` (unknown).  The inner product of a transformation row
+with such a class is an *interval*; the legality reasoning of LegalBasis
+carries over with interval arithmetic:
+
+* all-non-negative interval: the row may lead, dependences with a strictly
+  positive interval are carried;
+* all-non-positive interval: the row may lead negated;
+* an interval containing both signs: the row must be dropped.
+
+A full matrix is legal for a direction vector when, scanning rows top-down,
+every interval is non-negative until one is strictly positive (the loop
+that carries the dependence); a vector that is identically ``'='`` needs no
+carrier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import DependenceError
+from repro.linalg.fraction_matrix import Matrix
+
+Direction = Tuple[str, ...]
+
+_NEG_INF = None  # sentinel: unbounded below
+_POS_INF = None  # sentinel: unbounded above
+
+_VALID = {"<", "=", ">", "*"}
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A possibly unbounded interval [lo, hi] over the rationals."""
+
+    lo: Optional[Fraction]  # None means -infinity
+    hi: Optional[Fraction]  # None means +infinity
+
+    @property
+    def non_negative(self) -> bool:
+        return self.lo is not None and self.lo >= 0
+
+    @property
+    def non_positive(self) -> bool:
+        return self.hi is not None and self.hi <= 0
+
+    @property
+    def strictly_positive(self) -> bool:
+        return self.lo is not None and self.lo > 0
+
+    @property
+    def is_zero(self) -> bool:
+        return self.lo == 0 and self.hi == 0
+
+
+def _add(a: Optional[Fraction], b: Optional[Fraction]) -> Optional[Fraction]:
+    if a is None or b is None:
+        return None
+    return a + b
+
+
+def distance_to_direction(distance: Sequence[int]) -> Direction:
+    """Convert a concrete distance vector to its direction classes."""
+    return tuple("<" if v > 0 else (">" if v < 0 else "=") for v in distance)
+
+
+def row_direction_interval(
+    row: Sequence[Fraction], direction: Direction
+) -> Interval:
+    """The interval of possible values of ``row . d`` for ``d`` in the class.
+
+    Components: ``'<'`` means ``d_k >= 1``, ``'>'`` means ``d_k <= -1``,
+    ``'='`` means ``d_k = 0`` and ``'*'`` leaves ``d_k`` unconstrained.
+    """
+    if len(row) != len(direction):
+        raise DependenceError("row and direction vector lengths differ")
+    lo: Optional[Fraction] = Fraction(0)
+    hi: Optional[Fraction] = Fraction(0)
+    for coeff, cls in zip(row, direction):
+        coeff = Fraction(coeff)
+        if cls not in _VALID:
+            raise DependenceError(f"invalid direction component {cls!r}")
+        if cls == "=" or coeff == 0:
+            continue
+        if cls == "<":  # d_k in [1, inf)
+            if coeff > 0:
+                lo = _add(lo, coeff)
+                hi = None
+            else:
+                lo = None
+                hi = _add(hi, coeff)
+        elif cls == ">":  # d_k in (-inf, -1]
+            if coeff > 0:
+                lo = None
+                hi = _add(hi, -coeff)
+            else:
+                lo = _add(lo, -coeff)
+                hi = None
+        else:  # '*': d_k unconstrained and coeff != 0
+            lo = None
+            hi = None
+    return Interval(lo, hi)
+
+
+@dataclass(frozen=True)
+class DirectionalBasisResult:
+    """Output of the direction-vector variant of LegalBasis."""
+
+    basis: Matrix
+    row_map: Tuple[Tuple[int, bool], ...]
+    remaining: Tuple[Direction, ...]
+
+
+def legal_basis_directions(
+    basis: Matrix, directions: Sequence[Direction]
+) -> DirectionalBasisResult:
+    """LegalBasis (Figure 2) generalized to direction vectors."""
+    remaining: List[Direction] = [tuple(d) for d in directions]
+    kept_rows: List[List[Fraction]] = []
+    row_map: List[Tuple[int, bool]] = []
+    for index in range(basis.nrows):
+        row = list(basis.row_at(index))
+        intervals = [row_direction_interval(row, d) for d in remaining]
+        if all(iv.non_negative for iv in intervals):
+            kept_rows.append(row)
+            row_map.append((index, False))
+            remaining = [
+                d for d, iv in zip(remaining, intervals)
+                if not iv.strictly_positive
+            ]
+        elif all(iv.non_positive for iv in intervals):
+            negated = [-c for c in row]
+            kept_rows.append(negated)
+            row_map.append((index, True))
+            remaining = [
+                d
+                for d, iv in zip(remaining, intervals)
+                if not (iv.hi is not None and iv.hi < 0)
+            ]
+        # else: mixed signs possible — drop the row.
+    result = Matrix(kept_rows) if kept_rows else Matrix.zeros(0, basis.ncols)
+    return DirectionalBasisResult(
+        basis=result, row_map=tuple(row_map), remaining=tuple(remaining)
+    )
+
+
+def is_legal_direction_transformation(
+    matrix: Matrix, directions: Sequence[Direction]
+) -> bool:
+    """Conservative legality of a full transformation for direction vectors.
+
+    For every direction vector, scanning the rows of ``matrix`` top-down,
+    each row's interval must be provably non-negative until some row's
+    interval is provably strictly positive (that loop carries the
+    dependence).  An all-``'='`` vector is the same-iteration dependence
+    and needs no carrier; any other vector without a definite carrier is
+    conservatively rejected.
+    """
+    for direction in directions:
+        direction = tuple(direction)
+        if all(cls == "=" for cls in direction):
+            continue
+        carried = False
+        for i in range(matrix.nrows):
+            interval = row_direction_interval(matrix.row_at(i), direction)
+            if interval.strictly_positive:
+                carried = True
+                break
+            if not interval.non_negative:
+                return False
+        if not carried:
+            return False
+    return True

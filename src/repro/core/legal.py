@@ -1,0 +1,172 @@
+"""Algorithms LegalBasis and LegalInvt (Section 6, Figures 2 and 3).
+
+``legal_basis`` repairs a basis matrix so that no kept row reverses a
+dependence; ``legal_invertible`` pads a legal basis to a full invertible
+transformation, inventing new rows by projecting coordinate vectors onto
+the span of the outstanding dependences — the construction
+``x = c Z (Z^T Z)^{-1} Z^T e_k`` that the paper takes from Schrijver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import List, Optional, Tuple
+
+from repro.errors import IllegalTransformationError
+from repro.linalg.fraction_matrix import Matrix
+from repro.linalg.intmat import clear_denominators
+from repro.dependence.distance import is_lex_positive
+
+
+@dataclass(frozen=True)
+class LegalBasisResult:
+    """Output of Algorithm LegalBasis.
+
+    ``row_map[i]`` records where row ``i`` of the result came from in the
+    input basis: ``(source_row, negated)``.  Rows whose products with the
+    outstanding dependences mixed signs were dropped entirely.
+    """
+
+    basis: Matrix
+    row_map: Tuple[Tuple[int, bool], ...]
+    remaining_deps: Matrix
+
+
+def _drop_columns(matrix: Matrix, to_drop: List[int]) -> Matrix:
+    if not to_drop:
+        return matrix
+    keep = [j for j in range(matrix.ncols) if j not in set(to_drop)]
+    return matrix.select_cols(keep)
+
+
+def legal_basis(basis: Matrix, deps: Matrix) -> LegalBasisResult:
+    """Algorithm LegalBasis (Figure 2).
+
+    For each row (top-down) form ``f = row @ D`` over the not-yet-carried
+    dependences: all entries non-negative keeps the row (positive entries
+    mark dependences now carried and dropped from ``D``); all entries
+    non-positive keeps the row negated (loop reversal); mixed signs force
+    the row to be discarded.
+    """
+    remaining = deps
+    kept_rows: List[List[Fraction]] = []
+    row_map: List[Tuple[int, bool]] = []
+    for index in range(basis.nrows):
+        row = list(basis.row_at(index))
+        if remaining.ncols == 0:
+            kept_rows.append(row)
+            row_map.append((index, False))
+            continue
+        products = [
+            sum(r * remaining[i, j] for i, r in enumerate(row))
+            for j in range(remaining.ncols)
+        ]
+        if all(p >= 0 for p in products):
+            kept_rows.append(row)
+            row_map.append((index, False))
+            remaining = _drop_columns(
+                remaining, [j for j, p in enumerate(products) if p > 0]
+            )
+        elif all(p <= 0 for p in products):
+            kept_rows.append([-r for r in row])
+            row_map.append((index, True))
+            remaining = _drop_columns(
+                remaining, [j for j, p in enumerate(products) if p < 0]
+            )
+        # Mixed signs: the row cannot head a legal loop; drop it.
+    result = Matrix(kept_rows) if kept_rows else Matrix.zeros(0, basis.ncols)
+    return LegalBasisResult(
+        basis=result, row_map=tuple(row_map), remaining_deps=remaining
+    )
+
+
+def legal_invertible(basis: Matrix, deps: Matrix) -> Matrix:
+    """Algorithm LegalInvt (Figure 3).
+
+    ``basis`` must already be legal with respect to ``deps`` (every row's
+    products with the dependence columns are non-negative).  Returns an
+    ``n x n`` invertible integer matrix whose transformation satisfies every
+    dependence; raises :class:`IllegalTransformationError` when the basis is
+    not legal.
+    """
+    n = basis.ncols
+    remaining = deps
+    rows: List[List[Fraction]] = [list(basis.row_at(i)) for i in range(basis.nrows)]
+
+    # First pass: drop dependences already carried by the legal basis.
+    for row in rows:
+        if remaining.ncols == 0:
+            break
+        products = [
+            sum(r * remaining[i, j] for i, r in enumerate(row))
+            for j in range(remaining.ncols)
+        ]
+        if any(p < 0 for p in products):
+            raise IllegalTransformationError(
+                "legal_invertible requires a legal basis (negative product found)"
+            )
+        remaining = _drop_columns(remaining, [j for j, p in enumerate(products) if p > 0])
+
+    # Invent new rows until every dependence is carried.
+    while remaining.ncols > 0:
+        new_row = _projection_row(remaining)
+        products = [
+            sum(r * remaining[i, j] for i, r in enumerate(new_row))
+            for j in range(remaining.ncols)
+        ]
+        if any(p < 0 for p in products) or all(p == 0 for p in products):
+            raise IllegalTransformationError(
+                "projection construction failed; are the dependence columns "
+                "lexicographically positive distance vectors?"
+            )
+        remaining = _drop_columns(remaining, [j for j, p in enumerate(products) if p > 0])
+        rows.append([Fraction(v) for v in new_row])
+
+    partial = Matrix(rows) if rows else Matrix.zeros(0, n)
+    if partial.nrows == 0:
+        return Matrix.identity(n)
+    from repro.core.padding import pad_to_invertible
+
+    return pad_to_invertible(partial)
+
+
+def _projection_row(deps: Matrix) -> List[int]:
+    """One padding row: the projection of the first usable ``e_k`` onto the
+    column span of the outstanding dependences, scaled to a primitive
+    integer vector.
+
+    Because every remaining dependence is orthogonal to all current rows,
+    the projection is too, which keeps the growing matrix full rank; and
+    because distance vectors are lexicographically positive, the products
+    ``x^T d_j`` (equal to the ``k``-th entries of the ``d_j``) are
+    non-negative with at least one positive.
+    """
+    k = _first_non_orthogonal_axis(deps)
+    if k is None:
+        raise IllegalTransformationError("no coordinate axis meets the dependences")
+    independent_cols = deps.transpose().independent_row_indices()
+    z = deps.select_cols(independent_cols)
+    gram = z.transpose() @ z
+    e_k = Matrix.column([1 if i == k else 0 for i in range(deps.nrows)])
+    projection = z @ gram.inverse() @ z.transpose() @ e_k
+    return clear_denominators([projection[i, 0] for i in range(deps.nrows)])
+
+
+def _first_non_orthogonal_axis(deps: Matrix) -> Optional[int]:
+    for k in range(deps.nrows):
+        if any(deps[k, j] != 0 for j in range(deps.ncols)):
+            return k
+    return None
+
+
+def is_legal_transformation(transform: Matrix, deps: Matrix) -> bool:
+    """Check Section 6's legality criterion: every column of ``T @ D`` is
+    lexicographically positive."""
+    if deps.ncols == 0:
+        return True
+    product = transform @ deps
+    return all(
+        is_lex_positive([product[i, j] for i in range(product.nrows)])
+        for j in range(product.ncols)
+    )

@@ -1,0 +1,278 @@
+"""The access-normalization driver.
+
+This is the pass the paper describes end to end: build the data access
+matrix from the program and its data distributions, reduce it to a basis,
+repair it against the dependence matrix, pad it to an invertible
+transformation, and restructure the loop nest with it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.access_matrix import DataAccessMatrix, build_access_matrix
+from repro.core.basis import basis_matrix
+from repro.core.classify import classify
+from repro.core.legal import is_legal_transformation, legal_basis, legal_invertible
+from repro.core.transform import Transformation, apply_transformation
+from repro.dependence.analysis import analyze_dependences
+from repro.dependence.distance import Dependence, dependence_matrix, has_non_uniform
+from repro.errors import IllegalTransformationError
+from repro.ir.program import Program
+from repro.linalg.fraction_matrix import Matrix
+
+
+@dataclass(frozen=True)
+class NormalizationResult:
+    """Everything the pass produced, with full provenance.
+
+    ``normalized_rows`` maps each row of the final transformation that came
+    from the data access matrix back to its rank there (and whether it was
+    negated by LegalBasis) — those are exactly the subscripts that are
+    *normal* (Definition 4.1) in the transformed nest, which downstream code
+    generation exploits for locality and block transfers.
+    """
+
+    program: Program
+    transformed: Program
+    transformation: Transformation
+    access: DataAccessMatrix
+    dependences: Tuple[Dependence, ...]
+    dependence_columns: Matrix
+    normalized_rows: Tuple[Tuple[int, bool], ...]
+    direction_dependences: Tuple[Tuple[str, ...], ...] = ()
+    notes: Tuple[str, ...] = field(default_factory=tuple)
+
+    @property
+    def matrix(self) -> Matrix:
+        """The transformation matrix ``T``."""
+        return self.transformation.matrix
+
+    @property
+    def labels(self) -> List[str]:
+        """Elementary transformations composed in ``T``."""
+        return classify(self.matrix)
+
+    @property
+    def transformed_dependences(self) -> Matrix:
+        """The dependence matrix of the transformed nest: ``T @ D``."""
+        if self.dependence_columns.ncols == 0:
+            return self.dependence_columns
+        return self.matrix @ self.dependence_columns
+
+    @property
+    def outer_carried_count(self) -> int:
+        """How many dependences the transformed outermost loop may carry.
+
+        Zero for all of the paper's workloads — access normalization pushes
+        the carried dependences inward, which is what makes outer-loop
+        distribution synchronization-free (Section 7).  Direction-vector
+        dependences (the non-uniform fallback path) count conservatively:
+        any whose product interval with the first transformation row is not
+        provably zero is assumed carried.
+        """
+        from repro.core.directions import row_direction_interval
+
+        transformed = self.transformed_dependences
+        count = sum(
+            1 for j in range(transformed.ncols) if transformed[0, j] > 0
+        )
+        if self.direction_dependences and self.matrix.nrows:
+            row = self.matrix.row_at(0)
+            for direction in self.direction_dependences:
+                if all(cls == "=" for cls in direction):
+                    continue
+                if not row_direction_interval(row, direction).is_zero:
+                    count += 1
+        return count
+
+    def report(self) -> str:
+        """A human-readable account of what the pass did."""
+        lines = [
+            f"program: {self.program.name}",
+            "data access matrix (ranked):",
+            self.access.describe() or "  (empty)",
+            "dependence columns: "
+            + (
+                ", ".join(
+                    str(tuple(int(v) for v in col))
+                    for col in self.dependence_columns.cols()
+                )
+                or "(none)"
+            ),
+            f"transformation T = {self.matrix!r}",
+            f"classification: {', '.join(self.labels)}",
+            f"normalized access-matrix rows: {list(self.normalized_rows)}",
+        ]
+        lines.extend(f"note: {note}" for note in self.notes)
+        return "\n".join(lines)
+
+
+def derive_transformation_matrix(
+    access: Matrix, deps: Matrix, depth: Optional[int] = None
+) -> Tuple[Matrix, Tuple[Tuple[int, bool], ...]]:
+    """Sections 4-6 in one call: access matrix -> legal invertible ``T``.
+
+    Returns the matrix and, for each of its leading rows that descends from
+    the access matrix, ``(access_row_index, negated)``.  ``depth`` (the
+    nest depth) is only needed when the access matrix is empty; it defaults
+    to the access matrix's column count, falling back to the dependence
+    matrix's row count.
+    """
+    n = depth if depth is not None else (access.ncols or deps.nrows)
+    if access.nrows == 0:
+        return Matrix.identity(n), ()
+    basis = basis_matrix(access)
+    reduced = basis.basis_of(access)
+    legal = legal_basis(reduced, deps)
+    transform = legal_invertible(legal.basis, deps)
+    provenance = tuple(
+        (basis.kept_rows[source], negated) for source, negated in legal.row_map
+    )
+    if not is_legal_transformation(transform, deps):
+        raise IllegalTransformationError(
+            "derived transformation does not satisfy the dependence matrix"
+        )
+    return transform, provenance
+
+
+def _derive_with_directions(
+    access: Matrix, dependences: Sequence[Dependence], depth: int
+) -> Tuple[Matrix, Tuple[Tuple[int, bool], ...]]:
+    """Partial normalization when only direction vectors are available.
+
+    Runs the direction-vector variant of LegalBasis over the access matrix,
+    completes the surviving rows with identity rows (in increasing loop
+    order), and accepts the result only if the conservative direction-based
+    lexicographic check proves it legal.  Returns the identity otherwise.
+    """
+    from repro.core.directions import (
+        distance_to_direction,
+        is_legal_direction_transformation,
+        legal_basis_directions,
+    )
+
+    identity = Matrix.identity(depth)
+    directions = []
+    for dependence in dependences:
+        if dependence.distance is not None:
+            directions.append(distance_to_direction(dependence.distance))
+        else:
+            directions.append(tuple(dependence.direction))
+    if access.nrows == 0:
+        return identity, ()
+
+    basis = basis_matrix(access)
+    reduced = basis.basis_of(access)
+    directional = legal_basis_directions(reduced, directions)
+    if directional.basis.nrows == 0:
+        return identity, ()
+    rows = [list(directional.basis.row_at(i)) for i in range(directional.basis.nrows)]
+    candidate = Matrix(rows)
+    for dim in range(depth):
+        if candidate.nrows == depth:
+            break
+        unit = [1 if j == dim else 0 for j in range(depth)]
+        extended = candidate.vstack(Matrix([unit]))
+        if extended.rank() > candidate.rank():
+            candidate = extended
+    if candidate.nrows != depth or not candidate.is_invertible():
+        return identity, ()
+    if not is_legal_direction_transformation(candidate, directions):
+        return identity, ()
+    provenance = tuple(
+        (basis.kept_rows[source], negated)
+        for source, negated in directional.row_map
+    )
+    return candidate, provenance
+
+
+def access_normalize(
+    program: Program,
+    *,
+    priority: Optional[Sequence[str]] = None,
+    new_indices: Optional[Sequence[str]] = None,
+    padding: str = "default",
+    assumptions: Optional[Sequence[str]] = None,
+) -> NormalizationResult:
+    """Run access normalization on a program.
+
+    When the nest has non-uniform dependences (no distance representation),
+    the pass tries a direction-vector partial normalization and otherwise
+    returns the identity transformation.
+
+    ``assumptions`` are parameter facts like ``"N >= 2*b"`` used to
+    simplify the generated loop bounds (they never change the iteration
+    set).  ``padding="cache"`` additionally reorders the transformation's free
+    trailing rows (those not descending from the data access matrix) to
+    minimize the innermost-loop memory stride — the cache-oriented padding
+    choice Section 6 leaves for future work.
+    """
+    if assumptions is None:
+        assumptions = tuple(getattr(program, "assumptions", ()) or ())
+    if padding not in ("default", "cache"):
+        raise ValueError(f"unknown padding policy {padding!r}")
+    notes: List[str] = []
+    nest = program.nest
+    access = build_access_matrix(
+        nest, program.distributions, priority=priority
+    )
+    dependences = tuple(analyze_dependences(nest, program.bound_params() or None))
+    depth = nest.depth
+
+    direction_dependences: Tuple[Tuple[str, ...], ...] = ()
+    if has_non_uniform(dependences):
+        from repro.core.directions import distance_to_direction
+
+        matrix, provenance = _derive_with_directions(access.matrix, dependences, depth)
+        deps = Matrix.zeros(depth, 0)
+        direction_dependences = tuple(
+            distance_to_direction(d.distance)
+            if d.distance is not None
+            else tuple(d.direction)
+            for d in dependences
+        )
+        if matrix == Matrix.identity(depth) and not provenance:
+            notes.append(
+                "non-uniform dependences present and no partial "
+                "normalization was provably legal; using the identity "
+                "transformation"
+            )
+        else:
+            notes.append(
+                "non-uniform dependences present; derived a partial "
+                "normalization via direction vectors"
+            )
+    else:
+        deps = dependence_matrix(
+            [d for d in dependences if d.distance is not None], depth
+        )
+        matrix, provenance = derive_transformation_matrix(access.matrix, deps, depth)
+
+    if padding == "cache" and len(provenance) < depth:
+        from repro.core.cachepad import optimize_padding_order
+
+        matrix = optimize_padding_order(
+            program, matrix, len(provenance), deps,
+            directions=direction_dependences,
+        )
+        notes.append("padding rows reordered for cache behaviour")
+
+    transformation = apply_transformation(
+        nest, matrix, new_indices=new_indices, assumptions=assumptions
+    )
+    transformed = program.with_nest(
+        transformation.nest, name=f"{program.name}-normalized"
+    )
+    return NormalizationResult(
+        program=program,
+        transformed=transformed,
+        transformation=transformation,
+        access=access,
+        dependences=dependences,
+        dependence_columns=deps,
+        normalized_rows=provenance,
+        direction_dependences=direction_dependences,
+        notes=tuple(notes),
+    )

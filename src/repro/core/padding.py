@@ -1,0 +1,44 @@
+"""Algorithm Padding (Section 5.2).
+
+Extends a full-row-rank ``m x n`` basis matrix to an invertible ``n x n``
+matrix by appending rows of the identity: pick ``m`` linearly independent
+columns of the basis, then append ``e_j`` for every remaining column ``j``.
+The stacked matrix is invertible because, after permuting the pivot columns
+to the front, it is block triangular with invertible diagonal blocks.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import LinalgError
+from repro.linalg.fraction_matrix import Matrix
+
+
+def padding_matrix(basis: Matrix) -> Matrix:
+    """The ``(n-m) x n`` padding matrix for a full-row-rank basis.
+
+    Raises :class:`LinalgError` when the input rows are not independent.
+    """
+    if basis.nrows == 0:
+        raise LinalgError("cannot pad an empty basis; the identity is the answer")
+    if basis.rank() != basis.nrows:
+        raise LinalgError("padding requires a full-row-rank basis matrix")
+    pivot_cols = set(basis.independent_column_indices())
+    rows: List[List[int]] = []
+    for column in range(basis.ncols):
+        if column not in pivot_cols:
+            rows.append([1 if j == column else 0 for j in range(basis.ncols)])
+    return Matrix(rows) if rows else Matrix.zeros(0, basis.ncols)
+
+
+def pad_to_invertible(basis: Matrix) -> Matrix:
+    """Stack the basis on top of its padding; the result is invertible."""
+    padding = padding_matrix(basis)
+    if padding.nrows == 0:
+        stacked = basis
+    else:
+        stacked = basis.vstack(padding)
+    if not stacked.is_invertible():
+        raise LinalgError("internal error: padded matrix is singular")
+    return stacked

@@ -1,0 +1,105 @@
+"""Loop-step normalization (a standard pre-pass).
+
+The transformation theory of Section 3 assumes unit-step loops (the
+iteration space must be all integer points of a polyhedron).  Source
+programs with ``step s`` loops are first rewritten so every loop runs
+``0 .. trip-1`` with step 1, substituting ``i = lb + s*i'`` everywhere —
+after which the full access-normalization machinery applies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.errors import IRError
+from repro.ir.affine import AffineExpr
+from repro.ir.loop import Loop, LoopNest
+from repro.ir.program import Program
+
+
+def normalize_steps(nest: LoopNest) -> Tuple[LoopNest, Dict[str, AffineExpr]]:
+    """Rewrite every loop to lower bound 0 and step 1.
+
+    Returns the rewritten nest and the substitution mapping each original
+    index name to its value in terms of the new indices (identity entries
+    are included for untouched loops, so the mapping always inverts the
+    rewrite).
+
+    Loops with ``max()`` lower bounds and a non-unit step cannot be
+    normalized this way (the anchor is not a single affine expression);
+    they raise :class:`IRError`.
+    """
+    bindings: Dict[str, AffineExpr] = {}
+    new_loops: List[Loop] = []
+    for loop in nest.loops:
+        if loop.align is not None:
+            raise IRError(
+                f"loop {loop.index!r} uses congruence alignment; "
+                "step normalization applies to source (anchored) loops only"
+            )
+        if loop.step == 1 and len(loop.lower) == 1 and loop.lower[0] == AffineExpr.constant(0):
+            bindings[loop.index] = AffineExpr.var(loop.index)
+            new_loops.append(
+                Loop(
+                    index=loop.index,
+                    lower=tuple(e.substitute(bindings) for e in loop.lower),
+                    upper=tuple(e.substitute(bindings) for e in loop.upper),
+                )
+            )
+            continue
+        if loop.step != 1 and len(loop.lower) != 1:
+            raise IRError(
+                f"loop {loop.index!r} has a max() lower bound and step "
+                f"{loop.step}; its anchor is not affine"
+            )
+        if loop.step == 1:
+            # Shift so the (single or max) lower bound structure persists:
+            # only single-bound loops are shifted to zero; max() bounds are
+            # kept as-is since unit steps need no renormalization.
+            if len(loop.lower) == 1:
+                anchor = loop.lower[0].substitute(bindings)
+                new_index = AffineExpr.var(loop.index)
+                bindings[loop.index] = new_index + anchor
+                uppers = tuple(
+                    e.substitute(bindings) - anchor for e in loop.upper
+                )
+                new_loops.append(
+                    Loop(
+                        index=loop.index,
+                        lower=(AffineExpr.constant(0),),
+                        upper=uppers,
+                    )
+                )
+            else:
+                bindings[loop.index] = AffineExpr.var(loop.index)
+                new_loops.append(
+                    Loop(
+                        index=loop.index,
+                        lower=tuple(e.substitute(bindings) for e in loop.lower),
+                        upper=tuple(e.substitute(bindings) for e in loop.upper),
+                    )
+                )
+            continue
+        # step > 1: i = anchor + step * i', i' in 0 .. floor((ub-anchor)/step).
+        anchor = loop.lower[0].substitute(bindings)
+        new_index = AffineExpr.var(loop.index)
+        bindings[loop.index] = new_index * loop.step + anchor
+        uppers = tuple(
+            (e.substitute(bindings) - anchor) / loop.step for e in loop.upper
+        )
+        new_loops.append(
+            Loop(
+                index=loop.index,
+                lower=(AffineExpr.constant(0),),
+                upper=uppers,
+            )
+        )
+
+    body = tuple(stmt.substitute_indices(bindings) for stmt in nest.body)
+    return LoopNest(tuple(new_loops), body), bindings
+
+
+def normalize_program_steps(program: Program) -> Program:
+    """Apply :func:`normalize_steps` to a whole program."""
+    nest, _ = normalize_steps(program.nest)
+    return program.with_nest(nest, name=f"{program.name}-stepnorm")

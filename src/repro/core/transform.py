@@ -1,0 +1,331 @@
+"""Applying an invertible transformation matrix to a loop nest (Section 3).
+
+Given a loop nest with iteration space ``S = {x : L x <= b}`` (unit steps)
+and an invertible integer matrix ``T``, the transformed program scans
+``u = T x`` over the image set ``T(S) = (T Z^n) ∩ P`` in lexicographic
+order, where ``P`` is the rational polyhedron ``{u : L T^{-1} u <= b}``:
+
+* the *bounds* of each new loop come from Fourier-Motzkin elimination of
+  ``P`` (innermost variable first), giving per-level max/min of affine
+  expressions in the outer new indices;
+* the *strides and alignments* come from the column Hermite normal form of
+  ``T``: loop ``k`` steps by ``H[k,k]`` through values congruent to an
+  affine alignment expression in the outer indices — exactly the integer
+  lattice argument the paper invokes for non-unimodular (e.g. loop scaling)
+  transformations;
+* the *body* is rewritten through ``x = T^{-1} u``.
+
+For unimodular ``T`` all strides are 1 and the construction degenerates to
+Banerjee's framework.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import CodegenError, IRError, ParseError
+from repro.ir.affine import AffineExpr
+from repro.ir.loop import Loop, LoopNest
+from repro.linalg.fourier_motzkin import (
+    Bound,
+    Constraint,
+    LevelBounds,
+    eliminate_with_projections,
+    implies_bound,
+)
+from repro.linalg.fraction_matrix import Matrix
+from repro.linalg.lattice import IntegerLattice
+
+_PREFERRED_NAMES = ("u", "v", "w", "z", "s", "t", "q", "r")
+
+
+@dataclass(frozen=True)
+class Transformation:
+    """A loop transformation: the matrix, its context and the result."""
+
+    matrix: Matrix
+    inverse: Matrix
+    source_indices: Tuple[str, ...]
+    new_indices: Tuple[str, ...]
+    lattice: IntegerLattice
+    nest: LoopNest
+
+    @property
+    def is_unimodular(self) -> bool:
+        """True when the transformation lies in Banerjee's unimodular class."""
+        return self.matrix.is_unimodular()
+
+    @property
+    def determinant(self) -> int:
+        """|det T| — the index of the image lattice in ``Z^n``."""
+        return abs(int(self.matrix.det()))
+
+    def map_point(self, point: Sequence[int]) -> Tuple[int, ...]:
+        """``u = T x`` for an original iteration ``x``."""
+        return tuple(int(value) for value in self.matrix.apply(list(point)))
+
+    def unmap_point(self, point: Sequence[int]) -> Tuple[int, ...]:
+        """``x = T^{-1} u``; raises when ``u`` is off the image lattice."""
+        values = self.inverse.apply(list(point))
+        result = []
+        for value in values:
+            if value.denominator != 1:
+                raise ValueError(f"{tuple(point)} is not on the image lattice")
+            result.append(int(value))
+        return tuple(result)
+
+
+def choose_new_indices(depth: int, reserved: Sequence[str]) -> Tuple[str, ...]:
+    """Pick fresh loop index names (the paper uses u, v, w, z)."""
+    taken = set(reserved)
+    names: List[str] = []
+    for candidate in _PREFERRED_NAMES:
+        if len(names) == depth:
+            break
+        if candidate not in taken:
+            names.append(candidate)
+            taken.add(candidate)
+    counter = 0
+    while len(names) < depth:
+        candidate = f"u{counter}"
+        if candidate not in taken:
+            names.append(candidate)
+            taken.add(candidate)
+        counter += 1
+    return tuple(names)
+
+
+def nest_constraints(
+    nest: LoopNest, params: Sequence[str]
+) -> List[Constraint]:
+    """The iteration-space inequalities ``coeffs . (x | params) + c >= 0``."""
+    indices = list(nest.indices)
+    n = len(indices)
+    width = n + len(params)
+    constraints: List[Constraint] = []
+
+    def expr_vector(expr: AffineExpr) -> Tuple[List[Fraction], Fraction]:
+        coeffs = [Fraction(0)] * width
+        for position, name in enumerate(indices):
+            coeffs[position] = expr.coeff(name)
+        for position, name in enumerate(params):
+            coeffs[n + position] = expr.coeff(name)
+        return coeffs, expr.const
+
+    for level, loop in enumerate(nest.loops):
+        if loop.step != 1 or loop.align is not None:
+            raise IRError(
+                f"transformation requires unit-step loops; loop {loop.index!r} "
+                f"has step {loop.step}"
+            )
+        for lower in loop.lower:
+            coeffs, const = expr_vector(lower)
+            row = [-c for c in coeffs]
+            row[level] += 1
+            constraints.append(Constraint(tuple(row), -const))
+        for upper in loop.upper:
+            coeffs, const = expr_vector(upper)
+            row = list(coeffs)
+            row[level] -= 1
+            constraints.append(Constraint(tuple(row), const))
+    return constraints
+
+
+def _substitute_constraints(
+    constraints: Sequence[Constraint], inverse: Matrix, n: int
+) -> List[Constraint]:
+    """Rewrite constraints from ``x`` to ``u`` coordinates via ``x = T^{-1} u``."""
+    result = []
+    for constraint in constraints:
+        x_part = list(constraint.coeffs[:n])
+        tail = list(constraint.coeffs[n:])
+        u_part = [
+            sum(x_part[i] * inverse[i, j] for i in range(n)) for j in range(n)
+        ]
+        result.append(Constraint(tuple(u_part + tail), constraint.const))
+    return result
+
+
+def _bound_to_expr(
+    bound: Bound, new_names: Sequence[str], params: Sequence[str]
+) -> AffineExpr:
+    names = list(new_names) + list(params)
+    coeffs = {name: bound.coeffs[i] for i, name in enumerate(names)}
+    return AffineExpr(coeffs, bound.const)
+
+
+def _alignment_exprs(
+    lattice: IntegerLattice, new_names: Sequence[str]
+) -> List[Optional[AffineExpr]]:
+    """Per-level alignment expressions from the column HNF of ``T``.
+
+    With ``H`` lower triangular, the lattice coordinates satisfy
+    ``z_j = (u_j - sum_{l<j} H[j,l] z_l) / H[j,j]`` — affine in the outer
+    new indices — and level ``k`` admits values congruent to
+    ``sum_{j<k} H[k,j] z_j`` modulo ``H[k,k]``.
+    """
+    n = lattice.dimension
+    hermite = lattice.hermite
+    z_exprs: List[AffineExpr] = []
+    alignments: List[Optional[AffineExpr]] = []
+    for k in range(n):
+        offset = AffineExpr.constant(0)
+        for j in range(k):
+            coeff = hermite[k, j]
+            if coeff:
+                offset = offset + z_exprs[j] * coeff
+        stride = int(hermite[k, k])
+        alignments.append(offset if stride != 1 else None)
+        z_k = (AffineExpr.var(new_names[k]) - offset) / stride
+        z_exprs.append(z_k)
+    return alignments
+
+
+def parse_assumption(
+    text: str, new_names: Sequence[str], params: Sequence[str]
+) -> Constraint:
+    """Parse an assumption like ``"N >= 1"`` or ``"N >= 2*b"``.
+
+    Assumptions constrain the symbolic parameters only; they sharpen the
+    redundant-bound elimination (e.g. knowing ``N >= b`` lets the SYR2K
+    bounds collapse to the paper's listing).
+    """
+    for op in (">=", "<="):
+        if op in text:
+            left_text, right_text = text.split(op, 1)
+            left = AffineExpr.parse(left_text.strip())
+            right = AffineExpr.parse(right_text.strip())
+            expr = (left - right) if op == ">=" else (right - left)
+            if any(name in new_names for name in expr.variables()):
+                raise ParseError(
+                    f"assumption {text!r} may reference parameters only"
+                )
+            width = len(new_names) + len(params)
+            coeffs = [Fraction(0)] * width
+            for position, name in enumerate(params):
+                coeffs[len(new_names) + position] = expr.coeff(name)
+            return Constraint(tuple(coeffs), expr.const)
+    raise ParseError(f"assumption {text!r} needs '>=' or '<='")
+
+
+def _prune_bounds(
+    bounds: Tuple[Bound, ...],
+    region: List[Constraint],
+    *,
+    is_lower: bool,
+) -> Tuple[Bound, ...]:
+    """Drop bounds dominated by another bound everywhere on ``region``."""
+    kept: List[Bound] = []
+    candidates = list(bounds)
+    for index, bound in enumerate(candidates):
+        others = kept + candidates[index + 1 :]
+        row_self = list(bound.coeffs) + [bound.const]
+        redundant = False
+        for other in others:
+            row_other = list(other.coeffs) + [other.const]
+            if is_lower:
+                # Drop l1 when some l2 >= l1 everywhere.
+                redundant = implies_bound(region, row_other, row_self)
+            else:
+                # Drop u1 when some u2 <= u1 everywhere.
+                redundant = implies_bound(region, row_self, row_other)
+            if redundant:
+                break
+        if not redundant:
+            kept.append(bound)
+    return tuple(kept) if kept else tuple(bounds[:1])
+
+
+def apply_transformation(
+    nest: LoopNest,
+    matrix: Matrix,
+    new_indices: Optional[Sequence[str]] = None,
+    *,
+    simplify: bool = True,
+    assumptions: Sequence[str] = (),
+) -> Transformation:
+    """Restructure ``nest`` by the invertible integer matrix ``matrix``.
+
+    Returns a :class:`Transformation` whose ``nest`` computes the same
+    function: it executes exactly the same set of statement instances, in
+    the lexicographic order of the new iteration vector ``u = T x``.
+
+    ``simplify`` removes provably redundant ``max``/``min`` bound terms
+    (exact Fourier-Motzkin implication tests over the projected iteration
+    polyhedron); ``assumptions`` are parameter facts like ``"N >= 2*b"``
+    that sharpen the simplification.  Both only affect the *form* of the
+    generated bounds, never the iteration set.
+    """
+    n = nest.depth
+    if matrix.shape != (n, n):
+        raise CodegenError(
+            f"transformation matrix {matrix.shape} does not match nest depth {n}"
+        )
+    if not matrix.is_integer():
+        raise CodegenError("transformation matrix must be integral")
+    if matrix.det() == 0:
+        raise CodegenError("transformation matrix must be invertible")
+
+    params = list(nest.free_variables())
+    reserved = list(nest.indices) + params + nest.array_names()
+    if new_indices is None:
+        new_names = choose_new_indices(n, reserved)
+    else:
+        new_names = tuple(new_indices)
+        if len(new_names) != n:
+            raise CodegenError("need exactly one new index name per loop")
+
+    inverse = matrix.inverse()
+    constraints = nest_constraints(nest, params)
+    transformed_constraints = _substitute_constraints(constraints, inverse, n)
+    levels, projections = eliminate_with_projections(transformed_constraints, n)
+    lattice = IntegerLattice(matrix)
+    alignments = _alignment_exprs(lattice, new_names)
+    assumed = [
+        parse_assumption(text, new_names, params) for text in assumptions
+    ]
+
+    loops: List[Loop] = []
+    for k in range(n):
+        level: LevelBounds = levels[k]
+        if not level.lowers or not level.uppers:
+            raise CodegenError(
+                f"transformed loop {new_names[k]!r} is unbounded; the original "
+                "iteration space must be a bounded polyhedron"
+            )
+        lowers, uppers = level.lowers, level.uppers
+        if simplify and (len(lowers) > 1 or len(uppers) > 1):
+            region = list(projections[k]) + assumed
+            lowers = _prune_bounds(lowers, region, is_lower=True)
+            uppers = _prune_bounds(uppers, region, is_lower=False)
+        lower = tuple(_bound_to_expr(b, new_names, params) for b in lowers)
+        upper = tuple(_bound_to_expr(b, new_names, params) for b in uppers)
+        stride = lattice.stride(k)
+        loops.append(
+            Loop(
+                index=new_names[k],
+                lower=lower,
+                upper=upper,
+                step=stride,
+                align=alignments[k],
+            )
+        )
+
+    bindings = {
+        old: AffineExpr(
+            {new_names[j]: inverse[i, j] for j in range(n)}, 0
+        )
+        for i, old in enumerate(nest.indices)
+    }
+    body = tuple(statement.substitute_indices(bindings) for statement in nest.body)
+
+    return Transformation(
+        matrix=matrix,
+        inverse=inverse,
+        source_indices=nest.indices,
+        new_indices=new_names,
+        lattice=lattice,
+        nest=LoopNest(tuple(loops), body),
+    )

@@ -1,0 +1,24 @@
+"""Dependence analysis: distance vectors and the dependence matrix (Section 6)."""
+
+from repro.dependence.analysis import analyze_dependences, subscript_matrix
+from repro.dependence.distance import (
+    Dependence,
+    DependenceKind,
+    dependence_matrix,
+    has_non_uniform,
+    is_lex_positive,
+    lex_sign,
+    normalize_lex_positive,
+)
+
+__all__ = [
+    "Dependence",
+    "DependenceKind",
+    "analyze_dependences",
+    "dependence_matrix",
+    "has_non_uniform",
+    "is_lex_positive",
+    "lex_sign",
+    "normalize_lex_positive",
+    "subscript_matrix",
+]

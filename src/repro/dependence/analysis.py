@@ -1,0 +1,286 @@
+"""Dependence analysis for affine loop nests.
+
+The paper represents dependences by constant distance vectors (Section 6);
+those arise from *uniform* reference pairs — same array, same linear part of
+the subscript functions.  This module extracts them exactly with a
+Diophantine solve, and falls back to conservative direction vectors (with
+GCD and Banerjee filtering) for non-uniform pairs.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from itertools import combinations
+from typing import List, Mapping, Optional, Sequence, Tuple
+
+from repro.dependence.distance import (
+    Dependence,
+    DependenceKind,
+    normalize_lex_positive,
+)
+from repro.ir.affine import AffineExpr as _AffineExpr
+from repro.ir.loop import LoopNest
+from repro.ir.scalar import ArrayRef
+from repro.linalg.diophantine import try_solve_diophantine
+from repro.linalg.fraction_matrix import Matrix
+from repro.linalg.intmat import vector_gcd
+
+
+def subscript_matrix(ref: ArrayRef, indices: Sequence[str]) -> Matrix:
+    """The linear part of a reference's subscripts w.r.t. the loop indices."""
+    return Matrix([sub.coefficient_vector(indices) for sub in ref.subscripts])
+
+
+def analyze_dependences(
+    nest: LoopNest, params: Optional[Mapping[str, int]] = None
+) -> List[Dependence]:
+    """All data dependences of a loop nest.
+
+    Uniform pairs yield exact distance vectors; non-uniform pairs that
+    survive the GCD test (and, when concrete ``params`` allow it, the
+    Banerjee bounds test) yield conservative ``'*'`` direction vectors.
+    Input (read-read) pairs are ignored.
+    """
+    indices = list(nest.indices)
+    refs = nest.array_refs()
+    dependences: List[Dependence] = []
+    seen: set = set()
+
+    pairs = list(combinations(range(len(refs)), 2))
+    pairs += [(i, i) for i, (_, write) in enumerate(refs) if write]
+    for first, second in pairs:
+        ref_a, write_a = refs[first]
+        ref_b, write_b = refs[second]
+        if ref_a.array != ref_b.array:
+            continue
+        if not (write_a or write_b):
+            continue
+        if first == second:
+            # A write paired with itself only matters when distinct
+            # iterations can hit the same element (handled by the uniform
+            # solver below with a zero constant difference).
+            pass
+        for dependence in _pair_dependences(
+            nest, indices, ref_a, write_a, ref_b, write_b, params
+        ):
+            key = (dependence.array, dependence.kind, dependence.distance, dependence.direction)
+            if key not in seen:
+                seen.add(key)
+                dependences.append(dependence)
+    return dependences
+
+
+def _pair_dependences(
+    nest: LoopNest,
+    indices: List[str],
+    ref_a: ArrayRef,
+    write_a: bool,
+    ref_b: ArrayRef,
+    write_b: bool,
+    params: Optional[Mapping[str, int]],
+) -> List[Dependence]:
+    matrix_a = subscript_matrix(ref_a, indices)
+    matrix_b = subscript_matrix(ref_b, indices)
+    if matrix_a == matrix_b:
+        delta = _constant_delta(ref_a, ref_b, indices)
+        if delta is not None:
+            return _uniform_dependences(
+                matrix_a, delta, ref_a.array, write_a, write_b, len(indices)
+            )
+    # Non-uniform (or symbolic offset): conservative path.
+    if not _gcd_test(matrix_a, matrix_b, ref_a, ref_b, indices):
+        return []
+    if params is not None and not _banerjee_may_depend(
+        nest, matrix_a, matrix_b, ref_a, ref_b, indices, params
+    ):
+        return []
+    kind = _pair_kind(write_a, write_b, assume_forward=True)
+    direction = tuple("*" for _ in indices)
+    return [Dependence(array=ref_a.array, kind=kind, direction=direction)]
+
+
+def _constant_delta(
+    ref_a: ArrayRef, ref_b: ArrayRef, indices: List[str]
+) -> Optional[List[int]]:
+    """``c_a - c_b`` when it is a parameter-free integer vector, else ``None``."""
+    delta: List[int] = []
+    for sub_a, sub_b in zip(ref_a.subscripts, ref_b.subscripts):
+        difference = sub_a - sub_b
+        for name in indices:
+            difference = difference - _AffineExpr.var(name) * difference.coeff(name)
+        if not difference.is_constant() or difference.const.denominator != 1:
+            return None
+        delta.append(int(difference.const))
+    return delta
+
+
+def _uniform_dependences(
+    matrix: Matrix,
+    delta: List[int],
+    array: str,
+    write_a: bool,
+    write_b: bool,
+    depth: int,
+) -> List[Dependence]:
+    """Exact distances for a uniform pair: solve ``F d = c_a - c_b``.
+
+    With ``d = i_b - i_a`` (iteration of the second reference minus the
+    first), equal addresses mean ``F i_a + c_a = F i_b + c_b``, i.e.
+    ``F d = c_a - c_b``.
+    """
+    solution = try_solve_diophantine(matrix, delta)
+    if solution is None:
+        return []
+    particular = solution.particular
+    generators = solution.homogeneous
+
+    results: List[Dependence] = []
+    if not any(particular) and len(generators) <= 1:
+        # Exact summary: distances are the non-zero multiples of one
+        # generator (or nothing at all).
+        for generator in generators:
+            normalized = normalize_lex_positive(generator)
+            if normalized is None:
+                continue
+            for kind in _kinds_for_symmetric_pair(write_a, write_b):
+                results.append(
+                    Dependence(array=array, kind=kind, distance=normalized)
+                )
+        return results
+    if not generators:
+        normalized = normalize_lex_positive(particular)
+        if normalized is None:
+            return []  # Same-iteration dependence: preserved by any reordering.
+        forward = tuple(particular) == normalized
+        kind = _pair_kind(write_a, write_b, assume_forward=forward)
+        return [Dependence(array=array, kind=kind, distance=normalized)]
+    # Mixed case (offset plus a non-trivial solution lattice): summarize
+    # conservatively with a direction vector marking the free positions.
+    free_positions = set()
+    for vector in [particular] + generators:
+        for position, value in enumerate(vector):
+            if value:
+                free_positions.add(position)
+    direction = tuple("*" if pos in free_positions else "=" for pos in range(depth))
+    kind = _pair_kind(write_a, write_b, assume_forward=True)
+    return [Dependence(array=array, kind=kind, direction=direction)]
+
+
+def _kinds_for_symmetric_pair(write_a: bool, write_b: bool) -> List[DependenceKind]:
+    if write_a and write_b:
+        return [DependenceKind.OUTPUT]
+    # One endpoint writes: both flow and anti dependences occur because the
+    # homogeneous solution set is symmetric (±d).
+    return [DependenceKind.FLOW, DependenceKind.ANTI]
+
+
+def _pair_kind(write_a: bool, write_b: bool, assume_forward: bool) -> DependenceKind:
+    if write_a and write_b:
+        return DependenceKind.OUTPUT
+    if write_a:
+        return DependenceKind.FLOW if assume_forward else DependenceKind.ANTI
+    return DependenceKind.ANTI if assume_forward else DependenceKind.FLOW
+
+
+def _gcd_test(
+    matrix_a: Matrix,
+    matrix_b: Matrix,
+    ref_a: ArrayRef,
+    ref_b: ArrayRef,
+    indices: List[str],
+) -> bool:
+    """Classic GCD screening: may the two references touch a common element?
+
+    Per subscript dimension the equation is
+    ``a . i - b . i' = const_b - const_a``; an integer solution requires the
+    gcd of all coefficients to divide the constant difference.  A symbolic
+    constant difference is conservatively assumed compatible.
+    """
+    for dim in range(len(ref_a.subscripts)):
+        coeffs = [int(c) for c in matrix_a.row_at(dim)] + [
+            -int(c) for c in matrix_b.row_at(dim)
+        ]
+        divisor = vector_gcd(coeffs)
+        difference = ref_b.subscripts[dim] - ref_a.subscripts[dim]
+        for name in indices:
+            difference = difference - _AffineExpr.var(name) * difference.coeff(name)
+        if not difference.is_constant():
+            continue  # Symbolic offset: cannot disprove.
+        constant = difference.const
+        if constant.denominator != 1:
+            return False
+        if divisor == 0:
+            if constant != 0:
+                return False
+        elif int(constant) % divisor != 0:
+            return False
+    return True
+
+
+def _banerjee_may_depend(
+    nest: LoopNest,
+    matrix_a: Matrix,
+    matrix_b: Matrix,
+    ref_a: ArrayRef,
+    ref_b: ArrayRef,
+    indices: List[str],
+    params: Mapping[str, int],
+) -> bool:
+    """Banerjee bounds screening with concrete rectangular bounds.
+
+    Uses the loosest rectangular hull of the iteration space: for each loop,
+    constant lower/upper bounds obtained by evaluating the bound expressions
+    at the hull of the outer loops.  Sound (never rules out a real
+    dependence) because widening bounds only widens the Banerjee interval.
+    """
+    hull = _rectangular_hull(nest, params)
+    if hull is None:
+        return True
+    for dim in range(len(ref_a.subscripts)):
+        coeffs = [int(c) for c in matrix_a.row_at(dim)] + [
+            -int(c) for c in matrix_b.row_at(dim)
+        ]
+        difference = ref_b.subscripts[dim] - ref_a.subscripts[dim]
+        for name in indices:
+            difference = difference - _AffineExpr.var(name) * difference.coeff(name)
+        if not difference.is_constant():
+            continue
+        constant = difference.const
+        low = Fraction(0)
+        high = Fraction(0)
+        spans = hull + hull  # i and i' range over the same hull
+        for coefficient, (lo, hi) in zip(coeffs, spans):
+            if coefficient > 0:
+                low += coefficient * lo
+                high += coefficient * hi
+            else:
+                low += coefficient * hi
+                high += coefficient * lo
+        if not (low <= constant <= high):
+            return False
+    return True
+
+
+def _rectangular_hull(
+    nest: LoopNest, params: Mapping[str, int]
+) -> Optional[List[Tuple[int, int]]]:
+    """Per-loop constant [lo, hi] hull, or ``None`` when bounds stay symbolic."""
+    hull: List[Tuple[int, int]] = []
+    env_low: dict = dict(params)
+    env_high: dict = dict(params)
+    try:
+        for loop in nest.loops:
+            lows = []
+            highs = []
+            for which_env in (env_low, env_high):
+                lows.append(loop.lower_value(which_env))
+                highs.append(loop.upper_value(which_env))
+            lo, hi = min(lows), max(highs)
+            if lo > hi:
+                hi = lo
+            hull.append((lo, hi))
+            env_low[loop.index] = lo
+            env_high[loop.index] = hi
+    except KeyError:
+        return None
+    return hull

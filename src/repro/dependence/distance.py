@@ -1,0 +1,114 @@
+"""Distance and direction vectors.
+
+A distance vector gives, componentwise per loop, how many iterations apart
+the source and sink of a dependence are.  Its leading non-zero entry is
+always positive (the source executes first); a legal transformation ``T``
+must keep every column of ``T @ D`` lexicographically positive (Section 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from fractions import Fraction
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import DependenceError
+from repro.linalg.fraction_matrix import Matrix
+
+
+def lex_sign(vector: Sequence[Fraction]) -> int:
+    """Sign of the leading non-zero entry (0 for the zero vector)."""
+    for entry in vector:
+        if entry > 0:
+            return 1
+        if entry < 0:
+            return -1
+    return 0
+
+
+def is_lex_positive(vector: Sequence[Fraction]) -> bool:
+    """True when the leading non-zero entry is positive."""
+    return lex_sign(vector) > 0
+
+
+def normalize_lex_positive(vector: Sequence[int]) -> Optional[Tuple[int, ...]]:
+    """Flip a vector so its leading non-zero is positive; ``None`` for zero."""
+    sign = lex_sign([Fraction(v) for v in vector])
+    if sign == 0:
+        return None
+    if sign < 0:
+        return tuple(-v for v in vector)
+    return tuple(vector)
+
+
+class DependenceKind(Enum):
+    """Classification of a dependence by its endpoint access types."""
+
+    FLOW = "flow"       # write then read  (RAW)
+    ANTI = "anti"       # read then write  (WAR)
+    OUTPUT = "output"   # write then write (WAW)
+
+
+@dataclass(frozen=True)
+class Dependence:
+    """One dependence between two references of a loop nest.
+
+    ``distance`` is a concrete lexicographically positive vector when the
+    dependence is uniform; otherwise ``direction`` holds a conservative
+    per-loop direction (``'<'``, ``'='``, ``'>'`` or ``'*'`` for unknown).
+    """
+
+    array: str
+    kind: DependenceKind
+    distance: Optional[Tuple[int, ...]] = None
+    direction: Optional[Tuple[str, ...]] = None
+
+    def __post_init__(self):
+        if (self.distance is None) == (self.direction is None):
+            raise DependenceError("exactly one of distance/direction must be given")
+        if self.distance is not None and not is_lex_positive(
+            [Fraction(v) for v in self.distance]
+        ):
+            raise DependenceError(
+                f"distance vector {self.distance} is not lexicographically positive"
+            )
+
+    @property
+    def is_uniform(self) -> bool:
+        """True when a concrete distance vector is known."""
+        return self.distance is not None
+
+    def __str__(self) -> str:
+        body = self.distance if self.distance is not None else self.direction
+        return f"{self.kind.value} dep on {self.array}: {tuple(body)}"
+
+
+def dependence_matrix(dependences: Sequence[Dependence], depth: int) -> Matrix:
+    """Assemble the dependence matrix ``D`` (one column per distance vector).
+
+    Duplicate distances are collapsed.  Non-uniform dependences cannot be
+    represented as columns; callers must check :func:`has_non_uniform` first
+    (the transformation driver treats their presence as "every row of the
+    access matrix might be illegal" and falls back conservatively).
+    """
+    columns: List[Tuple[int, ...]] = []
+    for dependence in dependences:
+        if dependence.distance is None:
+            raise DependenceError(
+                f"cannot put non-uniform dependence {dependence} into a distance matrix"
+            )
+        if len(dependence.distance) != depth:
+            raise DependenceError(
+                f"distance {dependence.distance} does not match nest depth {depth}"
+            )
+        if dependence.distance not in columns:
+            columns.append(dependence.distance)
+    if not columns:
+        return Matrix.zeros(depth, 0) if depth else Matrix([])
+    return Matrix.from_cols(columns)
+
+
+def has_non_uniform(dependences: Sequence[Dependence]) -> bool:
+    """True when any dependence lacks a concrete distance vector."""
+    return any(dep.distance is None for dep in dependences)

@@ -1,0 +1,27 @@
+"""User-specified data distributions (FORTRAN-D style, Section 2.1)."""
+
+from repro.distributions.base import Distribution, Replicated, validate_indices
+from repro.distributions.standard import (
+    Block2D,
+    BlockCyclic,
+    Blocked,
+    Wrapped,
+    blocked_column,
+    blocked_row,
+    wrapped_column,
+    wrapped_row,
+)
+
+__all__ = [
+    "Block2D",
+    "BlockCyclic",
+    "Blocked",
+    "Distribution",
+    "Replicated",
+    "Wrapped",
+    "blocked_column",
+    "blocked_row",
+    "validate_indices",
+    "wrapped_column",
+    "wrapped_row",
+]

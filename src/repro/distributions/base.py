@@ -1,0 +1,78 @@
+"""Data distributions (Definition 2.1 of the paper).
+
+A distribution function maps array indices to a processor number in
+``0 .. P-1``.  An array dimension is a *distribution dimension* when it is
+used by the distribution function.  The locality analysis and the ownership
+code generator only need two things from a distribution: the owner of a
+concrete element, and which dimensions drive ownership.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.errors import DistributionError
+from repro.ir.affine import AffineExpr
+from repro.ir.stmt import ModEq
+
+
+class Distribution:
+    """Base class of data distributions."""
+
+    def distribution_dims(self) -> Tuple[int, ...]:
+        """The array dimensions used by the distribution function."""
+        raise NotImplementedError
+
+    def owner(self, indices: Sequence[int], processors: int, shape: Sequence[int]) -> int:
+        """The processor owning element ``indices`` of an array of ``shape``."""
+        raise NotImplementedError
+
+    def ownership_guard(
+        self,
+        subscripts: Sequence[AffineExpr],
+        processors: AffineExpr,
+        proc: AffineExpr,
+    ) -> ModEq:
+        """A symbolic ``expr mod P == p`` ownership test, when expressible.
+
+        Only cyclic (wrapped) distributions have a pure modular guard; other
+        distributions raise :class:`DistributionError` — the ownership-rule
+        baseline in the paper is likewise presented for wrapped mappings.
+        """
+        raise DistributionError(
+            f"{type(self).__name__} has no modular ownership guard"
+        )
+
+    def describe(self) -> str:
+        """A short human-readable description."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__}: {self.describe()}>"
+
+
+def validate_indices(indices: Sequence[int], shape: Sequence[int]) -> None:
+    """Bounds-check element indices against an array shape."""
+    if len(indices) != len(shape):
+        raise DistributionError(
+            f"element has {len(indices)} indices but the array has rank {len(shape)}"
+        )
+    for axis, (index, extent) in enumerate(zip(indices, shape)):
+        if not 0 <= index < extent:
+            raise DistributionError(
+                f"index {index} out of range [0, {extent}) in dimension {axis}"
+            )
+
+
+class Replicated(Distribution):
+    """Every processor holds a full copy; all accesses are local."""
+
+    def distribution_dims(self) -> Tuple[int, ...]:
+        return ()
+
+    def owner(self, indices: Sequence[int], processors: int, shape: Sequence[int]) -> Optional[int]:
+        validate_indices(indices, shape)
+        return None  # No single owner: local everywhere.
+
+    def describe(self) -> str:
+        return "replicated"

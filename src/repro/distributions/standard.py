@@ -1,0 +1,168 @@
+"""The standard distributions the paper's compiler supports (Section 2.1):
+
+wrapped and blocked column/row distributions, plus 2-D blocks.  The wrapped
+column distribution of a two-dimensional array is the paper's running
+example: ``W2(i, j) = j mod P``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.distributions.base import Distribution, validate_indices
+from repro.errors import DistributionError
+from repro.ir.affine import AffineExpr
+from repro.ir.stmt import ModEq
+
+
+def _block_size(extent: int, processors: int) -> int:
+    return -(-extent // processors)  # ceil division
+
+
+class Wrapped(Distribution):
+    """Round-robin (cyclic) distribution along one dimension.
+
+    ``owner(indices) = indices[dim] mod P``: with ``dim=1`` on a 2-D array
+    this is the paper's wrapped *column* distribution (processor 0 gets
+    columns 0, P, 2P, ...), with ``dim=0`` the wrapped row distribution.
+    """
+
+    def __init__(self, dim: int):
+        if dim < 0:
+            raise DistributionError("distribution dimension must be non-negative")
+        self.dim = dim
+
+    def distribution_dims(self) -> Tuple[int, ...]:
+        return (self.dim,)
+
+    def owner(self, indices: Sequence[int], processors: int, shape: Sequence[int]) -> int:
+        validate_indices(indices, shape)
+        return indices[self.dim] % processors
+
+    def ownership_guard(
+        self,
+        subscripts: Sequence[AffineExpr],
+        processors: AffineExpr,
+        proc: AffineExpr,
+    ) -> ModEq:
+        if self.dim >= len(subscripts):
+            raise DistributionError(
+                f"distribution dimension {self.dim} exceeds reference rank {len(subscripts)}"
+            )
+        return ModEq(subscripts[self.dim], processors, proc)
+
+    def describe(self) -> str:
+        kind = {0: "row", 1: "column"}.get(self.dim, f"dim {self.dim}")
+        return f"wrapped {kind}"
+
+
+class Blocked(Distribution):
+    """Contiguous-block distribution along one dimension.
+
+    Processor ``p`` owns indices ``p*S .. (p+1)*S - 1`` along the
+    distribution dimension, where ``S = ceil(extent / P)``.
+    """
+
+    def __init__(self, dim: int):
+        if dim < 0:
+            raise DistributionError("distribution dimension must be non-negative")
+        self.dim = dim
+
+    def distribution_dims(self) -> Tuple[int, ...]:
+        return (self.dim,)
+
+    def owner(self, indices: Sequence[int], processors: int, shape: Sequence[int]) -> int:
+        validate_indices(indices, shape)
+        return indices[self.dim] // _block_size(shape[self.dim], processors)
+
+    def block_size(self, processors: int, shape: Sequence[int]) -> int:
+        """The per-processor block extent ``S``."""
+        return _block_size(shape[self.dim], processors)
+
+    def describe(self) -> str:
+        kind = {0: "row", 1: "column"}.get(self.dim, f"dim {self.dim}")
+        return f"blocked {kind}"
+
+
+class BlockCyclic(Distribution):
+    """Block-cyclic distribution: blocks of ``block`` indices dealt
+    round-robin (``owner = (index // block) mod P``).
+
+    The FORTRAN-D family's third standard mapping, degenerating to
+    :class:`Wrapped` at ``block=1``.  Aligning the tile size of a tiled
+    schedule with ``block`` restores the locality that element-wrapped
+    distributions lose under tiling (see the ABL7 tiling ablation).
+    """
+
+    def __init__(self, dim: int, block: int):
+        if dim < 0:
+            raise DistributionError("distribution dimension must be non-negative")
+        if block <= 0:
+            raise DistributionError("block size must be positive")
+        self.dim = dim
+        self.block = block
+
+    def distribution_dims(self) -> Tuple[int, ...]:
+        return (self.dim,)
+
+    def owner(self, indices: Sequence[int], processors: int, shape: Sequence[int]) -> int:
+        validate_indices(indices, shape)
+        return (indices[self.dim] // self.block) % processors
+
+    def describe(self) -> str:
+        kind = {0: "row", 1: "column"}.get(self.dim, f"dim {self.dim}")
+        return f"block-cyclic({self.block}) {kind}"
+
+
+class Block2D(Distribution):
+    """Rectangular sub-blocks on a 2-D processor grid (Section 2.1).
+
+    The paper mentions 2-D blocks but does not evaluate them; the class is
+    provided so the locality machinery is complete.  The processor grid is
+    ``rows x cols`` and the owner of ``(i, j)`` is
+    ``(i // Si) * cols + (j // Sj)``.
+    """
+
+    def __init__(self, grid_rows: int, grid_cols: int):
+        if grid_rows <= 0 or grid_cols <= 0:
+            raise DistributionError("processor grid extents must be positive")
+        self.grid_rows = grid_rows
+        self.grid_cols = grid_cols
+
+    def distribution_dims(self) -> Tuple[int, ...]:
+        return (0, 1)
+
+    def owner(self, indices: Sequence[int], processors: int, shape: Sequence[int]) -> int:
+        validate_indices(indices, shape)
+        if self.grid_rows * self.grid_cols != processors:
+            raise DistributionError(
+                f"grid {self.grid_rows}x{self.grid_cols} does not match P={processors}"
+            )
+        if len(shape) < 2:
+            raise DistributionError("Block2D requires a rank >= 2 array")
+        row_block = _block_size(shape[0], self.grid_rows)
+        col_block = _block_size(shape[1], self.grid_cols)
+        return (indices[0] // row_block) * self.grid_cols + (indices[1] // col_block)
+
+    def describe(self) -> str:
+        return f"2-D blocks on a {self.grid_rows}x{self.grid_cols} grid"
+
+
+def wrapped_column() -> Wrapped:
+    """The paper's default: columns dealt round-robin (``j mod P``)."""
+    return Wrapped(1)
+
+
+def wrapped_row() -> Wrapped:
+    """Rows dealt round-robin (``i mod P``)."""
+    return Wrapped(0)
+
+
+def blocked_column() -> Blocked:
+    """Contiguous column blocks."""
+    return Blocked(1)
+
+
+def blocked_row() -> Blocked:
+    """Contiguous row blocks."""
+    return Blocked(0)

@@ -1,0 +1,69 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All errors raised by the library derive from :class:`ReproError`, so callers
+can catch a single base class at API boundaries.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by the ``repro`` package."""
+
+
+class LinalgError(ReproError):
+    """Error in the exact linear-algebra substrate."""
+
+
+class NotInvertibleError(LinalgError):
+    """A matrix required to be invertible is singular."""
+
+
+class ShapeError(LinalgError):
+    """Operands have incompatible shapes."""
+
+
+class NoIntegerSolutionError(LinalgError):
+    """A Diophantine system has no integer solution."""
+
+
+class IRError(ReproError):
+    """Malformed intermediate representation."""
+
+
+class NonAffineError(IRError):
+    """An expression required to be affine in the loop indices is not."""
+
+
+class ParseError(ReproError):
+    """Syntax error in the front-end DSL."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        location = f" (line {line}, column {column})" if line else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class SemanticError(ReproError):
+    """Semantic error while lowering the DSL to IR."""
+
+
+class DistributionError(ReproError):
+    """Invalid or inconsistent data-distribution specification."""
+
+
+class DependenceError(ReproError):
+    """Dependence analysis could not produce a usable result."""
+
+
+class IllegalTransformationError(ReproError):
+    """A loop transformation violates data dependences."""
+
+
+class CodegenError(ReproError):
+    """Code generation failed for a transformed loop nest."""
+
+
+class SimulationError(ReproError):
+    """The NUMA simulator detected an inconsistency."""

@@ -1,0 +1,62 @@
+"""Loop-nest intermediate representation.
+
+The IR is the contract between the front end, the access-normalization pass
+and the NUMA code generator: perfectly nested affine loops over named index
+variables, with array assignments in the body, plus the guard and
+block-transfer statements that code generation introduces.
+"""
+
+from repro.ir.affine import AffineExpr
+from repro.ir.builder import affine, make_nest, make_program, parse_assignment
+from repro.ir.exprparse import bind_indices, parse_affine, parse_scalar, to_affine
+from repro.ir.interp import (
+    allocate_arrays,
+    arrays_equal,
+    evaluate_scalar,
+    execute,
+    execute_statement,
+    run_fresh,
+)
+from repro.ir.loop import Loop, LoopNest
+from repro.ir.printer import render_nest
+from repro.ir.program import ArrayDecl, Program
+from repro.ir.scalar import ArrayRef, BinOp, Const, IndexValue, Load, Param, ScalarExpr
+from repro.ir.stmt import Assign, BlockRead, IfThen, ModEq, Statement
+from repro.ir.validate import validate_nest, validate_program
+
+__all__ = [
+    "AffineExpr",
+    "ArrayDecl",
+    "ArrayRef",
+    "Assign",
+    "BinOp",
+    "BlockRead",
+    "Const",
+    "IfThen",
+    "IndexValue",
+    "Load",
+    "Loop",
+    "LoopNest",
+    "ModEq",
+    "Param",
+    "Program",
+    "ScalarExpr",
+    "Statement",
+    "affine",
+    "allocate_arrays",
+    "arrays_equal",
+    "bind_indices",
+    "evaluate_scalar",
+    "execute",
+    "execute_statement",
+    "make_nest",
+    "make_program",
+    "parse_affine",
+    "parse_assignment",
+    "parse_scalar",
+    "render_nest",
+    "run_fresh",
+    "to_affine",
+    "validate_nest",
+    "validate_program",
+]

@@ -1,0 +1,222 @@
+"""Affine expressions over loop indices and symbolic parameters.
+
+An :class:`AffineExpr` is a linear combination of named variables plus a
+constant, with exact rational coefficients.  Loop indices and symbolic size
+parameters (``N``, ``b``, the processor count ``P`` ...) are both just
+variable names; which names are loop indices is decided by the enclosing
+loop nest.
+
+Rational coefficients matter: rewriting a subscript through a non-unimodular
+transformation produces expressions like ``(2v - u)/6`` whose coefficients
+are fractions even though the value is integral at every lattice point.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, Iterable, Mapping, Sequence, Tuple, Union
+
+Number = Union[int, Fraction]
+
+
+class AffineExpr:
+    """An immutable affine expression ``sum(coeff_v * v) + const``."""
+
+    __slots__ = ("_coeffs", "const")
+
+    def __init__(self, coeffs: Mapping[str, Number] = (), const: Number = 0):
+        cleaned: Dict[str, Fraction] = {}
+        items = coeffs.items() if isinstance(coeffs, Mapping) else coeffs
+        for name, value in items:
+            value = Fraction(value)
+            if value:
+                cleaned[name] = cleaned.get(name, Fraction(0)) + value
+        self._coeffs: Tuple[Tuple[str, Fraction], ...] = tuple(
+            sorted((k, v) for k, v in cleaned.items() if v)
+        )
+        self.const = Fraction(const)
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def var(name: str) -> "AffineExpr":
+        """The expression consisting of a single variable."""
+        return AffineExpr({name: 1})
+
+    @staticmethod
+    def constant(value: Number) -> "AffineExpr":
+        """A constant expression."""
+        return AffineExpr({}, value)
+
+    @staticmethod
+    def from_coeffs(
+        names: Sequence[str], coefficients: Sequence[Number], const: Number = 0
+    ) -> "AffineExpr":
+        """Build from parallel sequences of names and coefficients."""
+        return AffineExpr(dict(zip(names, coefficients)), const)
+
+    @staticmethod
+    def parse(text: str) -> "AffineExpr":
+        """Parse an affine expression such as ``"i + 2*j - 1"`` or ``"(2v-u)/6"``."""
+        from repro.ir.exprparse import parse_affine
+
+        return parse_affine(text)
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def coeffs(self) -> Dict[str, Fraction]:
+        """The non-zero coefficients as a fresh dict."""
+        return dict(self._coeffs)
+
+    def coeff(self, name: str) -> Fraction:
+        """The coefficient of ``name`` (0 when absent)."""
+        for key, value in self._coeffs:
+            if key == name:
+                return value
+        return Fraction(0)
+
+    def variables(self) -> Tuple[str, ...]:
+        """Names with non-zero coefficient, sorted."""
+        return tuple(name for name, _ in self._coeffs)
+
+    def is_constant(self) -> bool:
+        """True when no variable appears."""
+        return not self._coeffs
+
+    def is_single_variable(self) -> bool:
+        """True for expressions of the exact form ``v`` (coefficient 1, no const)."""
+        return len(self._coeffs) == 1 and self._coeffs[0][1] == 1 and self.const == 0
+
+    def depends_on(self, names: Iterable[str]) -> bool:
+        """True when any of ``names`` has a non-zero coefficient."""
+        wanted = set(names)
+        return any(name in wanted for name, _ in self._coeffs)
+
+    def coefficient_vector(self, names: Sequence[str]) -> Tuple[Fraction, ...]:
+        """Coefficients in the order of ``names`` (missing names give 0)."""
+        return tuple(self.coeff(name) for name in names)
+
+    def is_integral(self) -> bool:
+        """True when all coefficients and the constant are integers."""
+        return self.const.denominator == 1 and all(
+            value.denominator == 1 for _, value in self._coeffs
+        )
+
+    # ------------------------------------------------------------------
+    # algebra
+    # ------------------------------------------------------------------
+    def __add__(self, other: Union["AffineExpr", Number]) -> "AffineExpr":
+        other = _coerce(other)
+        merged = dict(self._coeffs)
+        for name, value in other._coeffs:
+            merged[name] = merged.get(name, Fraction(0)) + value
+        return AffineExpr(merged, self.const + other.const)
+
+    def __radd__(self, other: Number) -> "AffineExpr":
+        return self + other
+
+    def __sub__(self, other: Union["AffineExpr", Number]) -> "AffineExpr":
+        return self + (-_coerce(other))
+
+    def __rsub__(self, other: Number) -> "AffineExpr":
+        return _coerce(other) - self
+
+    def __neg__(self) -> "AffineExpr":
+        return self * -1
+
+    def __mul__(self, factor: Number) -> "AffineExpr":
+        factor = Fraction(factor)
+        return AffineExpr(
+            {name: value * factor for name, value in self._coeffs}, self.const * factor
+        )
+
+    def __rmul__(self, factor: Number) -> "AffineExpr":
+        return self * factor
+
+    def __truediv__(self, divisor: Number) -> "AffineExpr":
+        divisor = Fraction(divisor)
+        if divisor == 0:
+            raise ZeroDivisionError("affine expression divided by zero")
+        return self * (Fraction(1) / divisor)
+
+    def substitute(self, bindings: Mapping[str, "AffineExpr"]) -> "AffineExpr":
+        """Replace variables with affine expressions (simultaneously)."""
+        result = AffineExpr({}, self.const)
+        for name, value in self._coeffs:
+            replacement = bindings.get(name)
+            if replacement is None:
+                result = result + AffineExpr({name: value})
+            else:
+                result = result + replacement * value
+        return result
+
+    def evaluate(self, env: Mapping[str, Number]) -> Fraction:
+        """The exact value under a variable assignment.
+
+        Raises ``KeyError`` when a variable is unbound.
+        """
+        total = self.const
+        for name, value in self._coeffs:
+            total += value * Fraction(env[name])
+        return total
+
+    def evaluate_int(self, env: Mapping[str, Number]) -> int:
+        """Evaluate and require an integer result."""
+        value = self.evaluate(env)
+        if value.denominator != 1:
+            raise ValueError(f"expression {self} evaluated to non-integer {value}")
+        return int(value)
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, (int, Fraction)):
+            other = AffineExpr.constant(other)
+        if not isinstance(other, AffineExpr):
+            return NotImplemented
+        return self._coeffs == other._coeffs and self.const == other.const
+
+    def __hash__(self) -> int:
+        return hash((self._coeffs, self.const))
+
+    def __repr__(self) -> str:
+        return f"AffineExpr({str(self)!r})"
+
+    def __str__(self) -> str:
+        parts = []
+        ordered = [term for term in self._coeffs if term[1] > 0] + [
+            term for term in self._coeffs if term[1] < 0
+        ]
+        for name, value in ordered:
+            parts.append(_format_term(value, name, first=not parts))
+        if self.const or not parts:
+            parts.append(_format_term(self.const, "", first=not parts))
+        return "".join(parts)
+
+
+def _coerce(value: Union[AffineExpr, Number]) -> AffineExpr:
+    if isinstance(value, AffineExpr):
+        return value
+    return AffineExpr.constant(value)
+
+
+def _format_term(value: Fraction, name: str, first: bool) -> str:
+    sign = "-" if value < 0 else ("" if first else "+")
+    magnitude = abs(value)
+    if not name:
+        body = _format_fraction(magnitude)
+    elif magnitude == 1:
+        body = name
+    else:
+        body = f"{_format_fraction(magnitude)}*{name}"
+    return f"{sign}{body}"
+
+
+def _format_fraction(value: Fraction) -> str:
+    if value.denominator == 1:
+        return str(value.numerator)
+    return f"{value.numerator}/{value.denominator}"

@@ -1,0 +1,128 @@
+"""Convenience builders for constructing loop nests programmatically.
+
+The DSL front end (:mod:`repro.lang`) is the friendlier way to write whole
+programs; this module is the programmatic equivalent used heavily in tests
+and in the BLAS workload definitions::
+
+    nest = make_nest(
+        loops=[("i", 0, "N1-1"), ("j", "i", "i+b-1"), ("k", 0, "N2-1")],
+        body=["B[i, j-i] = B[i, j-i] + A[i, j+k]"],
+    )
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.errors import ParseError
+from repro.ir.affine import AffineExpr
+from repro.ir.exprparse import bind_indices, parse_scalar
+from repro.ir.loop import ExprLike, Loop, LoopNest
+from repro.ir.program import ArrayDecl, Program
+from repro.ir.scalar import Load
+from repro.ir.stmt import Assign, Statement
+
+LoopSpec = Union[
+    Tuple[str, ExprLike, ExprLike],
+    Tuple[str, ExprLike, ExprLike, int],
+    Loop,
+]
+
+
+def parse_assignment(text: str, index_names: Sequence[str]) -> Assign:
+    """Parse ``"B[i, j] = B[i, j] + A[i, k]"`` into an :class:`Assign`.
+
+    Bare loop indices on the right-hand side are bound as index values so
+    that subsequent loop transformations rewrite them correctly.
+    """
+    if text.count("=") != 1:
+        raise ParseError(f"an assignment needs exactly one '=': {text!r}")
+    lhs_text, rhs_text = text.split("=")
+    lhs = parse_scalar(lhs_text.strip())
+    if not isinstance(lhs, Load):
+        raise ParseError(f"assignment target must be an array reference: {lhs_text!r}")
+    rhs = bind_indices(parse_scalar(rhs_text.strip()), index_names)
+    return Assign(lhs.ref, rhs)
+
+
+def make_nest(
+    loops: Sequence[LoopSpec],
+    body: Sequence[Union[str, Statement]],
+) -> LoopNest:
+    """Build a loop nest from loop specs and statement strings."""
+    built_loops: List[Loop] = []
+    for spec in loops:
+        if isinstance(spec, Loop):
+            built_loops.append(spec)
+        else:
+            index, lower, upper = spec[0], spec[1], spec[2]
+            step = spec[3] if len(spec) > 3 else 1
+            built_loops.append(Loop.make(index, _split_bound(lower), _split_bound(upper), step))
+    index_names = [loop.index for loop in built_loops]
+    statements: List[Statement] = []
+    for item in body:
+        if isinstance(item, Statement):
+            statements.append(item)
+        else:
+            statements.append(parse_assignment(item, index_names))
+    return LoopNest(tuple(built_loops), tuple(statements))
+
+
+def _split_bound(bound: ExprLike) -> Union[ExprLike, List[str]]:
+    """Support ``"max(a, b, c)"`` / ``"min(a, b)"`` bound strings."""
+    if isinstance(bound, str):
+        stripped = bound.strip()
+        lowered = stripped.lower()
+        if lowered.startswith(("max(", "min(")) and stripped.endswith(")"):
+            inner = stripped[4:-1]
+            return _split_top_level(inner)
+    return bound
+
+
+def _split_top_level(text: str) -> List[str]:
+    parts: List[str] = []
+    depth = 0
+    current = []
+    for char in text:
+        if char in "([":
+            depth += 1
+        elif char in ")]":
+            depth -= 1
+        if char == "," and depth == 0:
+            parts.append("".join(current).strip())
+            current = []
+        else:
+            current.append(char)
+    parts.append("".join(current).strip())
+    return parts
+
+
+def make_program(
+    loops: Sequence[LoopSpec],
+    body: Sequence[Union[str, Statement]],
+    arrays: Sequence[Union[ArrayDecl, Tuple]] = (),
+    distributions: Optional[Mapping[str, object]] = None,
+    params: Optional[Mapping[str, int]] = None,
+    name: str = "program",
+) -> Program:
+    """Build a whole program in one call (see :func:`make_nest`)."""
+    decls = tuple(
+        decl if isinstance(decl, ArrayDecl) else ArrayDecl.make(decl[0], *decl[1:])
+        for decl in arrays
+    )
+    return Program(
+        nest=make_nest(loops, body),
+        arrays=decls,
+        distributions=dict(distributions or {}),
+        params=dict(params or {}),
+        name=name,
+    )
+
+
+def affine(text: Union[str, int, AffineExpr]) -> AffineExpr:
+    """Shorthand to build an affine expression from a string or int."""
+    if isinstance(text, AffineExpr):
+        return text
+    if isinstance(text, int):
+        return AffineExpr.constant(text)
+    return AffineExpr.parse(text)

@@ -1,0 +1,229 @@
+"""A small expression grammar shared by the builder API and the DSL front end.
+
+The grammar covers everything appearing in the paper's programs::
+
+    expr   := term (('+'|'-') term)*
+    term   := factor (('*'|'/') factor)*
+    factor := ('-'|'+')* atom
+    atom   := NUMBER | NUMBER IDENT | IDENT | IDENT '[' expr {',' expr} ']'
+            | '(' expr ')'
+
+``NUMBER IDENT`` supports the paper's implicit-multiplication style
+(``2i + 4j``).  Parsing produces a :class:`~repro.ir.scalar.ScalarExpr`
+tree; :func:`to_affine` converts affine trees to
+:class:`~repro.ir.affine.AffineExpr`, and :func:`bind_indices` collapses
+index-only subtrees so that loop transformations can rewrite them.
+"""
+
+from __future__ import annotations
+
+import re
+from fractions import Fraction
+from typing import Iterable, List, NamedTuple, Optional, Set
+
+from repro.errors import NonAffineError, ParseError
+from repro.ir.affine import AffineExpr
+from repro.ir.scalar import ArrayRef, BinOp, Const, IndexValue, Load, Param, ScalarExpr
+
+
+class Token(NamedTuple):
+    """A lexical token with its position (for error messages)."""
+
+    kind: str
+    text: str
+    pos: int
+
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<num>\d+)|(?P<ident>[A-Za-z_][A-Za-z_0-9]*)|(?P<op>[-+*/(),\[\]]))"
+)
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize an expression string; raises :class:`ParseError` on junk."""
+    tokens: List[Token] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if not match or match.end() == pos:
+            remainder = text[pos:].strip()
+            if not remainder:
+                break
+            raise ParseError(f"unexpected character {remainder[0]!r} in expression", column=pos)
+        if match.group("num"):
+            tokens.append(Token("num", match.group("num"), match.start("num")))
+        elif match.group("ident"):
+            tokens.append(Token("ident", match.group("ident"), match.start("ident")))
+        else:
+            tokens.append(Token("op", match.group("op"), match.start("op")))
+        pos = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token], source: str):
+        self.tokens = tokens
+        self.source = source
+        self.index = 0
+
+    def peek(self) -> Optional[Token]:
+        if self.index < len(self.tokens):
+            return self.tokens[self.index]
+        return None
+
+    def advance(self) -> Token:
+        token = self.peek()
+        if token is None:
+            raise ParseError(f"unexpected end of expression in {self.source!r}")
+        self.index += 1
+        return token
+
+    def expect(self, text: str) -> Token:
+        token = self.advance()
+        if token.text != text:
+            raise ParseError(
+                f"expected {text!r} but found {token.text!r} in {self.source!r}",
+                column=token.pos,
+            )
+        return token
+
+    def parse_expr(self) -> ScalarExpr:
+        node = self.parse_term()
+        while True:
+            token = self.peek()
+            if token and token.text in ("+", "-"):
+                self.advance()
+                node = BinOp(token.text, node, self.parse_term())
+            else:
+                return node
+
+    def parse_term(self) -> ScalarExpr:
+        node = self.parse_factor()
+        while True:
+            token = self.peek()
+            if token and token.text in ("*", "/"):
+                self.advance()
+                node = BinOp(token.text, node, self.parse_factor())
+            else:
+                return node
+
+    def parse_factor(self) -> ScalarExpr:
+        token = self.peek()
+        if token and token.text == "-":
+            self.advance()
+            return BinOp("-", Const.of(0), self.parse_factor())
+        if token and token.text == "+":
+            self.advance()
+            return self.parse_factor()
+        return self.parse_atom()
+
+    def parse_atom(self) -> ScalarExpr:
+        token = self.advance()
+        if token.kind == "num":
+            value: ScalarExpr = Const.of(int(token.text))
+            follow = self.peek()
+            if follow and follow.kind == "ident":
+                # Implicit multiplication: "2i" means 2 * i.
+                self.advance()
+                value = BinOp("*", value, self._identifier(follow))
+            return value
+        if token.kind == "ident":
+            return self._identifier(token)
+        if token.text == "(":
+            inner = self.parse_expr()
+            self.expect(")")
+            return inner
+        raise ParseError(f"unexpected token {token.text!r} in {self.source!r}", column=token.pos)
+
+    def _identifier(self, token: Token) -> ScalarExpr:
+        follow = self.peek()
+        if follow and follow.text == "[":
+            self.advance()
+            subscripts = [self.parse_expr()]
+            while self.peek() and self.peek().text == ",":
+                self.advance()
+                subscripts.append(self.parse_expr())
+            self.expect("]")
+            affine_subs = tuple(to_affine(sub) for sub in subscripts)
+            return Load(ArrayRef(token.text, affine_subs))
+        return Param(token.text)
+
+
+def parse_scalar(text: str) -> ScalarExpr:
+    """Parse an expression string into a scalar expression tree."""
+    parser = _Parser(tokenize(text), text)
+    node = parser.parse_expr()
+    leftover = parser.peek()
+    if leftover is not None:
+        raise ParseError(
+            f"trailing input {leftover.text!r} in {text!r}", column=leftover.pos
+        )
+    return node
+
+
+def to_affine(expr: ScalarExpr) -> AffineExpr:
+    """Convert an affine scalar tree to an :class:`AffineExpr`.
+
+    Raises :class:`NonAffineError` for array loads, products of variables or
+    division by a non-constant.
+    """
+    if isinstance(expr, Const):
+        return AffineExpr.constant(expr.value)
+    if isinstance(expr, Param):
+        return AffineExpr.var(expr.name)
+    if isinstance(expr, IndexValue):
+        return expr.expr
+    if isinstance(expr, Load):
+        raise NonAffineError(f"array reference {expr} is not affine")
+    if isinstance(expr, BinOp):
+        if expr.op == "+":
+            return to_affine(expr.left) + to_affine(expr.right)
+        if expr.op == "-":
+            return to_affine(expr.left) - to_affine(expr.right)
+        left = to_affine(expr.left)
+        right = to_affine(expr.right)
+        if expr.op == "*":
+            if left.is_constant():
+                return right * left.const
+            if right.is_constant():
+                return left * right.const
+            raise NonAffineError(f"product of variables in {expr} is not affine")
+        if expr.op == "/":
+            if right.is_constant() and right.const != 0:
+                return left / right.const
+            raise NonAffineError(f"division by non-constant in {expr} is not affine")
+    raise NonAffineError(f"cannot convert {expr!r} to an affine expression")
+
+
+def parse_affine(text: str) -> AffineExpr:
+    """Parse a string directly into an affine expression."""
+    return to_affine(parse_scalar(text))
+
+
+def bind_indices(expr: ScalarExpr, index_names: Iterable[str]) -> ScalarExpr:
+    """Collapse index-dependent affine subtrees into :class:`IndexValue` nodes.
+
+    After parsing, a bare index variable in the loop body is a
+    :class:`Param` node, which loop transformations would not rewrite.  This
+    pass finds maximal load-free affine subtrees that mention a loop index
+    and replaces them by :class:`IndexValue`, making the body closed under
+    index substitution.
+    """
+    names: Set[str] = set(index_names)
+
+    def rewrite(node: ScalarExpr) -> ScalarExpr:
+        affine = _try_affine(node)
+        if affine is not None and any(v in names for v in affine.variables()):
+            return IndexValue(affine)
+        if isinstance(node, BinOp):
+            return BinOp(node.op, rewrite(node.left), rewrite(node.right))
+        return node
+
+    return rewrite(expr)
+
+
+def _try_affine(node: ScalarExpr) -> Optional[AffineExpr]:
+    try:
+        return to_affine(node)
+    except NonAffineError:
+        return None

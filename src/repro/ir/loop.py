@@ -1,0 +1,234 @@
+"""Loops and loop nests.
+
+A :class:`Loop` iterates an index over ``max(lower...) .. min(upper...)``
+with a positive integer step.  Two stepping disciplines exist:
+
+* *anchored* (``align is None``): the first iteration is the effective lower
+  bound itself — the semantics of a source-program ``for i = lb, ub, s``;
+* *aligned* (``align`` set): iterations satisfy
+  ``i === align (mod step)`` — the semantics required when scanning the image
+  lattice of a non-unimodular transformation, and also of SPMD wrapped
+  distribution (``i === p (mod P)``).
+
+Bounds are affine expressions that may have rational coefficients (they come
+from Fourier-Motzkin elimination); effective bounds take ``ceil`` of lower
+and ``floor`` of upper values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.errors import IRError
+from repro.ir.affine import AffineExpr
+from repro.ir.scalar import ArrayRef
+from repro.ir.stmt import Statement
+from repro.linalg.lattice import first_aligned_at_least
+
+Number = Union[int, Fraction]
+ExprLike = Union[AffineExpr, str, int]
+
+
+def _as_affine(value: ExprLike) -> AffineExpr:
+    if isinstance(value, AffineExpr):
+        return value
+    if isinstance(value, int):
+        return AffineExpr.constant(value)
+    return AffineExpr.parse(value)
+
+
+def _ceil(value: Fraction) -> int:
+    return -((-value.numerator) // value.denominator)
+
+
+def _floor(value: Fraction) -> int:
+    return value.numerator // value.denominator
+
+
+@dataclass(frozen=True)
+class Loop:
+    """One level of a loop nest.
+
+    ``prologue`` statements execute once per iteration of this loop, before
+    control enters the inner loops — the hook the NUMA code generator uses
+    to hoist ``read A[*, v]`` block transfers to the right level.
+    """
+
+    index: str
+    lower: Tuple[AffineExpr, ...]
+    upper: Tuple[AffineExpr, ...]
+    step: int = 1
+    align: Optional[AffineExpr] = None
+    prologue: Tuple[Statement, ...] = ()
+
+    @staticmethod
+    def make(
+        index: str,
+        lower: Union[ExprLike, Sequence[ExprLike]],
+        upper: Union[ExprLike, Sequence[ExprLike]],
+        step: int = 1,
+        align: Optional[ExprLike] = None,
+        prologue: Sequence[Statement] = (),
+    ) -> "Loop":
+        """Build a loop, accepting strings/ints/affine expressions for bounds."""
+        lower_exprs = _bound_tuple(lower)
+        upper_exprs = _bound_tuple(upper)
+        if step <= 0:
+            raise IRError(f"loop {index!r} must have a positive step, got {step}")
+        align_expr = _as_affine(align) if align is not None else None
+        return Loop(index, lower_exprs, upper_exprs, step, align_expr, tuple(prologue))
+
+    def with_prologue(self, prologue: Sequence[Statement]) -> "Loop":
+        """A copy of this loop with the given prologue statements."""
+        return Loop(self.index, self.lower, self.upper, self.step, self.align,
+                    tuple(prologue))
+
+    def lower_value(self, env: Mapping[str, Number]) -> int:
+        """The effective (integer) lower bound under ``env``."""
+        return max(_ceil(expr.evaluate(env)) for expr in self.lower)
+
+    def upper_value(self, env: Mapping[str, Number]) -> int:
+        """The effective (integer) upper bound under ``env``."""
+        return min(_floor(expr.evaluate(env)) for expr in self.upper)
+
+    def first_iteration(self, env: Mapping[str, Number]) -> int:
+        """The first value the index takes (may exceed the upper bound)."""
+        low = self.lower_value(env)
+        if self.align is None:
+            return low
+        offset = self.align.evaluate_int(env) % self.step
+        return first_aligned_at_least(low, offset, self.step)
+
+    def iter_values(self, env: Mapping[str, Number]) -> Iterator[int]:
+        """All values of the index for fixed outer environment."""
+        high = self.upper_value(env)
+        value = self.first_iteration(env)
+        while value <= high:
+            yield value
+            value += self.step
+
+    def trip_count(self, env: Mapping[str, Number]) -> int:
+        """Number of iterations under ``env`` (0 when empty)."""
+        high = self.upper_value(env)
+        first = self.first_iteration(env)
+        if first > high:
+            return 0
+        return (high - first) // self.step + 1
+
+    def __str__(self) -> str:
+        lower = _format_bound(self.lower, "max")
+        upper = _format_bound(self.upper, "min")
+        suffix = ""
+        if self.step != 1:
+            suffix = f", step {self.step}"
+        if self.align is not None:
+            suffix += f"  /* {self.index} === {self.align} (mod {self.step}) */"
+        return f"for {self.index} = {lower}, {upper}{suffix}"
+
+
+def _bound_tuple(value: Union[ExprLike, Sequence[ExprLike]]) -> Tuple[AffineExpr, ...]:
+    if isinstance(value, (AffineExpr, str, int)):
+        return (_as_affine(value),)
+    exprs = tuple(_as_affine(v) for v in value)
+    if not exprs:
+        raise IRError("a loop bound needs at least one expression")
+    return exprs
+
+
+def _format_bound(exprs: Tuple[AffineExpr, ...], combiner: str) -> str:
+    if len(exprs) == 1:
+        return str(exprs[0])
+    inner = ", ".join(str(e) for e in exprs)
+    return f"{combiner}({inner})"
+
+
+@dataclass(frozen=True)
+class LoopNest:
+    """A perfectly nested loop with a straight-line body."""
+
+    loops: Tuple[Loop, ...]
+    body: Tuple[Statement, ...]
+
+    @property
+    def depth(self) -> int:
+        """Nesting depth."""
+        return len(self.loops)
+
+    @property
+    def indices(self) -> Tuple[str, ...]:
+        """Loop index names, outermost first."""
+        return tuple(loop.index for loop in self.loops)
+
+    def array_refs(self) -> List[Tuple[ArrayRef, bool]]:
+        """Every ``(reference, is_write)`` in the body, in statement order."""
+        refs: List[Tuple[ArrayRef, bool]] = []
+        for statement in self.body:
+            refs.extend(statement.array_refs())
+        return refs
+
+    def array_names(self) -> List[str]:
+        """Names of all arrays referenced, in first-appearance order."""
+        seen: List[str] = []
+        for ref, _ in self.array_refs():
+            if ref.array not in seen:
+                seen.append(ref.array)
+        return seen
+
+    def free_variables(self) -> Tuple[str, ...]:
+        """Symbols used in bounds/subscripts that are not loop indices."""
+        bound = set(self.indices)
+        free: List[str] = []
+
+        def note(expr: AffineExpr) -> None:
+            for name in expr.variables():
+                if name not in bound and name not in free:
+                    free.append(name)
+
+        for loop in self.loops:
+            for expr in loop.lower + loop.upper:
+                note(expr)
+            if loop.align is not None:
+                note(loop.align)
+        for ref, _ in self.array_refs():
+            for sub in ref.subscripts:
+                note(sub)
+        return tuple(free)
+
+    def iterate(self, params: Mapping[str, int]) -> Iterator[Dict[str, int]]:
+        """Enumerate the iteration space in lexicographic order.
+
+        Yields one environment dict per iteration containing the parameters
+        and the current index values.  The dict is reused between iterations
+        for speed; copy it if you need to retain it.
+        """
+        env: Dict[str, int] = dict(params)
+        yield from self._iterate_level(0, env)
+
+    def _iterate_level(self, level: int, env: Dict[str, int]) -> Iterator[Dict[str, int]]:
+        if level == self.depth:
+            yield env
+            return
+        loop = self.loops[level]
+        for value in loop.iter_values(env):
+            env[loop.index] = value
+            yield from self._iterate_level(level + 1, env)
+        env.pop(loop.index, None)
+
+    def iteration_count(self, params: Mapping[str, int]) -> int:
+        """Total number of iterations (full enumeration; exact)."""
+        return sum(1 for _ in self.iterate(params))
+
+    def with_body(self, body: Sequence[Statement]) -> "LoopNest":
+        """A copy of the nest with a different body."""
+        return LoopNest(self.loops, tuple(body))
+
+    def with_loops(self, loops: Sequence[Loop]) -> "LoopNest":
+        """A copy of the nest with different loops."""
+        return LoopNest(tuple(loops), self.body)
+
+    def __str__(self) -> str:
+        from repro.ir.printer import render_nest
+
+        return render_nest(self)

@@ -1,0 +1,37 @@
+"""Pseudo-code rendering of loop nests, in the paper's display style."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir.loop import LoopNest
+from repro.ir.stmt import Statement
+
+
+def render_nest(nest: LoopNest, indent: str = "    ") -> str:
+    """Render a loop nest as indented pseudo-code.
+
+    The output mirrors the paper's figures: one ``for`` line per level,
+    statements at the innermost indentation.
+    """
+    lines: List[str] = []
+    for depth, loop in enumerate(nest.loops):
+        lines.append(indent * depth + str(loop))
+        for statement in loop.prologue:
+            lines.extend(_render_statement(statement, indent * (depth + 1), indent))
+    body_indent = indent * nest.depth
+    for statement in nest.body:
+        lines.extend(_render_statement(statement, body_indent, indent))
+    return "\n".join(lines)
+
+
+def _render_statement(statement: Statement, prefix: str, indent: str) -> List[str]:
+    from repro.ir.stmt import IfThen
+
+    if isinstance(statement, IfThen):
+        joiner = " or " if statement.disjunctive else " and "
+        guard = joiner.join(str(cond) for cond in statement.conditions)
+        lines = [f"{prefix}if {guard}:"]
+        lines.extend(_render_statement(statement.body, prefix + indent, indent))
+        return lines
+    return [prefix + str(statement)]

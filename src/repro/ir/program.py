@@ -1,0 +1,116 @@
+"""Whole-program container: arrays, distributions, parameters and the nest."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple, Union
+
+from repro.errors import IRError
+from repro.ir.affine import AffineExpr
+from repro.ir.loop import LoopNest
+
+ExprLike = Union[AffineExpr, str, int]
+
+
+@dataclass(frozen=True)
+class ArrayDecl:
+    """An array declaration with symbolic extents.
+
+    ``extents[d]`` is an affine expression in the program parameters giving
+    the size of dimension ``d``; valid indices are ``0 .. extent-1``.
+    ``element_bytes`` feeds the block-transfer cost model (the BLAS programs
+    use 8-byte double precision, matching the paper's Butterfly numbers).
+    """
+
+    name: str
+    extents: Tuple[AffineExpr, ...]
+    element_bytes: int = 8
+
+    @staticmethod
+    def make(name: str, *extents: ExprLike, element_bytes: int = 8) -> "ArrayDecl":
+        converted = tuple(
+            e if isinstance(e, AffineExpr)
+            else (AffineExpr.constant(e) if isinstance(e, int) else AffineExpr.parse(e))
+            for e in extents
+        )
+        return ArrayDecl(name, converted, element_bytes)
+
+    @property
+    def rank(self) -> int:
+        """Number of dimensions."""
+        return len(self.extents)
+
+    def shape(self, params: Mapping[str, int]) -> Tuple[int, ...]:
+        """Concrete shape under parameter bindings."""
+        return tuple(extent.evaluate_int(params) for extent in self.extents)
+
+    def __str__(self) -> str:
+        dims = ", ".join(str(e) for e in self.extents)
+        return f"{self.name}({dims})"
+
+
+@dataclass(frozen=True)
+class Program:
+    """A loop nest together with its array declarations and distributions.
+
+    ``distributions`` maps array names to distribution objects (see
+    :mod:`repro.distributions`); arrays without an entry are treated as
+    replicated.  ``params`` holds default values for symbolic parameters —
+    callers may override them at execution/simulation time.
+    ``assumptions`` are parameter facts (``"N >= 2*b"``) declared with the
+    program; the transformation driver uses them to simplify generated
+    loop bounds.
+    """
+
+    nest: LoopNest
+    arrays: Tuple[ArrayDecl, ...] = ()
+    distributions: Mapping[str, object] = field(default_factory=dict)
+    params: Mapping[str, int] = field(default_factory=dict)
+    name: str = "program"
+    assumptions: Tuple[str, ...] = ()
+
+    def array(self, name: str) -> ArrayDecl:
+        """Look up an array declaration by name."""
+        for decl in self.arrays:
+            if decl.name == name:
+                return decl
+        raise IRError(f"array {name!r} is not declared in program {self.name!r}")
+
+    def has_array(self, name: str) -> bool:
+        """True when ``name`` is declared."""
+        return any(decl.name == name for decl in self.arrays)
+
+    def distribution(self, name: str) -> Optional[object]:
+        """The distribution of ``name`` or ``None`` when replicated/undistributed."""
+        return self.distributions.get(name)
+
+    def bound_params(self, overrides: Optional[Mapping[str, int]] = None) -> Dict[str, int]:
+        """Default parameters merged with ``overrides``."""
+        merged = dict(self.params)
+        if overrides:
+            merged.update(overrides)
+        return merged
+
+    def with_nest(self, nest: LoopNest, name: Optional[str] = None) -> "Program":
+        """A copy of the program with a different loop nest."""
+        return Program(
+            nest=nest,
+            arrays=self.arrays,
+            distributions=self.distributions,
+            params=self.params,
+            name=name or self.name,
+            assumptions=self.assumptions,
+        )
+
+    def with_params(self, **overrides: int) -> "Program":
+        """A copy with updated default parameters."""
+        merged = dict(self.params)
+        merged.update(overrides)
+        return Program(
+            nest=self.nest,
+            arrays=self.arrays,
+            distributions=self.distributions,
+            params=merged,
+            name=self.name,
+            assumptions=self.assumptions,
+        )

@@ -1,0 +1,186 @@
+"""Scalar (loop-body) expression trees.
+
+Loop bodies compute with array elements, scalar parameters and affine index
+expressions.  The tree is intentionally minimal — just enough to express the
+BLAS kernels the paper evaluates and the worked examples in its text — but
+fully executable, which is what lets every transformation in this library be
+checked semantically against the original program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Callable, Mapping, Tuple, Union
+
+from repro.errors import IRError
+from repro.ir.affine import AffineExpr
+
+Number = Union[int, float, Fraction]
+
+
+class ScalarExpr:
+    """Base class of scalar expression nodes."""
+
+    __slots__ = ()
+
+    def references(self) -> Tuple["ArrayRef", ...]:
+        """All array references in the subtree, left to right."""
+        raise NotImplementedError
+
+    def substitute_indices(self, bindings: Mapping[str, AffineExpr]) -> "ScalarExpr":
+        """Rewrite every embedded affine expression through ``bindings``."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ArrayRef:
+    """A subscripted array reference ``name[sub_0, sub_1, ...]``."""
+
+    array: str
+    subscripts: Tuple[AffineExpr, ...]
+
+    @staticmethod
+    def make(array: str, *subscripts: Union[AffineExpr, str, int]) -> "ArrayRef":
+        """Build a reference, parsing string subscripts for convenience."""
+        converted = tuple(
+            sub
+            if isinstance(sub, AffineExpr)
+            else (AffineExpr.constant(sub) if isinstance(sub, int) else AffineExpr.parse(sub))
+            for sub in subscripts
+        )
+        return ArrayRef(array, converted)
+
+    @property
+    def rank(self) -> int:
+        """Number of subscripts."""
+        return len(self.subscripts)
+
+    def substitute_indices(self, bindings: Mapping[str, AffineExpr]) -> "ArrayRef":
+        """Rewrite the subscripts through ``bindings``."""
+        return ArrayRef(self.array, tuple(sub.substitute(bindings) for sub in self.subscripts))
+
+    def index_tuple(self, env: Mapping[str, Number]) -> Tuple[int, ...]:
+        """Concrete integer subscripts under an index assignment."""
+        return tuple(sub.evaluate_int(env) for sub in self.subscripts)
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(sub) for sub in self.subscripts)
+        return f"{self.array}[{inner}]"
+
+
+@dataclass(frozen=True)
+class Const(ScalarExpr):
+    """A numeric literal."""
+
+    value: Fraction
+
+    @staticmethod
+    def of(value: Number) -> "Const":
+        return Const(Fraction(value) if not isinstance(value, float) else Fraction(value))
+
+    def references(self) -> Tuple[ArrayRef, ...]:
+        return ()
+
+    def substitute_indices(self, bindings: Mapping[str, AffineExpr]) -> "Const":
+        return self
+
+    def __str__(self) -> str:
+        if self.value.denominator == 1:
+            return str(self.value.numerator)
+        return f"{self.value.numerator}/{self.value.denominator}"
+
+
+@dataclass(frozen=True)
+class Param(ScalarExpr):
+    """A scalar parameter such as ``alpha`` in SYR2K."""
+
+    name: str
+
+    def references(self) -> Tuple[ArrayRef, ...]:
+        return ()
+
+    def substitute_indices(self, bindings: Mapping[str, AffineExpr]) -> "Param":
+        return self
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class IndexValue(ScalarExpr):
+    """The value of an affine expression in the loop indices (e.g. ``A[2i] = i``)."""
+
+    expr: AffineExpr
+
+    def references(self) -> Tuple[ArrayRef, ...]:
+        return ()
+
+    def substitute_indices(self, bindings: Mapping[str, AffineExpr]) -> "IndexValue":
+        return IndexValue(self.expr.substitute(bindings))
+
+    def __str__(self) -> str:
+        text = str(self.expr)
+        return f"({text})" if ("+" in text[1:] or "-" in text[1:]) else text
+
+
+@dataclass(frozen=True)
+class Load(ScalarExpr):
+    """The value of an array element."""
+
+    ref: ArrayRef
+
+    def references(self) -> Tuple[ArrayRef, ...]:
+        return (self.ref,)
+
+    def substitute_indices(self, bindings: Mapping[str, AffineExpr]) -> "Load":
+        return Load(self.ref.substitute_indices(bindings))
+
+    def __str__(self) -> str:
+        return str(self.ref)
+
+
+_OPERATORS: Mapping[str, Callable[[float, float], float]] = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b,
+}
+
+
+@dataclass(frozen=True)
+class BinOp(ScalarExpr):
+    """A binary arithmetic operation."""
+
+    op: str
+    left: ScalarExpr
+    right: ScalarExpr
+
+    def __post_init__(self):
+        if self.op not in _OPERATORS:
+            raise IRError(f"unsupported operator {self.op!r}")
+
+    def references(self) -> Tuple[ArrayRef, ...]:
+        return self.left.references() + self.right.references()
+
+    def substitute_indices(self, bindings: Mapping[str, AffineExpr]) -> "BinOp":
+        return BinOp(
+            self.op,
+            self.left.substitute_indices(bindings),
+            self.right.substitute_indices(bindings),
+        )
+
+    def apply(self, left_value: float, right_value: float) -> float:
+        """Evaluate the operator on concrete operands."""
+        return _OPERATORS[self.op](left_value, right_value)
+
+    def __str__(self) -> str:
+        left = str(self.left)
+        right = str(self.right)
+        if isinstance(self.left, BinOp) and self.op in "*/" and self.left.op in "+-":
+            left = f"({left})"
+        if isinstance(self.right, BinOp) and (
+            (self.op in "*/" and self.right.op in "+-") or self.op in "-/"
+        ):
+            right = f"({right})"
+        return f"{left} {self.op} {right}"

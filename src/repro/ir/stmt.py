@@ -1,0 +1,144 @@
+"""Loop-body statements.
+
+Three statement forms are enough for the whole paper:
+
+* :class:`Assign` — an array assignment, the only statement in source
+  programs;
+* :class:`IfThen` — a guarded statement, used by the ownership-rule
+  baseline code generator (`§2.1`);
+* :class:`BlockRead` — a ``read A[*, v]`` block-transfer pseudo-op inserted
+  by the NUMA code generator (`§7`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional, Tuple, Union
+
+from repro.ir.affine import AffineExpr
+from repro.ir.scalar import ArrayRef, ScalarExpr
+
+Number = Union[int, float]
+
+
+class Statement:
+    """Base class of loop-body statements."""
+
+    __slots__ = ()
+
+    def substitute_indices(self, bindings: Mapping[str, AffineExpr]) -> "Statement":
+        """Rewrite every affine expression through ``bindings``."""
+        raise NotImplementedError
+
+    def array_refs(self) -> Tuple[Tuple[ArrayRef, bool], ...]:
+        """All ``(reference, is_write)`` pairs in the statement."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Assign(Statement):
+    """``lhs = rhs`` where ``lhs`` is an array reference."""
+
+    lhs: ArrayRef
+    rhs: ScalarExpr
+
+    def substitute_indices(self, bindings: Mapping[str, AffineExpr]) -> "Assign":
+        return Assign(
+            self.lhs.substitute_indices(bindings), self.rhs.substitute_indices(bindings)
+        )
+
+    def array_refs(self) -> Tuple[Tuple[ArrayRef, bool], ...]:
+        reads = tuple((ref, False) for ref in self.rhs.references())
+        return ((self.lhs, True),) + reads
+
+    def __str__(self) -> str:
+        return f"{self.lhs} = {self.rhs}"
+
+
+@dataclass(frozen=True)
+class ModEq:
+    """The guard condition ``expr mod modulus == target``.
+
+    This is exactly the shape of ownership tests for wrapped distributions:
+    processor ``p`` owns column ``j - i`` when ``(j - i) mod P == p``.
+    """
+
+    expr: AffineExpr
+    modulus: AffineExpr
+    target: AffineExpr
+
+    def substitute_indices(self, bindings: Mapping[str, AffineExpr]) -> "ModEq":
+        return ModEq(
+            self.expr.substitute(bindings),
+            self.modulus.substitute(bindings),
+            self.target.substitute(bindings),
+        )
+
+    def evaluate(self, env: Mapping[str, Number]) -> bool:
+        """Evaluate the guard under a concrete environment."""
+        modulus = self.modulus.evaluate_int(env)
+        return self.expr.evaluate_int(env) % modulus == self.target.evaluate_int(env) % modulus
+
+    def __str__(self) -> str:
+        return f"({self.expr}) mod {self.modulus} == {self.target}"
+
+
+@dataclass(frozen=True)
+class IfThen(Statement):
+    """A statement guarded by one or more ``ModEq`` conditions (conjunction)."""
+
+    conditions: Tuple[ModEq, ...]
+    body: Statement
+    disjunctive: bool = False
+
+    def substitute_indices(self, bindings: Mapping[str, AffineExpr]) -> "IfThen":
+        return IfThen(
+            tuple(cond.substitute_indices(bindings) for cond in self.conditions),
+            self.body.substitute_indices(bindings),
+            self.disjunctive,
+        )
+
+    def array_refs(self) -> Tuple[Tuple[ArrayRef, bool], ...]:
+        return self.body.array_refs()
+
+    def evaluate_guard(self, env: Mapping[str, Number]) -> bool:
+        """True when the guarded body should execute."""
+        if self.disjunctive:
+            return any(cond.evaluate(env) for cond in self.conditions)
+        return all(cond.evaluate(env) for cond in self.conditions)
+
+    def __str__(self) -> str:
+        joiner = " or " if self.disjunctive else " and "
+        guard = joiner.join(str(cond) for cond in self.conditions)
+        return f"if {guard}: {self.body}"
+
+
+@dataclass(frozen=True)
+class BlockRead(Statement):
+    """``read A[*, v, ...]`` — fetch a whole slice with one block transfer.
+
+    ``pattern`` has one entry per array dimension: ``None`` marks a wildcard
+    dimension transferred in bulk, an affine expression pins the dimension.
+    """
+
+    array: str
+    pattern: Tuple[Optional[AffineExpr], ...]
+
+    def substitute_indices(self, bindings: Mapping[str, AffineExpr]) -> "BlockRead":
+        return BlockRead(
+            self.array,
+            tuple(p.substitute(bindings) if p is not None else None for p in self.pattern),
+        )
+
+    def array_refs(self) -> Tuple[Tuple[ArrayRef, bool], ...]:
+        return ()
+
+    def fixed_values(self, env: Mapping[str, Number]) -> Tuple[Optional[int], ...]:
+        """The pattern with affine entries evaluated (wildcards stay ``None``)."""
+        return tuple(
+            p.evaluate_int(env) if p is not None else None for p in self.pattern
+        )
+
+    def __str__(self) -> str:
+        inner = ", ".join("*" if p is None else str(p) for p in self.pattern)
+        return f"read {self.array}[{inner}]"

@@ -1,0 +1,83 @@
+"""Structural validation of loop nests and programs."""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.errors import IRError
+from repro.ir.loop import LoopNest
+from repro.ir.program import Program
+
+
+def validate_nest(nest: LoopNest, params: Set[str] = frozenset()) -> None:
+    """Check the structural invariants of a loop nest.
+
+    * index names are distinct;
+    * each bound references only outer indices and parameters;
+    * every subscript references only indices and parameters.
+
+    Raises :class:`IRError` with a descriptive message on the first failure.
+    Unknown free symbols are allowed when ``params`` is empty (they are
+    treated as implicit parameters); when ``params`` is non-empty they are
+    errors.
+    """
+    seen: List[str] = []
+    for loop in nest.loops:
+        if loop.index in seen:
+            raise IRError(f"duplicate loop index {loop.index!r}")
+        allowed = set(seen) | set(params)
+        for expr in loop.lower + loop.upper:
+            for name in expr.variables():
+                if name in seen:
+                    continue
+                if params and name not in params:
+                    raise IRError(
+                        f"bound of loop {loop.index!r} references unknown symbol {name!r}"
+                    )
+                if name == loop.index or name in _inner_indices(nest, loop.index):
+                    raise IRError(
+                        f"bound of loop {loop.index!r} references non-outer index {name!r}"
+                    )
+        if loop.align is not None:
+            for name in loop.align.variables():
+                if name == loop.index or name in _inner_indices(nest, loop.index):
+                    raise IRError(
+                        f"alignment of loop {loop.index!r} references non-outer index {name!r}"
+                    )
+        del allowed
+        seen.append(loop.index)
+
+    index_set = set(seen)
+    for ref, _ in nest.array_refs():
+        for sub in ref.subscripts:
+            for name in sub.variables():
+                if name in index_set:
+                    continue
+                if params and name not in params:
+                    raise IRError(
+                        f"subscript of {ref.array!r} references unknown symbol {name!r}"
+                    )
+
+
+def _inner_indices(nest: LoopNest, index: str) -> Set[str]:
+    names = list(nest.indices)
+    position = names.index(index)
+    return set(names[position + 1 :])
+
+
+def validate_program(program: Program) -> None:
+    """Validate a whole program: nest structure, declarations, ranks."""
+    params = set(program.params)
+    validate_nest(program.nest, params if params else frozenset())
+    for ref, _ in program.nest.array_refs():
+        if not program.has_array(ref.array):
+            raise IRError(f"array {ref.array!r} used but not declared")
+        decl = program.array(ref.array)
+        if decl.rank != ref.rank:
+            raise IRError(
+                f"array {ref.array!r} declared rank {decl.rank} but referenced "
+                f"with {ref.rank} subscripts"
+            )
+    for name in program.distributions:
+        if not program.has_array(name):
+            raise IRError(f"distribution given for undeclared array {name!r}")

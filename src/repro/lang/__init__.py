@@ -1,0 +1,5 @@
+"""Front-end DSL: FORTRAN-D-style programs with distribution declarations."""
+
+from repro.lang.parser import parse_program
+
+__all__ = ["parse_program"]

@@ -1,0 +1,326 @@
+"""The front-end mini-language.
+
+The paper's compiler accepts FORTRAN-77 with data-distribution
+declarations.  Our equivalent is a small indentation-structured language in
+the exact display style of the paper's figures::
+
+    program gemm
+    param N = 400
+    real C(N, N) distribute (*, wrapped)
+    real A(N, N) distribute (*, wrapped)
+    real B(N, N) distribute (*, wrapped)
+
+    for i = 0, N-1
+        for j = 0, N-1
+            for k = 0, N-1
+                C[i, j] = C[i, j] + A[i, k] * B[k, j]
+
+Rules:
+
+* ``param NAME [= INT]`` declares a symbolic size parameter;
+* ``assume FACT`` records a parameter fact (``assume N >= 2*b``) used to
+  simplify generated loop bounds;
+* ``real NAME(e1, e2, ...)`` declares an array with affine extents, with an
+  optional ``distribute (spec, ...)`` clause whose per-dimension specs are
+  ``*`` (not distributed), ``wrapped`` or ``block``/``blocked``;
+* ``for IDX = LOW, HIGH [, step S]`` opens a loop; bounds may use
+  ``max(...)``/``min(...)``;
+* assignments are array assignments; the nest must be *perfect* (statements
+  only at the innermost level), which is what the restructuring theory
+  requires;
+* nesting is by indentation (spaces only).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.distributions import BlockCyclic, Blocked, Distribution, Wrapped
+from repro.errors import ParseError, SemanticError
+from repro.ir.builder import _split_top_level, parse_assignment
+from repro.ir.loop import Loop, LoopNest
+from repro.ir.program import ArrayDecl, Program
+from repro.ir.validate import validate_program
+
+_FOR_RE = re.compile(
+    r"^for\s+(?P<index>[A-Za-z_]\w*)\s*=\s*(?P<rest>.+)$"
+)
+_PARAM_RE = re.compile(
+    r"^param\s+(?P<name>[A-Za-z_]\w*)\s*(?:=\s*(?P<value>-?\d+))?$"
+)
+_ARRAY_HEAD_RE = re.compile(r"^real\s+(?P<name>[A-Za-z_]\w*)\s*\(")
+
+
+def _balanced(text: str, start: int) -> Optional[int]:
+    """Index just past the ')' closing the '(' at ``start`` (None if none)."""
+    depth = 0
+    for position in range(start, len(text)):
+        if text[position] == "(":
+            depth += 1
+        elif text[position] == ")":
+            depth -= 1
+            if depth == 0:
+                return position + 1
+    return None
+
+
+def _match_array(text: str):
+    """Parse ``real NAME(extents...) [distribute (spec...)]`` manually.
+
+    A regex cannot do this because distribution specs may nest parentheses
+    (``cyclic(4)``) and extents may contain parenthesized expressions.
+    Returns ``(name, extents_text, dist_text_or_None)`` or ``None``.
+    """
+    head = _ARRAY_HEAD_RE.match(text)
+    if not head:
+        return None
+    open_paren = text.index("(", head.start())
+    close = _balanced(text, open_paren)
+    if close is None:
+        return None
+    extents = text[open_paren + 1 : close - 1]
+    rest = text[close:].strip()
+    if not rest:
+        return head.group("name"), extents, None
+    if not rest.startswith("distribute"):
+        return None
+    rest = rest[len("distribute"):].strip()
+    if not rest.startswith("("):
+        return None
+    dist_close = _balanced(rest, 0)
+    if dist_close is None or rest[dist_close:].strip():
+        return None
+    return head.group("name"), extents, rest[1 : dist_close - 1]
+_PROGRAM_RE = re.compile(r"^program\s+(?P<name>[\w.-]+)$")
+_ASSUME_RE = re.compile(r"^assume\s+(?P<fact>.+)$")
+
+
+@dataclass
+class _Line:
+    number: int
+    indent: int
+    text: str
+
+
+def _logical_lines(source: str) -> List[_Line]:
+    lines: List[_Line] = []
+    for number, raw in enumerate(source.splitlines(), start=1):
+        without_comment = raw.split("#", 1)[0].split("!", 1)[0]
+        stripped = without_comment.strip()
+        if not stripped:
+            continue
+        if "\t" in without_comment[: len(without_comment) - len(without_comment.lstrip())]:
+            raise ParseError("indent with spaces, not tabs", line=number)
+        indent = len(without_comment) - len(without_comment.lstrip(" "))
+        lines.append(_Line(number=number, indent=indent, text=stripped))
+    return lines
+
+
+_BLOCK_CYCLIC_RE = re.compile(r"^(?:block)?cyclic\((?P<size>\d+)\)$")
+
+
+def _parse_distribution(spec: str, line: int) -> Optional[Distribution]:
+    parts = [part.strip().lower() for part in spec.split(",")]
+    chosen: Optional[Tuple[int, str]] = None
+    for dim, part in enumerate(parts):
+        if part in ("*", ""):
+            continue
+        if (
+            part not in ("wrapped", "block", "blocked", "cyclic")
+            and not _BLOCK_CYCLIC_RE.match(part)
+        ):
+            raise ParseError(
+                f"unknown distribution spec {part!r} "
+                "(use *, wrapped, block or cyclic(B))",
+                line=line,
+            )
+        if chosen is not None:
+            raise ParseError(
+                "at most one distribution dimension is supported here",
+                line=line,
+            )
+        chosen = (dim, part)
+    if chosen is None:
+        return None
+    dim, kind = chosen
+    match = _BLOCK_CYCLIC_RE.match(kind)
+    if match:
+        return BlockCyclic(dim, int(match.group("size")))
+    if kind in ("wrapped", "cyclic"):
+        return Wrapped(dim)
+    return Blocked(dim)
+
+
+def _parse_for(line: _Line) -> Loop:
+    match = _FOR_RE.match(line.text)
+    if not match:
+        raise ParseError(f"malformed for statement: {line.text!r}", line=line.number)
+    rest = match.group("rest")
+    pieces = _split_top_level(rest)
+    step = 1
+    if len(pieces) == 3:
+        step_text = pieces[2].strip()
+        if not step_text.lower().startswith("step"):
+            raise ParseError(
+                f"expected 'step S' as third clause, got {step_text!r}",
+                line=line.number,
+            )
+        try:
+            step = int(step_text[4:].strip())
+        except ValueError as error:
+            raise ParseError(
+                f"loop step must be an integer literal: {step_text!r}",
+                line=line.number,
+            ) from error
+        pieces = pieces[:2]
+    if len(pieces) != 2:
+        raise ParseError(
+            f"for statement needs 'for i = low, high': {line.text!r}",
+            line=line.number,
+        )
+    lower = _bounds(pieces[0], line.number)
+    upper = _bounds(pieces[1], line.number)
+    try:
+        return Loop.make(match.group("index"), lower, upper, step=step)
+    except Exception as error:  # invalid bound expressions
+        raise ParseError(str(error), line=line.number) from error
+
+
+def _bounds(text: str, line: int):
+    stripped = text.strip()
+    lowered = stripped.lower()
+    if lowered.startswith(("max(", "min(")) and stripped.endswith(")"):
+        return _split_top_level(stripped[4:-1])
+    return stripped
+
+
+def parse_program(source: str, *, name: str = "program") -> Program:
+    """Parse DSL source into a validated :class:`~repro.ir.Program`."""
+    lines = _logical_lines(source)
+    if not lines:
+        raise ParseError("empty program")
+
+    program_name = name
+    params: Dict[str, int] = {}
+    arrays: List[ArrayDecl] = []
+    distributions: Dict[str, Distribution] = {}
+    assumptions: List[str] = []
+
+    position = 0
+    # Header section: program / param / assume / real declarations.
+    while position < len(lines):
+        line = lines[position]
+        match = _PROGRAM_RE.match(line.text)
+        if match:
+            program_name = match.group("name")
+            position += 1
+            continue
+        match = _ASSUME_RE.match(line.text)
+        if match:
+            fact = match.group("fact").strip()
+            if ">=" not in fact and "<=" not in fact:
+                raise ParseError(
+                    f"assume needs a '>=' or '<=' fact, got {fact!r}",
+                    line=line.number,
+                )
+            assumptions.append(fact)
+            position += 1
+            continue
+        match = _PARAM_RE.match(line.text)
+        if match:
+            if match.group("value") is not None:
+                params[match.group("name")] = int(match.group("value"))
+            else:
+                params.setdefault(match.group("name"), 0)
+            position += 1
+            continue
+        array_match = _match_array(line.text)
+        if array_match is not None:
+            array_name, extents_text, dist_text = array_match
+            extents = [
+                part.strip() for part in _split_top_level(extents_text)
+            ]
+            if not extents or extents == [""]:
+                raise ParseError(
+                    f"array {array_name!r} needs at least one extent",
+                    line=line.number,
+                )
+            try:
+                decl = ArrayDecl.make(array_name, *extents)
+            except Exception as error:
+                raise ParseError(str(error), line=line.number) from error
+            arrays.append(decl)
+            if dist_text is not None:
+                distribution = _parse_distribution(dist_text, line.number)
+                if distribution is not None:
+                    distributions[decl.name] = distribution
+            position += 1
+            continue
+        break  # first non-declaration line: the loop nest begins
+
+    loops, body_lines = _parse_nest(lines[position:])
+    if not loops:
+        raise ParseError("program has no loop nest")
+    index_names = [loop.index for loop in loops]
+    body = []
+    for line in body_lines:
+        try:
+            body.append(parse_assignment(line.text, index_names))
+        except ParseError as error:
+            raise ParseError(str(error), line=line.number) from None
+    if not body:
+        raise ParseError("loop nest has an empty body")
+
+    program = Program(
+        nest=LoopNest(tuple(loops), tuple(body)),
+        arrays=tuple(arrays),
+        distributions=distributions,
+        params=params,
+        name=program_name,
+        assumptions=tuple(assumptions),
+    )
+    try:
+        validate_program(program)
+    except Exception as error:
+        raise SemanticError(str(error)) from error
+    return program
+
+
+def _parse_nest(lines: List[_Line]) -> Tuple[List[Loop], List[_Line]]:
+    """Parse a perfectly nested loop chain plus its innermost body."""
+    loops: List[Loop] = []
+    position = 0
+    current_indent = lines[0].indent if lines else 0
+    while position < len(lines) and lines[position].text.startswith("for"):
+        line = lines[position]
+        if line.indent != current_indent and loops:
+            raise ParseError(
+                "loop nesting must increase indentation consistently",
+                line=line.number,
+            )
+        loops.append(_parse_for(line))
+        position += 1
+        if position < len(lines):
+            next_indent = lines[position].indent
+            if next_indent <= line.indent:
+                raise ParseError(
+                    "loop body must be indented past its for statement",
+                    line=lines[position].number,
+                )
+            current_indent = next_indent
+    body = lines[position:]
+    for line in body:
+        if line.indent != current_indent:
+            raise ParseError(
+                "all body statements must share one indentation level "
+                "(the nest must be perfect)",
+                line=line.number,
+            )
+        if line.text.startswith("for"):
+            raise ParseError(
+                "imperfect nest: a for statement follows body statements",
+                line=line.number,
+            )
+    return loops, body

@@ -1,0 +1,71 @@
+"""Exact integer/rational linear algebra substrate.
+
+Everything the access-normalization pass needs from "integer lattice theory"
+(Section 3 of the paper) lives here: exact rational matrices, Hermite and
+Smith normal forms, Diophantine solving, lattices with lexicographic
+scanning support, and Fourier-Motzkin elimination.
+"""
+
+from repro.linalg.diophantine import (
+    DiophantineSolution,
+    integer_null_basis,
+    solve_diophantine,
+    try_solve_diophantine,
+)
+from repro.linalg.fourier_motzkin import (
+    Bound,
+    Constraint,
+    InfeasibleSystemError,
+    LevelBounds,
+    eliminate,
+    eliminate_with_projections,
+    implies_bound,
+    maximize,
+)
+from repro.linalg.fraction_matrix import Matrix
+from repro.linalg.hermite import column_hnf, hnf_diagonal, row_hnf
+from repro.linalg.intmat import (
+    as_int_vector,
+    clear_denominators,
+    dot,
+    is_integer_vector,
+    lcm,
+    vector_gcd,
+    vector_lcm,
+)
+from repro.linalg.lattice import (
+    IntegerLattice,
+    first_aligned_at_least,
+    last_aligned_at_most,
+)
+from repro.linalg.smith import smith_normal_form
+
+__all__ = [
+    "Bound",
+    "Constraint",
+    "DiophantineSolution",
+    "InfeasibleSystemError",
+    "IntegerLattice",
+    "LevelBounds",
+    "Matrix",
+    "as_int_vector",
+    "clear_denominators",
+    "column_hnf",
+    "dot",
+    "eliminate",
+    "eliminate_with_projections",
+    "first_aligned_at_least",
+    "hnf_diagonal",
+    "integer_null_basis",
+    "is_integer_vector",
+    "last_aligned_at_most",
+    "implies_bound",
+    "lcm",
+    "maximize",
+    "row_hnf",
+    "smith_normal_form",
+    "solve_diophantine",
+    "try_solve_diophantine",
+    "vector_gcd",
+    "vector_lcm",
+]

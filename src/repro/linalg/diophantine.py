@@ -1,0 +1,94 @@
+"""Integer (Diophantine) linear system solving.
+
+Solves ``A @ x = b`` for integer ``x`` using the Smith normal form, returning
+one particular solution together with a lattice basis of the homogeneous
+solutions.  This is the engine behind uniform dependence-distance extraction
+and non-unit-step loop distribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.errors import NoIntegerSolutionError, ShapeError
+from repro.linalg.fraction_matrix import Matrix
+from repro.linalg.smith import smith_normal_form
+
+
+@dataclass(frozen=True)
+class DiophantineSolution:
+    """The full integer solution set of ``A @ x = b``.
+
+    The solutions are exactly ``particular + sum_k c_k * homogeneous[k]`` for
+    integer coefficients ``c_k``.
+    """
+
+    particular: List[int]
+    homogeneous: List[List[int]]
+
+    @property
+    def is_unique(self) -> bool:
+        """True when the system has exactly one integer solution."""
+        return not self.homogeneous
+
+    def sample(self, coefficients: Sequence[int]) -> List[int]:
+        """The solution obtained with the given homogeneous coefficients."""
+        if len(coefficients) != len(self.homogeneous):
+            raise ShapeError("one coefficient per homogeneous generator is required")
+        result = list(self.particular)
+        for coefficient, generator in zip(coefficients, self.homogeneous):
+            for index, value in enumerate(generator):
+                result[index] += coefficient * value
+        return result
+
+
+def solve_diophantine(matrix: Matrix, rhs: Sequence[int]) -> DiophantineSolution:
+    """Solve ``matrix @ x = rhs`` over the integers.
+
+    Raises :class:`NoIntegerSolutionError` when no integer solution exists.
+    """
+    if len(rhs) != matrix.nrows:
+        raise ShapeError("right-hand side length must match the row count")
+    smith, left, right = smith_normal_form(matrix)
+    transformed = left.apply(list(rhs))
+
+    n = matrix.ncols
+    y = [0] * n
+    rank = 0
+    for k in range(min(matrix.nrows, n)):
+        if smith[k, k] != 0:
+            rank = k + 1
+    for k in range(min(matrix.nrows, n)):
+        diag = int(smith[k, k])
+        value = transformed[k]
+        if diag == 0:
+            if value != 0:
+                raise NoIntegerSolutionError("inconsistent system")
+            continue
+        if value % diag != 0:
+            raise NoIntegerSolutionError(f"component {k} not divisible by {diag}")
+        y[k] = int(value // diag)
+    for k in range(n, matrix.nrows):
+        if transformed[k] != 0:
+            raise NoIntegerSolutionError("inconsistent system")
+
+    particular = [int(entry) for entry in right.apply(y)]
+    homogeneous = [
+        [int(right[i, j]) for i in range(n)] for j in range(rank, n)
+    ]
+    return DiophantineSolution(particular=particular, homogeneous=homogeneous)
+
+
+def integer_null_basis(matrix: Matrix) -> List[List[int]]:
+    """A lattice basis of the integer null space of ``matrix``."""
+    solution = solve_diophantine(matrix, [0] * matrix.nrows)
+    return solution.homogeneous
+
+
+def try_solve_diophantine(matrix: Matrix, rhs: Sequence[int]) -> Optional[DiophantineSolution]:
+    """Like :func:`solve_diophantine` but returns ``None`` when unsolvable."""
+    try:
+        return solve_diophantine(matrix, rhs)
+    except NoIntegerSolutionError:
+        return None

@@ -1,0 +1,386 @@
+"""Exact dense matrices over the rationals.
+
+The whole compiler works with small matrices (dimensions bounded by the loop
+nest depth, typically 2-6), so an exact ``fractions.Fraction`` implementation
+is both fast enough and immune to the rounding problems that would corrupt
+lattice computations.
+
+The class is deliberately small and explicit: rows are tuples of
+:class:`fractions.Fraction`, and every operation returns a new matrix.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, List, Sequence, Tuple, Union
+
+from repro.errors import NotInvertibleError, ShapeError
+
+Scalar = Union[int, Fraction]
+RowLike = Sequence[Scalar]
+
+
+def _frac(value: Scalar) -> Fraction:
+    if isinstance(value, Fraction):
+        return value
+    if isinstance(value, int):
+        return Fraction(value)
+    raise TypeError(f"matrix entries must be int or Fraction, got {type(value).__name__}")
+
+
+class Matrix:
+    """An immutable dense matrix with exact rational entries.
+
+    Parameters
+    ----------
+    rows:
+        An iterable of rows; each row is a sequence of ``int`` or
+        ``Fraction`` entries.  All rows must have equal length.
+    """
+
+    __slots__ = ("_rows", "nrows", "ncols")
+
+    def __init__(self, rows: Iterable[RowLike]):
+        materialized: List[Tuple[Fraction, ...]] = []
+        width = None
+        for row in rows:
+            converted = tuple(_frac(entry) for entry in row)
+            if width is None:
+                width = len(converted)
+            elif len(converted) != width:
+                raise ShapeError("all rows of a matrix must have the same length")
+            materialized.append(converted)
+        if width is None:
+            width = 0
+        self._rows: Tuple[Tuple[Fraction, ...], ...] = tuple(materialized)
+        self.nrows = len(self._rows)
+        self.ncols = width
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def identity(n: int) -> "Matrix":
+        """The n-by-n identity matrix."""
+        return Matrix([[1 if i == j else 0 for j in range(n)] for i in range(n)])
+
+    @staticmethod
+    def zeros(nrows: int, ncols: int) -> "Matrix":
+        """A matrix of zeros with the given shape."""
+        return Matrix([[0] * ncols for _ in range(nrows)])
+
+    @staticmethod
+    def from_rows(rows: Iterable[RowLike]) -> "Matrix":
+        """Alias of the constructor, for symmetry with :meth:`from_cols`."""
+        return Matrix(rows)
+
+    @staticmethod
+    def from_cols(cols: Iterable[RowLike]) -> "Matrix":
+        """Build a matrix whose *columns* are the given sequences."""
+        cols = [list(col) for col in cols]
+        if not cols:
+            return Matrix([])
+        height = len(cols[0])
+        for col in cols:
+            if len(col) != height:
+                raise ShapeError("all columns must have the same length")
+        return Matrix([[cols[j][i] for j in range(len(cols))] for i in range(height)])
+
+    @staticmethod
+    def column(entries: RowLike) -> "Matrix":
+        """A single-column matrix (column vector)."""
+        return Matrix([[entry] for entry in entries])
+
+    @staticmethod
+    def row(entries: RowLike) -> "Matrix":
+        """A single-row matrix (row vector)."""
+        return Matrix([list(entries)])
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """``(nrows, ncols)``."""
+        return (self.nrows, self.ncols)
+
+    @property
+    def is_square(self) -> bool:
+        """True when the matrix has as many rows as columns."""
+        return self.nrows == self.ncols
+
+    def rows(self) -> List[List[Fraction]]:
+        """The entries as a fresh list of row lists."""
+        return [list(row) for row in self._rows]
+
+    def cols(self) -> List[List[Fraction]]:
+        """The entries as a fresh list of column lists."""
+        return [[self._rows[i][j] for i in range(self.nrows)] for j in range(self.ncols)]
+
+    def row_at(self, i: int) -> Tuple[Fraction, ...]:
+        """Row ``i`` as a tuple."""
+        return self._rows[i]
+
+    def col_at(self, j: int) -> Tuple[Fraction, ...]:
+        """Column ``j`` as a tuple."""
+        return tuple(self._rows[i][j] for i in range(self.nrows))
+
+    def __getitem__(self, key: Tuple[int, int]) -> Fraction:
+        i, j = key
+        return self._rows[i][j]
+
+    def is_integer(self) -> bool:
+        """True when every entry has denominator 1."""
+        return all(entry.denominator == 1 for row in self._rows for entry in row)
+
+    def to_int_rows(self) -> List[List[int]]:
+        """The entries as Python ints; raises if any entry is fractional."""
+        if not self.is_integer():
+            raise ValueError("matrix has non-integer entries")
+        return [[int(entry) for entry in row] for row in self._rows]
+
+    def is_zero(self) -> bool:
+        """True when every entry is zero."""
+        return all(entry == 0 for row in self._rows for entry in row)
+
+    # ------------------------------------------------------------------
+    # structural operations
+    # ------------------------------------------------------------------
+    def transpose(self) -> "Matrix":
+        """The transpose."""
+        return Matrix([[self._rows[i][j] for i in range(self.nrows)] for j in range(self.ncols)])
+
+    def hstack(self, other: "Matrix") -> "Matrix":
+        """Concatenate columns: ``[self | other]``."""
+        if self.nrows != other.nrows:
+            raise ShapeError("hstack requires equal row counts")
+        return Matrix([list(a) + list(b) for a, b in zip(self._rows, other._rows)])
+
+    def vstack(self, other: "Matrix") -> "Matrix":
+        """Concatenate rows: ``[self / other]``."""
+        if self.nrows and other.nrows and self.ncols != other.ncols:
+            raise ShapeError("vstack requires equal column counts")
+        return Matrix(list(self._rows) + list(other._rows))
+
+    def select_rows(self, indices: Sequence[int]) -> "Matrix":
+        """A new matrix keeping only the rows at ``indices`` (in that order)."""
+        return Matrix([self._rows[i] for i in indices])
+
+    def select_cols(self, indices: Sequence[int]) -> "Matrix":
+        """A new matrix keeping only the columns at ``indices`` (in that order)."""
+        return Matrix([[row[j] for j in indices] for row in self._rows])
+
+    def drop_col(self, j: int) -> "Matrix":
+        """A new matrix without column ``j``."""
+        return self.select_cols([c for c in range(self.ncols) if c != j])
+
+    def submatrix(self, row_slice: slice, col_slice: slice) -> "Matrix":
+        """A contiguous submatrix."""
+        return Matrix([row[col_slice] for row in self._rows[row_slice]])
+
+    # ------------------------------------------------------------------
+    # arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other: "Matrix") -> "Matrix":
+        if self.shape != other.shape:
+            raise ShapeError(f"cannot add {self.shape} and {other.shape}")
+        return Matrix(
+            [[a + b for a, b in zip(r1, r2)] for r1, r2 in zip(self._rows, other._rows)]
+        )
+
+    def __sub__(self, other: "Matrix") -> "Matrix":
+        if self.shape != other.shape:
+            raise ShapeError(f"cannot subtract {other.shape} from {self.shape}")
+        return Matrix(
+            [[a - b for a, b in zip(r1, r2)] for r1, r2 in zip(self._rows, other._rows)]
+        )
+
+    def __neg__(self) -> "Matrix":
+        return Matrix([[-entry for entry in row] for row in self._rows])
+
+    def scale(self, factor: Scalar) -> "Matrix":
+        """Multiply every entry by ``factor``."""
+        factor = _frac(factor)
+        return Matrix([[factor * entry for entry in row] for row in self._rows])
+
+    def __matmul__(self, other: "Matrix") -> "Matrix":
+        if self.ncols != other.nrows:
+            raise ShapeError(f"cannot multiply {self.shape} by {other.shape}")
+        other_cols = other.cols()
+        return Matrix(
+            [
+                [sum(a * b for a, b in zip(row, col)) for col in other_cols]
+                for row in self._rows
+            ]
+        )
+
+    def apply(self, vector: RowLike) -> List[Fraction]:
+        """Matrix-vector product ``self @ vector`` as a flat list."""
+        if len(vector) != self.ncols:
+            raise ShapeError(f"vector of length {len(vector)} does not match {self.shape}")
+        vec = [_frac(entry) for entry in vector]
+        return [sum(a * b for a, b in zip(row, vec)) for row in self._rows]
+
+    # ------------------------------------------------------------------
+    # elimination-based queries
+    # ------------------------------------------------------------------
+    def rref(self) -> Tuple["Matrix", List[int]]:
+        """Reduced row echelon form and the list of pivot columns."""
+        rows = self.rows()
+        pivots: List[int] = []
+        pivot_row = 0
+        for col in range(self.ncols):
+            if pivot_row >= self.nrows:
+                break
+            chosen = None
+            for r in range(pivot_row, self.nrows):
+                if rows[r][col] != 0:
+                    chosen = r
+                    break
+            if chosen is None:
+                continue
+            rows[pivot_row], rows[chosen] = rows[chosen], rows[pivot_row]
+            scale = rows[pivot_row][col]
+            rows[pivot_row] = [entry / scale for entry in rows[pivot_row]]
+            for r in range(self.nrows):
+                if r != pivot_row and rows[r][col] != 0:
+                    factor = rows[r][col]
+                    rows[r] = [a - factor * b for a, b in zip(rows[r], rows[pivot_row])]
+            pivots.append(col)
+            pivot_row += 1
+        return Matrix(rows), pivots
+
+    def rank(self) -> int:
+        """The rank of the matrix."""
+        return len(self.rref()[1])
+
+    def independent_column_indices(self) -> List[int]:
+        """Indices of a maximal set of linearly independent columns.
+
+        The columns are chosen greedily from left to right, so the result is
+        the lexicographically first column basis.
+        """
+        return self.rref()[1]
+
+    def independent_row_indices(self) -> List[int]:
+        """Indices of a maximal set of linearly independent rows.
+
+        Rows are scanned from top to bottom and a row is kept exactly when it
+        is independent of the rows kept before it — the greedy order the
+        paper's Algorithm *BasisMatrix* requires, so that less important
+        (later) subscript rows are the ones discarded.
+        """
+        return self.transpose().independent_column_indices()
+
+    def det(self) -> Fraction:
+        """The determinant (square matrices only)."""
+        if not self.is_square:
+            raise ShapeError("determinant requires a square matrix")
+        rows = self.rows()
+        n = self.nrows
+        result = Fraction(1)
+        for col in range(n):
+            pivot = None
+            for r in range(col, n):
+                if rows[r][col] != 0:
+                    pivot = r
+                    break
+            if pivot is None:
+                return Fraction(0)
+            if pivot != col:
+                rows[col], rows[pivot] = rows[pivot], rows[col]
+                result = -result
+            result *= rows[col][col]
+            inv = Fraction(1) / rows[col][col]
+            for r in range(col + 1, n):
+                if rows[r][col] != 0:
+                    factor = rows[r][col] * inv
+                    rows[r] = [a - factor * b for a, b in zip(rows[r], rows[col])]
+        return result
+
+    def is_invertible(self) -> bool:
+        """True when the matrix is square with non-zero determinant."""
+        return self.is_square and self.det() != 0
+
+    def inverse(self) -> "Matrix":
+        """The exact inverse; raises :class:`NotInvertibleError` if singular."""
+        if not self.is_square:
+            raise NotInvertibleError("only square matrices can be inverted")
+        n = self.nrows
+        augmented, pivots = self.hstack(Matrix.identity(n)).rref()
+        if pivots[:n] != list(range(n)):
+            raise NotInvertibleError("matrix is singular")
+        return augmented.submatrix(slice(0, n), slice(n, 2 * n))
+
+    def solve(self, rhs: "Matrix") -> "Matrix":
+        """Solve ``self @ X = rhs`` for square invertible ``self``."""
+        return self.inverse() @ rhs
+
+    def null_space(self) -> List[List[Fraction]]:
+        """A basis of the (right) null space, as a list of vectors."""
+        reduced, pivots = self.rref()
+        free_cols = [j for j in range(self.ncols) if j not in pivots]
+        basis: List[List[Fraction]] = []
+        for free in free_cols:
+            vector = [Fraction(0)] * self.ncols
+            vector[free] = Fraction(1)
+            for row_index, pivot_col in enumerate(pivots):
+                vector[pivot_col] = -reduced[row_index, free]
+            basis.append(vector)
+        return basis
+
+    def is_unimodular(self) -> bool:
+        """True for square integer matrices with determinant ±1."""
+        return self.is_square and self.is_integer() and abs(self.det()) == 1
+
+    def is_permutation(self) -> bool:
+        """True when the matrix is a permutation matrix."""
+        if not self.is_square:
+            return False
+        for row in self._rows:
+            if sorted(row) != [Fraction(0)] * (self.ncols - 1) + [Fraction(1)]:
+                return False
+        for col in self.cols():
+            if sorted(col) != [Fraction(0)] * (self.nrows - 1) + [Fraction(1)]:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # dunder plumbing
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Matrix):
+            return NotImplemented
+        return self._rows == other._rows
+
+    def __hash__(self) -> int:
+        return hash(self._rows)
+
+    def __iter__(self):
+        return iter(self._rows)
+
+    def __repr__(self) -> str:
+        if not self.nrows:
+            return "Matrix([])"
+        body = ", ".join(
+            "[" + ", ".join(_format_entry(entry) for entry in row) + "]" for row in self._rows
+        )
+        return f"Matrix([{body}])"
+
+    def pretty(self) -> str:
+        """A human-readable aligned rendering, for logs and docs."""
+        cells = [[_format_entry(entry) for entry in row] for row in self._rows]
+        if not cells:
+            return "[]"
+        widths = [max(len(cells[i][j]) for i in range(self.nrows)) for j in range(self.ncols)]
+        lines = []
+        for row in cells:
+            padded = "  ".join(cell.rjust(width) for cell, width in zip(row, widths))
+            lines.append(f"[ {padded} ]")
+        return "\n".join(lines)
+
+
+def _format_entry(entry: Fraction) -> str:
+    if entry.denominator == 1:
+        return str(entry.numerator)
+    return f"{entry.numerator}/{entry.denominator}"

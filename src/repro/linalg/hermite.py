@@ -1,0 +1,115 @@
+"""Hermite normal form over the integers.
+
+The column-style Hermite normal form is the workhorse of non-unimodular loop
+transformation: for an invertible integer transformation ``T``, the image
+lattice ``T . Z^n`` equals ``H . Z^n`` where ``H = T @ U`` is lower triangular
+with positive diagonal and ``U`` is unimodular.  The diagonal of ``H`` gives
+the stride of each transformed loop and the sub-diagonal entries give the
+alignment (offset) of inner loops relative to outer ones.
+
+Both the column form (``H = A @ U``) and the row form (``H = U @ A``) are
+provided; each returns the unimodular cofactor so callers can verify the
+factorization exactly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.linalg.fraction_matrix import Matrix
+
+
+def _as_int_grid(matrix: Matrix) -> List[List[int]]:
+    return matrix.to_int_rows()
+
+
+def _swap_cols(grid: List[List[int]], a: int, b: int) -> None:
+    for row in grid:
+        row[a], row[b] = row[b], row[a]
+
+
+def _negate_col(grid: List[List[int]], j: int) -> None:
+    for row in grid:
+        row[j] = -row[j]
+
+
+def _add_col_multiple(grid: List[List[int]], target: int, source: int, factor: int) -> None:
+    if factor == 0:
+        return
+    for row in grid:
+        row[target] += factor * row[source]
+
+
+def column_hnf(matrix: Matrix) -> Tuple[Matrix, Matrix]:
+    """Column-style Hermite normal form.
+
+    Returns ``(H, U)`` with ``H = matrix @ U``, ``U`` unimodular, and ``H`` in
+    column echelon form: each pivot is positive, lies strictly below the
+    pivot of the previous column, everything to the right of a pivot in its
+    row is zero, and entries to the left of a pivot in its row are reduced to
+    ``0 <= h < pivot``.
+
+    For a square invertible input, ``H`` is lower triangular with positive
+    diagonal.
+    """
+    grid = _as_int_grid(matrix)
+    nrows = len(grid)
+    ncols = len(grid[0]) if grid else 0
+    cofactor = Matrix.identity(ncols).to_int_rows()
+
+    pivot_col = 0
+    pivot_rows: List[int] = []
+    for row in range(nrows):
+        if pivot_col >= ncols:
+            break
+        if all(grid[row][j] == 0 for j in range(pivot_col, ncols)):
+            continue
+        # Gcd elimination across columns pivot_col..ncols-1 in this row.
+        while True:
+            nonzero = [j for j in range(pivot_col, ncols) if grid[row][j] != 0]
+            if len(nonzero) == 1 and nonzero[0] == pivot_col:
+                break
+            smallest = min(nonzero, key=lambda j: abs(grid[row][j]))
+            if smallest != pivot_col:
+                _swap_cols(grid, smallest, pivot_col)
+                _swap_cols(cofactor, smallest, pivot_col)
+            pivot_value = grid[row][pivot_col]
+            for j in range(pivot_col + 1, ncols):
+                if grid[row][j] != 0:
+                    quotient = grid[row][j] // pivot_value
+                    _add_col_multiple(grid, j, pivot_col, -quotient)
+                    _add_col_multiple(cofactor, j, pivot_col, -quotient)
+        if grid[row][pivot_col] < 0:
+            _negate_col(grid, pivot_col)
+            _negate_col(cofactor, pivot_col)
+        pivot_value = grid[row][pivot_col]
+        for j in range(pivot_col):
+            quotient = grid[row][j] // pivot_value
+            if quotient:
+                _add_col_multiple(grid, j, pivot_col, -quotient)
+                _add_col_multiple(cofactor, j, pivot_col, -quotient)
+        pivot_rows.append(row)
+        pivot_col += 1
+
+    return Matrix(grid), Matrix(cofactor)
+
+
+def row_hnf(matrix: Matrix) -> Tuple[Matrix, Matrix]:
+    """Row-style Hermite normal form.
+
+    Returns ``(H, U)`` with ``H = U @ matrix``, ``U`` unimodular, and ``H`` in
+    row echelon form with positive pivots; entries above each pivot are
+    reduced to ``0 <= h < pivot``.
+    """
+    column_form, cofactor = column_hnf(matrix.transpose())
+    return column_form.transpose(), cofactor.transpose()
+
+
+def hnf_diagonal(matrix: Matrix) -> List[int]:
+    """Diagonal of the column HNF of a square invertible integer matrix.
+
+    Entry ``k`` is the stride of transformed loop ``k`` when scanning the
+    image lattice of ``matrix`` in lexicographic order.
+    """
+    hermite, _ = column_hnf(matrix)
+    return [int(hermite[k, k]) for k in range(min(matrix.nrows, matrix.ncols))]

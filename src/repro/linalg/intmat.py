@@ -1,0 +1,70 @@
+"""Small integer-vector utilities shared across the lattice machinery."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from math import gcd
+from typing import List, Sequence, Union
+
+Scalar = Union[int, Fraction]
+
+
+def vector_gcd(values: Sequence[int]) -> int:
+    """Non-negative gcd of a sequence of integers (0 for all-zero input)."""
+    result = 0
+    for value in values:
+        result = gcd(result, abs(int(value)))
+    return result
+
+
+def lcm(a: int, b: int) -> int:
+    """Least common multiple of two non-negative integers."""
+    if a == 0 or b == 0:
+        return 0
+    return abs(a * b) // gcd(a, b)
+
+
+def vector_lcm(values: Sequence[int]) -> int:
+    """Least common multiple of a sequence of positive integers."""
+    result = 1
+    for value in values:
+        result = lcm(result, abs(int(value)))
+    return result
+
+
+def clear_denominators(vector: Sequence[Fraction]) -> List[int]:
+    """Scale a rational vector by the smallest positive integer making it integral.
+
+    The result is additionally divided by the gcd of its entries, so the
+    returned vector is *primitive* (entries have gcd 1), preserving direction.
+    """
+    fracs = [Fraction(entry) for entry in vector]
+    denominator = vector_lcm([entry.denominator for entry in fracs]) or 1
+    scaled = [int(entry * denominator) for entry in fracs]
+    divisor = vector_gcd(scaled)
+    if divisor > 1:
+        scaled = [entry // divisor for entry in scaled]
+    return scaled
+
+
+def dot(a: Sequence[Scalar], b: Sequence[Scalar]) -> Scalar:
+    """Inner product of two equal-length vectors."""
+    if len(a) != len(b):
+        raise ValueError("dot requires equal-length vectors")
+    return sum(x * y for x, y in zip(a, b))
+
+
+def is_integer_vector(vector: Sequence[Fraction]) -> bool:
+    """True when every entry of a rational vector is an integer."""
+    return all(Fraction(entry).denominator == 1 for entry in vector)
+
+
+def as_int_vector(vector: Sequence[Scalar]) -> List[int]:
+    """Convert a rational vector with unit denominators to ints."""
+    result = []
+    for entry in vector:
+        frac = Fraction(entry)
+        if frac.denominator != 1:
+            raise ValueError(f"entry {frac} is not an integer")
+        result.append(int(frac))
+    return result

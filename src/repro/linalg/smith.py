@@ -1,0 +1,138 @@
+"""Smith normal form over the integers.
+
+Used by the Diophantine solver: ``U @ A @ V = S`` with ``U``, ``V``
+unimodular and ``S`` diagonal with ``s_1 | s_2 | ... | s_r``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.linalg.fraction_matrix import Matrix
+
+
+def _swap_rows(grid: List[List[int]], a: int, b: int) -> None:
+    grid[a], grid[b] = grid[b], grid[a]
+
+
+def _swap_cols(grid: List[List[int]], a: int, b: int) -> None:
+    for row in grid:
+        row[a], row[b] = row[b], row[a]
+
+
+def _add_row_multiple(grid: List[List[int]], target: int, source: int, factor: int) -> None:
+    if factor == 0:
+        return
+    grid[target] = [t + factor * s for t, s in zip(grid[target], grid[source])]
+
+
+def _add_col_multiple(grid: List[List[int]], target: int, source: int, factor: int) -> None:
+    if factor == 0:
+        return
+    for row in grid:
+        row[target] += factor * row[source]
+
+
+def _negate_row(grid: List[List[int]], i: int) -> None:
+    grid[i] = [-value for value in grid[i]]
+
+
+def _negate_col(grid: List[List[int]], j: int) -> None:
+    for row in grid:
+        row[j] = -row[j]
+
+
+def _find_nonzero(grid: List[List[int]], start: int) -> Tuple[int, int]:
+    """Position of the non-zero entry of smallest magnitude in the trailing block."""
+    best = (-1, -1)
+    best_value = None
+    for i in range(start, len(grid)):
+        for j in range(start, len(grid[0])):
+            value = abs(grid[i][j])
+            if value and (best_value is None or value < best_value):
+                best = (i, j)
+                best_value = value
+    return best
+
+
+def smith_normal_form(matrix: Matrix) -> Tuple[Matrix, Matrix, Matrix]:
+    """Compute the Smith normal form.
+
+    Returns ``(S, U, V)`` such that ``U @ matrix @ V = S``, where ``U`` and
+    ``V`` are unimodular and ``S`` is diagonal with non-negative entries
+    satisfying the divisibility chain ``S[0,0] | S[1,1] | ...``.
+    """
+    grid = matrix.to_int_rows()
+    nrows = len(grid)
+    ncols = len(grid[0]) if grid else 0
+    left = Matrix.identity(nrows).to_int_rows()
+    right = Matrix.identity(ncols).to_int_rows()
+
+    for k in range(min(nrows, ncols)):
+        pivot_i, pivot_j = _find_nonzero(grid, k)
+        if pivot_i < 0:
+            break
+        _swap_rows(grid, k, pivot_i)
+        _swap_rows(left, k, pivot_i)
+        _swap_cols(grid, k, pivot_j)
+        _swap_cols(right, k, pivot_j)
+
+        while True:
+            # Clear the rest of column k with row operations.
+            dirty = False
+            for i in range(k + 1, nrows):
+                if grid[i][k] != 0:
+                    quotient = grid[i][k] // grid[k][k]
+                    _add_row_multiple(grid, i, k, -quotient)
+                    _add_row_multiple(left, i, k, -quotient)
+                    if grid[i][k] != 0:
+                        _swap_rows(grid, k, i)
+                        _swap_rows(left, k, i)
+                        dirty = True
+            # Clear the rest of row k with column operations.
+            for j in range(k + 1, ncols):
+                if grid[k][j] != 0:
+                    quotient = grid[k][j] // grid[k][k]
+                    _add_col_multiple(grid, j, k, -quotient)
+                    _add_col_multiple(right, j, k, -quotient)
+                    if grid[k][j] != 0:
+                        _swap_cols(grid, k, j)
+                        _swap_cols(right, k, j)
+                        dirty = True
+            if not dirty:
+                break
+
+        if grid[k][k] < 0:
+            _negate_row(grid, k)
+            _negate_row(left, k)
+
+        # Enforce the divisibility chain: if some trailing entry is not
+        # divisible by the pivot, fold its row into row k and redo.
+        pivot = grid[k][k]
+        offender = None
+        for i in range(k + 1, nrows):
+            for j in range(k + 1, ncols):
+                if grid[i][j] % pivot != 0:
+                    offender = i
+                    break
+            if offender is not None:
+                break
+        if offender is not None:
+            _add_row_multiple(grid, k, offender, 1)
+            _add_row_multiple(left, k, offender, 1)
+            # Redo this diagonal position.
+            return _resume(grid, left, right, k)
+
+    return Matrix(grid), Matrix(left), Matrix(right)
+
+
+def _resume(
+    grid: List[List[int]], left: List[List[int]], right: List[List[int]], k: int
+) -> Tuple[Matrix, Matrix, Matrix]:
+    """Restart elimination from diagonal position ``k`` after a divisibility fix.
+
+    The accumulated cofactors are threaded through by running the main
+    routine on the current grid and composing the results.
+    """
+    inner_s, inner_u, inner_v = smith_normal_form(Matrix(grid))
+    return inner_s, inner_u @ Matrix(left), Matrix(right) @ inner_v

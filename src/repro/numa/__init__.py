@@ -1,0 +1,27 @@
+"""NUMA machine models and the simulator (the paper's evaluation substrate)."""
+
+from repro.numa.machine import (
+    MachineConfig,
+    butterfly_gp1000,
+    ipsc860,
+    uniform_memory,
+)
+from repro.numa.simulator import (
+    AccessCounts,
+    ProcessorResult,
+    SimulationResult,
+    sequential_time,
+    simulate,
+)
+
+__all__ = [
+    "AccessCounts",
+    "MachineConfig",
+    "ProcessorResult",
+    "SimulationResult",
+    "butterfly_gp1000",
+    "ipsc860",
+    "sequential_time",
+    "simulate",
+    "uniform_memory",
+]

@@ -1,0 +1,95 @@
+"""NUMA machine models.
+
+The paper's target is the BBN Butterfly GP-1000: local references cost
+about 0.6 us, remote references about 6.6 us even without contention, and
+block transfers cost about 8 us of startup plus 0.31 us per byte
+(Section 8).  The Intel iPSC/i860 preset uses the Section 1 numbers: 70 us
+message startup and about 1 us per transferred double.
+
+The compute cost per executed statement calibrates the speedup curves'
+absolute scale; the published GP-1000 application studies put a
+floating-point multiply-add with local operands in the few-microsecond
+range, which is the default here.
+
+An optional contention model (Agarwal-style, discussed in Sections 1
+and 8) inflates remote latency with network load; it is off by default and
+exercised by the ABL1 ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Cost parameters of a NUMA machine (all times in microseconds)."""
+
+    name: str
+    local_access_us: float
+    remote_access_us: float
+    block_startup_us: float
+    block_per_byte_us: float
+    compute_per_statement_us: float = 2.0
+    guard_cost_us: float = 0.6
+    sync_cost_us: float = 20.0
+    contention_coefficient: float = 0.0
+
+    def block_transfer_us(self, num_bytes: int) -> float:
+        """Cost of one block transfer of ``num_bytes`` bytes."""
+        return self.block_startup_us + self.block_per_byte_us * num_bytes
+
+    def block_breakeven_elements(self, element_bytes: int = 8) -> float:
+        """Elements above which one block transfer beats per-element
+        remote accesses (amortization argument of Section 1)."""
+        per_element_block = self.block_per_byte_us * element_bytes
+        if self.remote_access_us <= per_element_block:
+            return float("inf")
+        return self.block_startup_us / (self.remote_access_us - per_element_block)
+
+    def with_contention(self, coefficient: float) -> "MachineConfig":
+        """A copy with the contention coefficient set."""
+        return replace(self, contention_coefficient=coefficient)
+
+
+def butterfly_gp1000(**overrides) -> MachineConfig:
+    """The paper's evaluation machine (BBN Butterfly GP-1000, Section 8)."""
+    config = MachineConfig(
+        name="BBN Butterfly GP-1000",
+        local_access_us=0.6,
+        remote_access_us=6.6,
+        block_startup_us=8.0,
+        block_per_byte_us=0.31,
+        # MC68020 + 68881 at 16 MHz: a double-precision multiply-add with
+        # address arithmetic lands around 10 us per executed statement.
+        compute_per_statement_us=10.0,
+    )
+    return replace(config, **overrides) if overrides else config
+
+
+def ipsc860(**overrides) -> MachineConfig:
+    """Intel iPSC/i860 (Section 1): message startup 70 us, ~1 us per
+    transferred double once the pipeline is set up.  Remote scalar access
+    means a full small-message round, dominated by startup."""
+    config = MachineConfig(
+        name="Intel iPSC/i860",
+        local_access_us=0.2,
+        remote_access_us=70.0,
+        block_startup_us=70.0,
+        block_per_byte_us=0.125,
+        compute_per_statement_us=0.5,
+    )
+    return replace(config, **overrides) if overrides else config
+
+
+def uniform_memory(**overrides) -> MachineConfig:
+    """A UMA reference machine: remote costs equal local costs.  Useful as a
+    control in ablations — access normalization should not matter here."""
+    config = MachineConfig(
+        name="uniform memory",
+        local_access_us=0.6,
+        remote_access_us=0.6,
+        block_startup_us=0.0,
+        block_per_byte_us=0.075,
+    )
+    return replace(config, **overrides) if overrides else config

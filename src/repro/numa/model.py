@@ -1,0 +1,139 @@
+"""Closed-form performance model (the TR's "simple performance model").
+
+Section 8 of the paper refers to a simple analytical model explaining the
+GEMM and SYR2K speedup curves.  For GEMM the three code variants have
+regular enough structure that every event count has a closed form; this
+module computes those counts *exactly* (integer arithmetic, worst
+processor), which lets the benchmark harness sweep paper-scale problems
+(400x400, P = 1..28) instantly.  The model is cross-validated against the
+event-exact simulator in the test suite.
+
+Variants (matching Figure 4's curve labels):
+
+* ``gemm``  — untransformed ``i`` loop distributed round-robin;
+* ``gemmT`` — access-normalized, remote accesses one element at a time;
+* ``gemmB`` — access-normalized with block transfers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.errors import SimulationError
+from repro.numa.machine import MachineConfig, butterfly_gp1000
+from repro.numa.simulator import AccessCounts, _time_us
+
+GEMM_VARIANTS = ("gemm", "gemmT", "gemmB")
+
+
+def _count_residues(low: int, high: int, modulus: int, target: int) -> int:
+    """#{x in [low, high] : x === target (mod modulus)}."""
+    if high < low:
+        return 0
+    first = low + ((target - low) % modulus)
+    if first > high:
+        return 0
+    return (high - first) // modulus + 1
+
+
+@dataclass(frozen=True)
+class ModelPoint:
+    """Predicted counts and time for the worst (slowest) processor."""
+
+    variant: str
+    processors: int
+    counts: AccessCounts
+    time_us: float
+
+
+def gemm_counts(
+    n: int, processors: int, proc: int, variant: str, element_bytes: int = 8
+) -> AccessCounts:
+    """Exact event counts for one processor of one GEMM variant.
+
+    Loops run over ``0 .. n-1`` (matching :func:`repro.blas.gemm_program`)
+    and all three arrays have a wrapped column distribution.
+    """
+    if variant not in GEMM_VARIANTS:
+        raise SimulationError(f"unknown GEMM variant {variant!r}")
+    p, cap = proc, processors
+    outer = _count_residues(0, n - 1, cap, p)  # distributed-loop iterations
+    mine = _count_residues(0, n - 1, cap, p)   # columns this processor owns
+    counts = AccessCounts()
+    counts.iterations = outer * n * n
+    counts.statements = outer * n * n
+
+    if variant == "gemm":
+        # Original loops (i distributed): C[i,j] (write+read, local iff
+        # j===p), A[i,k] (local iff k===p), B[k,j] (local iff j===p).
+        local_j = 3 * outer * n * mine      # two C accesses + one B access
+        local_k = outer * n * mine          # one A access
+        counts.local = local_j + local_k
+        counts.remote = 4 * outer * n * n - counts.local
+        return counts
+
+    # Normalized loops u, v, w over 1..n: C[w,u] and B[v,u] local,
+    # A[w,v] local iff v === p (mod P).
+    if variant == "gemmT":
+        counts.local = outer * (3 * n * n + n * mine)
+        counts.remote = outer * n * (n - mine)
+        return counts
+
+    # gemmB: one block transfer of column v (n elements) per non-local v.
+    counts.local = outer * 4 * n * n
+    counts.block_transfers = outer * (n - mine)
+    counts.block_bytes = counts.block_transfers * n * element_bytes
+    return counts
+
+
+def gemm_model(
+    n: int,
+    processors: int,
+    variant: str,
+    machine: Optional[MachineConfig] = None,
+) -> ModelPoint:
+    """Predicted makespan of a GEMM variant: the slowest processor's time.
+
+    Applies the machine's contention model the same way the simulator does
+    (one-shot inflation from aggregate remote traffic).
+    """
+    machine = machine or butterfly_gp1000()
+    per_proc = [
+        gemm_counts(n, processors, p, variant) for p in range(processors)
+    ]
+    multiplier = 1.0
+    if machine.contention_coefficient > 0 and processors > 1:
+        base = [_time_us(c, machine, 1.0) for c in per_proc]
+        makespan = max(base) or 1.0
+        remote_traffic = sum(
+            c.remote * machine.remote_access_us
+            + c.block_bytes * machine.block_per_byte_us
+            for c in per_proc
+        )
+        utilization = remote_traffic / (processors * makespan)
+        multiplier = 1.0 + machine.contention_coefficient * (processors - 1) * utilization
+    times = [_time_us(c, machine, multiplier) for c in per_proc]
+    worst = max(range(processors), key=lambda i: times[i])
+    return ModelPoint(
+        variant=variant,
+        processors=processors,
+        counts=per_proc[worst],
+        time_us=times[worst],
+    )
+
+
+def gemm_speedup_series(
+    n: int,
+    processor_counts: Iterable[int],
+    machine: Optional[MachineConfig] = None,
+) -> Dict[str, List[float]]:
+    """Speedup curves for all three GEMM variants (Figure 4's series)."""
+    machine = machine or butterfly_gp1000()
+    sequential = gemm_model(n, 1, "gemmB", machine).time_us
+    series: Dict[str, List[float]] = {v: [] for v in GEMM_VARIANTS}
+    for processors in processor_counts:
+        for variant in GEMM_VARIANTS:
+            point = gemm_model(n, processors, variant, machine)
+            series[variant].append(sequential / point.time_us)
+    return series

@@ -1,0 +1,22 @@
+"""Vectorization application of access normalization (Section 9)."""
+
+from repro.vector.driver import vector_priority, vectorize
+from repro.vector.stride import (
+    StrideInfo,
+    VectorCostModel,
+    dimension_strides,
+    reference_stride,
+    stride_report,
+    vector_loop_cycles,
+)
+
+__all__ = [
+    "StrideInfo",
+    "vector_priority",
+    "vectorize",
+    "VectorCostModel",
+    "dimension_strides",
+    "reference_stride",
+    "stride_report",
+    "vector_loop_cycles",
+]

@@ -1,0 +1,56 @@
+"""Access normalization targeted at vector machines (Section 9).
+
+For a NUMA machine the data access matrix ranks distribution-dimension
+subscripts first so the *outermost* loop matches the data layout.  For a
+vector machine the goal is dual: the *innermost* loop should advance the
+fastest-varying (column-major dimension 0) subscripts with constant —
+ideally unit — stride.  :func:`vectorize` reuses the whole normalization
+machinery with a stride-oriented row ranking: subscripts from the slower
+dimensions are pinned to the front (outer loops) so a dimension-0
+subscript lands innermost.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.normalize import NormalizationResult, access_normalize
+from repro.ir.loop import LoopNest
+from repro.ir.program import Program
+
+
+def vector_priority(nest: LoopNest) -> List[str]:
+    """Row ranking for vector targets: slow-dimension subscripts first.
+
+    Returns the subscript expressions of all dimensions *other than* 0, by
+    occurrence count — pinning them to the outer loops leaves the
+    dimension-0 (unit-stride) subscripts to become the innermost loops.
+    """
+    counts = {}
+    order = []
+    indices = nest.indices
+    for ref, _ in nest.array_refs():
+        for dim, subscript in enumerate(ref.subscripts):
+            if dim == 0:
+                continue
+            coeffs = subscript.coefficient_vector(indices)
+            if all(c == 0 for c in coeffs):
+                continue
+            key = str(subscript)
+            if key not in counts:
+                counts[key] = 0
+                order.append(key)
+            counts[key] += 1
+    return sorted(order, key=lambda key: (-counts[key], order.index(key)))
+
+
+def vectorize(program: Program, **kwargs) -> NormalizationResult:
+    """Normalize a program for constant innermost stride.
+
+    A thin wrapper over :func:`repro.core.access_normalize` with the
+    stride-oriented ranking of :func:`vector_priority`; all other keyword
+    arguments pass through.
+    """
+    return access_normalize(
+        program, priority=vector_priority(program.nest), **kwargs
+    )

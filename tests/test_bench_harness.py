@@ -1,0 +1,97 @@
+"""Tests for the benchmark harness: tables, sweeps, charts, figure builders."""
+
+import pytest
+
+from repro.bench import (
+    PAPER_PROCS,
+    fig4_series,
+    fig5_series,
+    figure_machine,
+    format_table,
+    gemm_variants,
+    render_chart,
+    run_speedup_sweep,
+    speedup_table,
+    syr2k_variants,
+)
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2], [333, 4]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # all rows equally wide
+
+    def test_speedup_table(self):
+        text = speedup_table([1, 2], {"x": [1.0, 1.5], "y": [1.0, 1.9]})
+        assert "1.50" in text
+        assert "1.90" in text
+        assert text.splitlines()[0].split() == ["P", "x", "y"]
+
+
+class TestChart:
+    def test_render_chart_contains_series_marks(self):
+        chart = render_chart(
+            [1, 2, 4], {"alpha": [1.0, 1.8, 3.2], "beta": [1.0, 1.2, 1.5]},
+            title="demo",
+        )
+        assert "demo" in chart
+        assert "o = alpha" in chart
+        assert "x = beta" in chart
+        assert "(processors)" in chart
+
+    def test_chart_axis_labels_fit(self):
+        chart = render_chart([1, 28], {"s": [1.0, 20.0]}, width=40)
+        axis_line = [l for l in chart.splitlines() if "(processors)" in l][0]
+        assert "28" in axis_line
+
+    def test_chart_handles_flat_series(self):
+        chart = render_chart([1, 2], {"flat": [1.0, 1.0]})
+        assert "flat" in chart
+
+
+class TestSweep:
+    def test_run_speedup_sweep_baseline(self):
+        nodes = gemm_variants(12)
+        series = run_speedup_sweep(
+            nodes, procs=[1, 2], machine=figure_machine(), baseline="gemmB"
+        )
+        assert set(series) == {"gemm", "gemmT", "gemmB"}
+        assert series["gemmB"][0] == pytest.approx(1.0)
+        # Baselines share one sequential time, so naive P=1 is about 1 too
+        # (slightly below: same work, no transformation benefit at P=1).
+        assert series["gemm"][0] == pytest.approx(1.0, abs=0.05)
+
+    def test_paper_procs_constant(self):
+        assert PAPER_PROCS[0] == 1
+        assert PAPER_PROCS[-1] == 28
+
+
+class TestFigureBuilders:
+    def test_gemm_variants_structure(self):
+        nodes = gemm_variants(10)
+        assert nodes["gemmB"].plan.block_reads
+        assert not nodes["gemmT"].plan.block_reads
+        assert not nodes["gemm"].plan.block_reads
+
+    def test_syr2k_variants_structure(self):
+        nodes = syr2k_variants(20, 4)
+        assert len(nodes["syr2kB"].plan.block_reads) == 4
+
+    def test_fig4_series_small(self):
+        procs, series = fig4_series(32, [1, 4])
+        assert series["gemmB"][0] == pytest.approx(1.0)
+        assert series["gemmB"][1] > series["gemm"][1]
+
+    def test_fig5_series_small(self):
+        procs, series = fig5_series(40, 6, [1, 4])
+        assert series["syr2kB"][1] >= series["syr2kT"][1]
+
+    def test_figure_machine_calibration(self):
+        machine = figure_machine()
+        assert machine.contention_coefficient == 0.05
+        assert machine.compute_per_statement_us == 10.0
+        override = figure_machine(contention_coefficient=0.2)
+        assert override.contention_coefficient == 0.2

@@ -1,0 +1,170 @@
+"""Tests for the BLAS workloads and the Section 9 vectorization application."""
+
+import numpy as np
+import pytest
+
+from repro.blas import (
+    PAPER_PRIORITY,
+    band_to_dense,
+    gemm_program,
+    gemm_reference,
+    syr2k_program,
+    syr2k_reference,
+    syrk_program,
+    syrk_reference,
+)
+from repro.core import access_normalize
+from repro.ir import allocate_arrays, execute, validate_program
+from repro.vector import (
+    VectorCostModel,
+    dimension_strides,
+    reference_stride,
+    stride_report,
+    vector_loop_cycles,
+)
+
+
+class TestGEMMWorkload:
+    def test_program_validates(self):
+        validate_program(gemm_program(8))
+
+    def test_reference_semantics(self):
+        program = gemm_program(7)
+        arrays = allocate_arrays(program, seed=40)
+        expected = gemm_reference(arrays)
+        execute(program, arrays)
+        np.testing.assert_allclose(arrays["C"], expected, atol=1e-9)
+
+
+class TestSYR2KWorkload:
+    def test_program_validates(self):
+        validate_program(syr2k_program(12, 4))
+
+    def test_band_to_dense_roundtrip(self):
+        program = syr2k_program(9, 3)
+        arrays = allocate_arrays(program, seed=41)
+        dense = band_to_dense(arrays["Ab"], 3)
+        # Entries outside the band are zero; inside they match storage.
+        assert dense[0, 5] == 0.0
+        assert dense[4, 5] == arrays["Ab"][4, 5 - 4 + 2]
+
+    def test_reference_semantics(self):
+        n, b = 11, 3
+        program = syr2k_program(n, b)
+        arrays = allocate_arrays(program, seed=42)
+        expected = syr2k_reference(arrays, n, b)
+        execute(program, arrays)
+        np.testing.assert_allclose(arrays["Cb"], expected, atol=1e-9)
+
+    def test_symmetry_of_dense_update(self):
+        # C is symmetric, so computing from the upper-triangle band must
+        # equal the transposed computation.
+        n, b = 10, 3
+        program = syr2k_program(n, b)
+        arrays = allocate_arrays(program, seed=43)
+        dense_a = band_to_dense(arrays["Ab"], b)
+        dense_b = band_to_dense(arrays["Bb"], b)
+        update = dense_a.T @ dense_b + dense_b.T @ dense_a
+        np.testing.assert_allclose(update, update.T, atol=1e-12)
+
+    def test_paper_priority_transformation(self):
+        result = access_normalize(syr2k_program(12, 4), priority=PAPER_PRIORITY)
+        from repro.linalg import Matrix
+
+        assert result.matrix == Matrix([[-1, 1, 0], [0, -1, 1], [0, 0, 1]])
+
+
+class TestSYRKWorkload:
+    def test_program_validates(self):
+        validate_program(syrk_program(8))
+
+    def test_reference_semantics(self):
+        program = syrk_program(8)
+        arrays = allocate_arrays(program, seed=44)
+        expected = syrk_reference(arrays)
+        execute(program, arrays)
+        np.testing.assert_allclose(np.triu(arrays["C"]), np.triu(expected), atol=1e-9)
+
+    def test_normalization_localizes_c(self):
+        from repro.codegen import RefClass, plan_locality
+
+        result = access_normalize(syrk_program(8))
+        plan = plan_locality(
+            result.transformed.nest, result.transformed.distributions
+        )
+        write_infos = [info for info in plan.refs if info.is_write]
+        assert write_infos[0].ref_class == RefClass.LOCAL
+
+    def test_parallel_execution_correct(self):
+        from repro.codegen import generate_spmd
+        from repro.numa import simulate
+
+        program = syrk_program(9)
+        node = generate_spmd(access_normalize(program).transformed)
+        arrays = allocate_arrays(program, seed=45)
+        expected = syrk_reference(arrays)
+        simulate(node, processors=4, arrays=arrays, mode="execute")
+        np.testing.assert_allclose(
+            np.triu(arrays["C"]), np.triu(expected), atol=1e-9
+        )
+
+
+class TestVectorization:
+    def test_dimension_strides_column_major(self):
+        assert dimension_strides((10, 4)) == [1, 10]
+        assert dimension_strides((3, 5, 7)) == [1, 3, 15]
+
+    def test_reference_stride(self):
+        from repro.ir import ArrayRef
+
+        ref = ArrayRef.make("A", "i", "j+k")
+        assert reference_stride(ref, "k", (10, 10)) == 10
+        assert reference_stride(ref, "i", (10, 10)) == 1
+        assert reference_stride(ref, "m", (10, 10)) == 0
+
+    def test_figure1_strides_improve_after_normalization(self):
+        """Section 9: normalization yields unit-stride inner access."""
+        from repro.ir import make_program
+        from repro.distributions import wrapped_column
+
+        program = make_program(
+            loops=[("i", 0, "N1-1"), ("j", "i", "i+b-1"), ("k", 0, "N2-1")],
+            body=["B[i, j-i] = B[i, j-i] + A[i, j+k]"],
+            arrays=[("B", "N1", "b"), ("A", "N1", "N1+b+N2")],
+            distributions={"A": wrapped_column(), "B": wrapped_column()},
+            params={"N1": 8, "N2": 6, "b": 3},
+            name="figure1",
+        )
+        before = {str(info.ref): info.stride for info in stride_report(program)}
+        # Original: A[i, j+k] strides by a whole column per k step.
+        assert before["A[i, j+k]"] == 8
+        result = access_normalize(program)
+        after = stride_report(result.transformed)
+        # Transformed: every reference is unit-stride in w.
+        assert all(info.stride == 1 for info in after)
+
+    def test_vector_cost_prefers_unit_stride(self):
+        model = VectorCostModel()
+        unit = model.stream_cycles(256, 1)
+        strided = model.stream_cycles(256, 400)
+        gathered = model.stream_cycles(256, None)
+        assert unit < strided < gathered
+
+    def test_vector_cost_zero_elements(self):
+        assert VectorCostModel().stream_cycles(0, 1) == 0.0
+
+    def test_vector_loop_cycles_improvement(self):
+        from repro.distributions import wrapped_column
+        from repro.ir import make_program
+
+        program = make_program(
+            loops=[("i", 0, "N1-1"), ("j", "i", "i+b-1"), ("k", 0, "N2-1")],
+            body=["B[i, j-i] = B[i, j-i] + A[i, j+k]"],
+            arrays=[("B", "N1", "b"), ("A", "N1", "N1+b+N2")],
+            distributions={"A": wrapped_column(), "B": wrapped_column()},
+            params={"N1": 64, "N2": 64, "b": 8},
+        )
+        result = access_normalize(program)
+        before = vector_loop_cycles(program, 64)
+        after = vector_loop_cycles(result.transformed, 64)
+        assert after < before

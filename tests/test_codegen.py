@@ -1,0 +1,278 @@
+"""Tests for locality planning, SPMD/ownership generation and code emitters."""
+
+import numpy as np
+import pytest
+
+from repro.blas import gemm_program, syr2k_program
+from repro.codegen import (
+    NodeProgram,
+    RefClass,
+    compile_program,
+    emit_python,
+    generate_ownership,
+    generate_spmd,
+    plan_locality,
+    render_node_program,
+)
+from repro.core import access_normalize
+from repro.distributions import Blocked, Replicated, wrapped_column
+from repro.errors import CodegenError
+from repro.ir import (
+    BlockRead,
+    IfThen,
+    allocate_arrays,
+    arrays_equal,
+    execute,
+    make_program,
+)
+
+
+def normalized_gemm(n=8):
+    return access_normalize(gemm_program(n)).transformed
+
+
+class TestLocalityPlan:
+    def test_gemm_classification(self):
+        program = normalized_gemm()
+        plan = plan_locality(program.nest, program.distributions)
+        classes = {
+            (str(info.ref), info.is_write): info.ref_class for info in plan.refs
+        }
+        assert classes[("C[w, u]", True)] == RefClass.LOCAL
+        assert classes[("C[w, u]", False)] == RefClass.LOCAL
+        assert classes[("B[v, u]", False)] == RefClass.LOCAL
+        assert classes[("A[w, v]", False)] == RefClass.COVERED
+
+    def test_gemm_block_read_level(self):
+        program = normalized_gemm()
+        plan = plan_locality(program.nest, program.distributions)
+        assert len(plan.block_reads) == 1
+        level, read = plan.block_reads[0]
+        assert level == 1  # inside the v loop, outside the w loop
+        assert str(read) == "read A[*, v]"
+
+    def test_block_transfers_disabled(self):
+        program = normalized_gemm()
+        plan = plan_locality(
+            program.nest, program.distributions, block_transfers=False
+        )
+        assert plan.block_reads == ()
+        classes = plan.counts()
+        assert classes[RefClass.COVERED] == 0
+        assert classes[RefClass.CHECK] == 1  # A[w, v]
+
+    def test_untransformed_gemm_all_check(self):
+        program = gemm_program(8)
+        plan = plan_locality(
+            program.nest, program.distributions, block_transfers=False
+        )
+        assert plan.counts()[RefClass.LOCAL] == 0
+
+    def test_replicated_is_local(self):
+        program = make_program(
+            loops=[("i", 0, 3)],
+            body=["A[i] = A[i] + 1"],
+            arrays=[("A", 4)],
+            distributions={"A": Replicated()},
+        )
+        plan = plan_locality(program.nest, program.distributions)
+        assert all(info.ref_class == RefClass.LOCAL for info in plan.refs)
+
+    def test_writes_never_covered(self):
+        # A write whose distribution subscript is inner-invariant must stay
+        # CHECK: block transfers only cover reads.
+        program = make_program(
+            loops=[("i", 0, 7), ("j", 0, 7)],
+            body=["A[j, i+1] = B[j, i] + 1"],
+            arrays=[("A", 8, 9), ("B", 8, 8)],
+            distributions={"A": wrapped_column(), "B": wrapped_column()},
+        )
+        plan = plan_locality(program.nest, program.distributions)
+        write_info = [info for info in plan.refs if info.is_write][0]
+        assert write_info.ref_class == RefClass.CHECK
+
+    def test_constant_distribution_subscript_blockread_level0(self):
+        program = make_program(
+            loops=[("i", 0, 7), ("j", 0, 7)],
+            body=["C[i, j] = B[j, 3] + 1"],
+            arrays=[("C", 8, 8), ("B", 8, 8)],
+            distributions={"B": wrapped_column()},
+        )
+        plan = plan_locality(program.nest, program.distributions)
+        assert plan.block_reads and plan.block_reads[0][0] == 0
+
+    def test_syr2k_block_reads(self):
+        result = access_normalize(
+            syr2k_program(16, 4), priority=["j-i", "j-k", "k", "i-k", "i"]
+        )
+        plan = plan_locality(
+            result.transformed.nest, result.transformed.distributions
+        )
+        # Four band-column transfers per middle iteration (Ab x2, Bb x2).
+        assert len(plan.block_reads) == 4
+        assert all(level == 1 for level, _ in plan.block_reads)
+        # Cb write and read are LOCAL: the j-i subscript is normal.
+        classes = plan.counts()
+        assert classes[RefClass.LOCAL] == 2
+        assert classes[RefClass.COVERED] == 4
+
+    def test_describe(self):
+        program = normalized_gemm()
+        plan = plan_locality(program.nest, program.distributions)
+        text = plan.describe()
+        assert "block read" in text
+        assert "local" in text
+
+
+class TestGenerateSPMD:
+    def test_prologue_insertion(self):
+        node = generate_spmd(normalized_gemm())
+        assert isinstance(node, NodeProgram)
+        v_loop = node.nest.loops[1]
+        assert len(v_loop.prologue) == 1
+        assert isinstance(v_loop.prologue[0], BlockRead)
+
+    def test_semantics_unchanged_by_prologues(self):
+        program = normalized_gemm(6)
+        node = generate_spmd(program)
+        base = allocate_arrays(program, seed=7)
+        other = {k: v.copy() for k, v in base.items()}
+        execute(program, base)
+        execute(node.program, other)
+        assert arrays_equal(base, other)
+
+    def test_bad_schedule(self):
+        with pytest.raises(CodegenError):
+            generate_spmd(normalized_gemm(), schedule="diagonal")
+
+    def test_index_collision(self):
+        program = make_program(
+            loops=[("p", 0, 3)], body=["A[p] = 1"], arrays=[("A", 4)]
+        )
+        with pytest.raises(CodegenError):
+            generate_spmd(program)
+
+    def test_description_mentions_schedule(self):
+        node = generate_spmd(normalized_gemm(), schedule="blocked")
+        assert "blocked" in node.description
+
+
+class TestOwnership:
+    def test_guard_inserted(self):
+        node = generate_ownership(gemm_program(8))
+        statement = node.nest.body[0]
+        assert isinstance(statement, IfThen)
+        assert "mod P" in str(statement.conditions[0])
+        assert node.guards_per_iteration == 1
+        assert node.schedule == "all"
+
+    def test_all_refs_check(self):
+        node = generate_ownership(gemm_program(8))
+        assert all(info.ref_class == RefClass.CHECK for info in node.plan.refs)
+
+    def test_ownership_execution_is_correct(self):
+        # Executing the guarded program once per processor value must write
+        # each element exactly once in total.
+        from repro.numa import simulate
+
+        program = gemm_program(5)
+        node = generate_ownership(program)
+        arrays = allocate_arrays(program, seed=9)
+        expected = arrays["C"] + arrays["A"] @ arrays["B"]
+        simulate(node, processors=3, arrays=arrays, mode="execute")
+        np.testing.assert_allclose(arrays["C"], expected, atol=1e-9)
+
+    def test_blocked_lhs_rejected(self):
+        program = make_program(
+            loops=[("i", 0, 3)],
+            body=["A[i] = 1"],
+            arrays=[("A", 4)],
+            distributions={"A": Blocked(0)},
+        )
+        with pytest.raises(CodegenError):
+            generate_ownership(program)
+
+
+class TestPseudoC:
+    def test_paper_figure_gemm(self):
+        node = generate_spmd(normalized_gemm())
+        text = render_node_program(node)
+        assert "step P" in text
+        assert "read A[*, v];" in text
+        assert "C[w, u] = C[w, u] + A[w, v] * B[v, u]" in text
+
+    def test_blocked_schedule_text(self):
+        node = generate_spmd(normalized_gemm(), schedule="blocked")
+        text = render_node_program(node)
+        assert "p*S" in text
+
+    def test_ownership_text(self):
+        node = generate_ownership(gemm_program(8))
+        text = render_node_program(node)
+        assert "if (j) mod P == p" in text
+
+
+class TestPythonCodegen:
+    def test_gemm_matches_interpreter(self):
+        program = gemm_program(6)
+        runner = compile_program(program)
+        via_interp = allocate_arrays(program, seed=1)
+        via_codegen = {k: v.copy() for k, v in via_interp.items()}
+        execute(program, via_interp)
+        runner(via_codegen)
+        assert arrays_equal(via_interp, via_codegen)
+
+    def test_transformed_program_with_fractions(self):
+        # Section 3 scaling example: subscripts like (2v-u)/6 must execute
+        # exactly through the generated integer arithmetic.
+        from repro.core import apply_transformation
+        from repro.linalg import Matrix
+
+        program = make_program(
+            loops=[("i", 1, 3), ("j", 1, 3)],
+            body=["A[2i + 4j, i + 5j] = j"],
+            arrays=[("A", 20, 20)],
+        )
+        result = apply_transformation(program.nest, Matrix([[2, 4], [1, 5]]))
+        transformed = program.with_nest(result.nest)
+        via_interp = allocate_arrays(program, init="zeros")
+        via_codegen = {k: v.copy() for k, v in via_interp.items()}
+        execute(program, via_interp)
+        compile_program(transformed)(via_codegen)
+        assert arrays_equal(via_interp, via_codegen)
+
+    def test_source_is_exposed(self):
+        runner = compile_program(gemm_program(4))
+        assert "def run(arrays, params):" in runner.source
+
+    def test_max_min_bounds(self):
+        program = make_program(
+            loops=[("i", 0, 9), ("j", ["i-2", "0"], ["i+2", "9"])],
+            body=["A[i, j] = i + j"],
+            arrays=[("A", 10, 10)],
+        )
+        via_interp = allocate_arrays(program, init="zeros")
+        via_codegen = {k: v.copy() for k, v in via_interp.items()}
+        execute(program, via_interp)
+        compile_program(program)(via_codegen)
+        assert arrays_equal(via_interp, via_codegen)
+
+    def test_guards_and_blockreads_emitted(self):
+        node = generate_ownership(gemm_program(4))
+        source = emit_python(node.program)
+        assert "P = params['P']" in source
+        assert "if " in source and " % " in source
+        spmd = generate_spmd(normalized_gemm(4))
+        source2 = emit_python(spmd.program)
+        assert "read A block" in source2
+
+    def test_guarded_program_executes(self):
+        node = generate_ownership(gemm_program(5))
+        program = node.program
+        arrays = allocate_arrays(program, seed=3)
+        expected = arrays["C"] + arrays["A"] @ arrays["B"]
+        runner = compile_program(program)
+        # Run once per processor value, as the SPMD model does.
+        for proc in range(3):
+            runner(arrays, dict(program.params, N=5, P=3, p=proc))
+        np.testing.assert_allclose(arrays["C"], expected, atol=1e-9)

@@ -1,0 +1,280 @@
+"""Tests for tiling, cache-aware padding and block-transfer caching."""
+
+import numpy as np
+import pytest
+
+from repro.blas import gemm_program
+from repro.codegen import (
+    generate_spmd,
+    generate_tiled_spmd,
+    strip_mine,
+    tile_nest,
+)
+from repro.core import access_normalize, optimize_padding_order
+from repro.distributions import blocked_column, wrapped_column
+from repro.errors import CodegenError
+from repro.ir import allocate_arrays, arrays_equal, execute, make_nest, make_program
+from repro.linalg import Matrix
+from repro.numa import simulate
+
+
+class TestStripMine:
+    def base_nest(self):
+        return make_nest(
+            loops=[("i", 0, 10), ("j", "i", 14)],
+            body=["A[i, j] = i + 2*j"],
+        )
+
+    def test_depth_grows(self):
+        tiled = strip_mine(self.base_nest(), 0, 4)
+        assert tiled.depth == 3
+        assert tiled.loops[0].step == 4
+        assert tiled.loops[1].index == "i"
+
+    def test_partition_exact(self):
+        nest = self.base_nest()
+        tiled = strip_mine(nest, 0, 4)
+        original = [
+            (env["i"], env["j"]) for env in nest.iterate({})
+        ]
+        via_tiles = [
+            (env["i"], env["j"]) for env in tiled.iterate({})
+        ]
+        assert sorted(via_tiles) == sorted(original)
+        assert len(via_tiles) == len(original)
+
+    def test_inner_level_tiling(self):
+        nest = self.base_nest()
+        tiled = strip_mine(nest, 1, 3)
+        original = {(env["i"], env["j"]) for env in nest.iterate({})}
+        via_tiles = {(env["i"], env["j"]) for env in tiled.iterate({})}
+        assert via_tiles == original
+
+    def test_semantics(self):
+        program = make_program(
+            loops=[("i", 0, 10), ("j", "i", 14)],
+            body=["A[i, j] = i + 2*j"],
+            arrays=[("A", 11, 15)],
+        )
+        tiled = program.with_nest(strip_mine(program.nest, 0, 4))
+        base = allocate_arrays(program, init="zeros")
+        other = {k: v.copy() for k, v in base.items()}
+        execute(program, base)
+        execute(tiled, other)
+        assert arrays_equal(base, other)
+
+    def test_tile_name_freshness(self):
+        nest = make_nest(
+            loops=[("i", 0, 5), ("ii", 0, 5)],
+            body=["A[i, ii] = 1"],
+        )
+        tiled = strip_mine(nest, 0, 2)
+        names = [loop.index for loop in tiled.loops]
+        assert len(set(names)) == 3
+
+    def test_bad_arguments(self):
+        nest = self.base_nest()
+        with pytest.raises(CodegenError):
+            strip_mine(nest, 5, 2)
+        with pytest.raises(CodegenError):
+            strip_mine(nest, 0, 0)
+        strided = make_nest(loops=[("i", 0, 9, 2)], body=["A[i] = 1"])
+        with pytest.raises(CodegenError):
+            strip_mine(strided, 0, 2)
+
+    def test_tile_nest_by_name(self):
+        tiled = tile_nest(self.base_nest(), {"i": 4, "j": 5})
+        assert tiled.depth == 4
+        with pytest.raises(CodegenError):
+            tile_nest(self.base_nest(), {"z": 2})
+
+
+class TestTiledSPMD:
+    def test_tiled_gemm_correct(self):
+        program = access_normalize(gemm_program(12)).transformed
+        node = generate_tiled_spmd(program, tile_size=3)
+        source = gemm_program(12)
+        arrays = allocate_arrays(source, seed=60)
+        expected = arrays["C"] + arrays["A"] @ arrays["B"]
+        simulate(node, processors=3, arrays=arrays, mode="execute")
+        np.testing.assert_allclose(arrays["C"], expected, atol=1e-9)
+
+    def test_tiles_partition_work(self):
+        program = access_normalize(gemm_program(12)).transformed
+        node = generate_tiled_spmd(program, tile_size=4)
+        for processors in (2, 3, 5):
+            outcome = simulate(node, processors=processors)
+            assert outcome.totals.iterations == 12 ** 3
+
+    def test_every_processor_busy_despite_common_factor(self):
+        # Tile size 4 with P=2 used to idle processor 1 under value-based
+        # wrapping; position-based distribution keeps everyone busy.
+        program = access_normalize(gemm_program(16)).transformed
+        node = generate_tiled_spmd(program, tile_size=4)
+        outcome = simulate(node, processors=2)
+        for proc_result in outcome.per_proc:
+            assert proc_result.counts.iterations > 0
+
+    def test_blocked_tiling_matches_blocked_arrays(self):
+        n = 16
+        program = make_program(
+            loops=[("i", 0, "N-1"), ("j", 0, "N-1")],
+            body=["A[i, j] = A[i, j] + 1"],
+            arrays=[("A", "N", "N")],
+            distributions={"A": blocked_column()},
+            params={"N": n},
+        )
+        # Interchange so the distributed loop runs over columns.
+        from repro.core import apply_transformation
+
+        swapped = program.with_nest(
+            apply_transformation(program.nest, Matrix([[0, 1], [1, 0]])).nest
+        )
+        node = generate_tiled_spmd(swapped, tile_size=4, schedule="blocked")
+        outcome = simulate(node, processors=4)
+        totals = outcome.totals
+        # Contiguous tiles over a blocked distribution: mostly local.
+        assert totals.local > 1.5 * totals.remote
+
+
+class TestCacheAwarePadding:
+    def make_program(self):
+        # Only B's subscript i+j is in a distribution dimension; the padding
+        # rows that complete the transformation are free to be ordered for
+        # stride.  Reading A[j, i] makes one ordering much better than the
+        # other (column-major: stride 1 in j, stride N in i).
+        return make_program(
+            loops=[("i", 0, "N-1"), ("j", 0, "N-1")],
+            body=["B[i, i+j] = A[j, i] + 1"],
+            arrays=[("B", "N", "2*N"), ("A", "N", "N")],
+            distributions={"B": wrapped_column()},
+            params={"N": 12},
+            name="pad-demo",
+        )
+
+    def test_optimizer_reduces_stride(self):
+        from repro.core import apply_transformation, innermost_stride_score
+
+        program = make_program(
+            loops=[("i", 0, "N-1"), ("j", 0, "N-1"), ("k", 0, "N-1")],
+            body=["B[i+j+k] = A[j, k] + 1"],
+            arrays=[("B", "3*N"), ("A", "N", "N")],
+            params={"N": 16},
+        )
+        fixed = Matrix([[1, 1, 1], [0, 1, 0], [0, 0, 1]])
+        deps = Matrix.zeros(3, 0)
+        optimized = optimize_padding_order(program, fixed, 1, deps)
+        base = innermost_stride_score(
+            program, apply_transformation(program.nest, fixed).nest
+        )
+        best = innermost_stride_score(
+            program, apply_transformation(program.nest, optimized).nest
+        )
+        assert best < base
+        assert optimized.row_at(2) == (0, 1, 0)  # j innermost: unit stride
+
+    def test_optimizer_rejects_illegal_permutations(self):
+        # Section 6.2's matrix: swapping the trailing rows is legal here
+        # (both orderings carry all deps), but an ordering that reverses a
+        # dependence must be rejected.
+        program = make_program(
+            loops=[("i", 0, 7), ("j", 0, 7), ("k", 0, 7)],
+            body=["B[i+j+k] = A[j, k] + 1"],
+            arrays=[("B", 24), ("A", 8, 8)],
+        )
+        matrix = Matrix([[1, 1, 1], [0, 0, 1], [0, 1, 0]])
+        # Dependence (0, 1, -1): carried by row (0,1,0) only with positive
+        # product when that row comes before (0,0,1).
+        deps = Matrix([[0], [1], [-1]])
+        optimized = optimize_padding_order(program, matrix, 1, deps)
+        from repro.core import is_legal_transformation
+
+        assert is_legal_transformation(optimized, deps)
+
+    def test_optimizer_respects_direction_vectors(self):
+        program = make_program(
+            loops=[("i", 0, 7), ("j", 0, 7), ("k", 0, 7)],
+            body=["B[i+j+k] = A[j, k] + 1"],
+            arrays=[("B", 24), ("A", 8, 8)],
+        )
+        matrix = Matrix([[1, 1, 1], [0, 0, 1], [0, 1, 0]])
+        # A '*' direction on j and k: no reordering is provably legal, so
+        # the matrix must come back unchanged.
+        optimized = optimize_padding_order(
+            program, matrix, 1, Matrix.zeros(3, 0),
+            directions=[("=", "*", "*")],
+        )
+        assert optimized == matrix
+
+    def test_driver_cache_padding_safe(self):
+        # Through the full driver the cache policy must never produce an
+        # illegal or semantics-changing transformation, whatever it picks.
+        from repro.core import is_legal_transformation
+
+        program = self.make_program()
+        result = access_normalize(program, padding="cache")
+        assert is_legal_transformation(result.matrix, result.dependence_columns)
+
+    def test_cache_padding_preserves_semantics(self):
+        program = self.make_program()
+        result = access_normalize(program, padding="cache")
+        base = allocate_arrays(program, seed=61)
+        other = {k: v.copy() for k, v in base.items()}
+        execute(program, base)
+        execute(result.transformed, other)
+        assert arrays_equal(base, other)
+
+    def test_cache_padding_respects_dependences(self):
+        from repro.core import is_legal_transformation
+
+        program = make_program(
+            loops=[("i", 0, "N-1"), ("j", 0, "N-1"), ("k", 1, "N-1")],
+            body=["B[i, i+j] = B[i, i+j] + A[k-1, j]"],
+            arrays=[("B", "N", "2*N"), ("A", "N", "N")],
+            distributions={"B": wrapped_column()},
+            params={"N": 8},
+        )
+        result = access_normalize(program, padding="cache")
+        assert is_legal_transformation(
+            result.matrix, result.dependence_columns
+        )
+
+    def test_invalid_padding_policy(self):
+        with pytest.raises(ValueError):
+            access_normalize(self.make_program(), padding="bogus")
+
+    def test_optimizer_noop_when_nothing_free(self):
+        # Full-rank access matrix: no free rows, matrix returned unchanged.
+        deps = Matrix.zeros(2, 0)
+        matrix = Matrix([[0, 1], [1, 0]])
+        program = self.make_program()
+        assert optimize_padding_order(program, matrix, 2, deps) == matrix
+
+
+class TestBlockTransferCache:
+    def test_cache_reduces_transfers(self):
+        program = access_normalize(gemm_program(16)).transformed
+        node = generate_spmd(program)
+        plain = simulate(node, processors=4)
+        cached = simulate(node, processors=4, block_cache=True)
+        assert cached.totals.block_transfers < plain.totals.block_transfers
+        assert cached.total_time_us < plain.total_time_us
+
+    def test_cached_transfer_count_is_distinct_columns(self):
+        n, processors = 16, 4
+        program = access_normalize(gemm_program(n)).transformed
+        node = generate_spmd(program)
+        cached = simulate(node, processors=processors, block_cache=True)
+        # Each processor fetches each non-owned column of A exactly once.
+        expected = processors * (n - n // processors)
+        assert cached.totals.block_transfers == expected
+
+    def test_cache_does_not_change_semantics(self):
+        program = gemm_program(8)
+        node = generate_spmd(access_normalize(program).transformed)
+        arrays = allocate_arrays(program, seed=62)
+        expected = arrays["C"] + arrays["A"] @ arrays["B"]
+        simulate(
+            node, processors=3, arrays=arrays, mode="execute", block_cache=True
+        )
+        np.testing.assert_allclose(arrays["C"], expected, atol=1e-9)

@@ -1,0 +1,284 @@
+"""Tests for the data access matrix, basis, padding and legality algorithms.
+
+Every worked example from the paper's Sections 2, 5 and 6 appears here as a
+test (experiment ids EX1, EX3, EX4 in DESIGN.md).
+"""
+
+import pytest
+
+from repro.core import (
+    basis_matrix,
+    build_access_matrix,
+    classify,
+    derive_transformation_matrix,
+    is_identity,
+    is_interchange,
+    is_legal_transformation,
+    is_reversal,
+    is_scaling,
+    legal_basis,
+    legal_invertible,
+    pad_to_invertible,
+    padding_matrix,
+)
+from repro.distributions import wrapped_column
+from repro.errors import IllegalTransformationError, LinalgError
+from repro.ir import make_nest
+from repro.linalg import Matrix
+
+
+def figure1_nest():
+    return make_nest(
+        loops=[("i", 0, "N1-1"), ("j", "i", "i+b-1"), ("k", 0, "N2-1")],
+        body=["B[i, j-i] = B[i, j-i] + A[i, j+k]"],
+    )
+
+
+def gemm_nest():
+    return make_nest(
+        loops=[("i", 1, "N"), ("j", 1, "N"), ("k", 1, "N")],
+        body=["C[i, j] = C[i, j] + A[i, k] * B[k, j]"],
+    )
+
+
+class TestAccessMatrix:
+    def test_figure1_matrix(self):
+        # Section 2.2: rows j-i, j+k, i in that order.
+        access = build_access_matrix(
+            figure1_nest(), {"A": wrapped_column(), "B": wrapped_column()}
+        )
+        assert access.matrix == Matrix([[-1, 1, 0], [0, 1, 1], [1, 0, 0]])
+
+    def test_figure1_ranking_reasons(self):
+        access = build_access_matrix(
+            figure1_nest(), {"A": wrapped_column(), "B": wrapped_column()}
+        )
+        assert access.rows[0].distribution_count == 2  # j-i in B twice
+        assert access.rows[1].distribution_count == 1  # j+k in A once
+        assert access.rows[2].distribution_count == 0  # i never distributed
+
+    def test_gemm_matrix(self):
+        # Section 8.1: rows j, k, i.
+        access = build_access_matrix(
+            gemm_nest(),
+            {"A": wrapped_column(), "B": wrapped_column(), "C": wrapped_column()},
+        )
+        assert access.matrix == Matrix([[0, 1, 0], [0, 0, 1], [1, 0, 0]])
+
+    def test_without_distributions_count_ordering(self):
+        access = build_access_matrix(gemm_nest())
+        # Without distribution info, ordering falls back to occurrence
+        # counts: i and j appear three times each, k twice.
+        assert access.matrix.nrows == 3
+        assert access.rows[-1].expr.variables() == ("k",)
+
+    def test_constant_subscripts_skipped(self):
+        nest = make_nest(loops=[("i", 0, 9)], body=["A[0, i] = A[0, i] + 1"])
+        access = build_access_matrix(nest)
+        assert access.matrix == Matrix([[1]])
+
+    def test_priority_override(self):
+        access = build_access_matrix(
+            gemm_nest(),
+            {"A": wrapped_column(), "B": wrapped_column(), "C": wrapped_column()},
+            priority=["i", "k"],
+        )
+        assert access.matrix == Matrix([[1, 0, 0], [0, 0, 1], [0, 1, 0]])
+
+    def test_duplicate_subscripts_collapse(self):
+        access = build_access_matrix(figure1_nest())
+        exprs = [str(row.expr) for row in access.rows]
+        assert len(exprs) == len(set(exprs))
+
+    def test_describe_mentions_sources(self):
+        access = build_access_matrix(
+            figure1_nest(), {"B": wrapped_column()}
+        )
+        text = access.describe()
+        assert "B[dim 1]*" in text
+
+    def test_empty_body_gives_empty_matrix(self):
+        nest = make_nest(loops=[("i", 0, 3)], body=["A[0] = 1"])
+        access = build_access_matrix(nest)
+        assert access.matrix.nrows == 0
+
+
+class TestBasisMatrix:
+    def test_paper_section5_example(self):
+        # R[i+j-k, 2i+2j-2k, k-l]: rows 1 and 3 independent, rank 2.
+        x = Matrix([[1, 1, -1, 0], [2, 2, -2, 0], [0, 0, 1, -1]])
+        result = basis_matrix(x)
+        assert result.rank == 2
+        assert result.kept_rows == (0, 2)
+        assert result.basis_of(x) == Matrix([[1, 1, -1, 0], [0, 0, 1, -1]])
+        # The paper reports the permutation putting rows 1 and 3 first.
+        assert result.permutation == Matrix(
+            [[1, 0, 0], [0, 0, 1], [0, 1, 0]]
+        )
+
+    def test_full_rank_keeps_everything(self):
+        x = Matrix([[0, 1, 0], [0, 0, 1], [1, 0, 0]])
+        result = basis_matrix(x)
+        assert result.rank == 3
+        assert result.kept_rows == (0, 1, 2)
+
+    def test_greedy_prefers_earlier_rows(self):
+        # Row 2 = row 0 + row 1; the greedy scan keeps rows 0, 1.
+        x = Matrix([[1, 0], [0, 1], [1, 1]])
+        assert basis_matrix(x).kept_rows == (0, 1)
+
+
+class TestPadding:
+    def test_paper_section5_padding(self):
+        basis = Matrix([[1, 1, -1, 0], [0, 0, 1, -1]])
+        # Columns 1 and 3 are the pivots; pad with e_2 and e_4.
+        assert padding_matrix(basis) == Matrix(
+            [[0, 1, 0, 0], [0, 0, 0, 1]]
+        )
+        full = pad_to_invertible(basis)
+        assert full.is_invertible()
+
+    def test_padding_requires_full_row_rank(self):
+        with pytest.raises(LinalgError):
+            padding_matrix(Matrix([[1, 0], [2, 0]]))
+
+    def test_square_basis_needs_no_padding(self):
+        basis = Matrix([[0, 1], [1, 0]])
+        assert padding_matrix(basis).nrows == 0
+        assert pad_to_invertible(basis) == basis
+
+
+class TestLegalBasis:
+    def test_paper_section6_negation(self):
+        # A = [[-1,1,0],[0,1,-1]], D = (0,0,1)^T: second row negated.
+        basis = Matrix([[-1, 1, 0], [0, 1, -1]])
+        deps = Matrix([[0], [0], [1]])
+        result = legal_basis(basis, deps)
+        assert result.basis == Matrix([[-1, 1, 0], [0, -1, 1]])
+        assert result.row_map == ((0, False), (1, True))
+
+    def test_mixed_signs_drop_row(self):
+        basis = Matrix([[1, 0], [0, 1]])
+        deps = Matrix([[1, -1], [0, 1]])
+        # Row (1,0): products (1, -1) mixed -> dropped.  Row (0,1):
+        # products (0, 1) -> kept, second dependence carried.
+        result = legal_basis(basis, deps)
+        assert result.basis == Matrix([[0, 1]])
+        assert result.row_map == ((1, False),)
+
+    def test_carried_dependences_removed(self):
+        basis = Matrix([[1, 0], [0, 1]])
+        deps = Matrix([[1], [0]])
+        result = legal_basis(basis, deps)
+        assert result.basis == basis
+        assert result.remaining_deps.ncols == 0
+
+    def test_empty_deps_keep_all(self):
+        basis = Matrix([[2, 3], [1, 1]])
+        result = legal_basis(basis, Matrix.zeros(2, 0))
+        assert result.basis == basis
+
+
+class TestLegalInvertible:
+    def test_paper_section62_example(self):
+        # B = [-1 1 0], D = [[0,0],[1,0],[0,1]]: first dependence carried by
+        # the basis row; the projection adds e_3; padding completes with e_2.
+        basis = Matrix([[-1, 1, 0]])
+        deps = Matrix([[0, 0], [1, 0], [0, 1]])
+        transform = legal_invertible(basis, deps)
+        assert transform == Matrix([[-1, 1, 0], [0, 0, 1], [0, 1, 0]])
+        assert transform.is_invertible()
+        assert is_legal_transformation(transform, deps)
+
+    def test_projection_onto_dependence_span(self):
+        # No basis rows at all: two dependences spanning a plane.
+        basis = Matrix.zeros(0, 3)
+        deps = Matrix([[1, 0], [0, 1], [0, 0]])
+        transform = legal_invertible(basis, deps)
+        assert transform.is_invertible()
+        assert is_legal_transformation(transform, deps)
+
+    def test_illegal_basis_rejected(self):
+        basis = Matrix([[0, -1, 0]])
+        deps = Matrix([[0], [1], [0]])
+        with pytest.raises(IllegalTransformationError):
+            legal_invertible(basis, deps)
+
+    def test_no_deps_pads_directly(self):
+        basis = Matrix([[1, 1, 0]])
+        transform = legal_invertible(basis, Matrix.zeros(3, 0))
+        assert transform.is_invertible()
+        assert transform.row_at(0) == (1, 1, 0)
+
+
+class TestDeriveTransformation:
+    def test_gemm_paper_matrix(self):
+        access = Matrix([[0, 1, 0], [0, 0, 1], [1, 0, 0]])
+        deps = Matrix([[0], [0], [1]])
+        transform, provenance = derive_transformation_matrix(access, deps)
+        assert transform == access  # Section 8.1: T is the access matrix.
+        assert provenance == ((0, False), (1, False), (2, False))
+
+    def test_syr2k_paper_matrix(self):
+        # Section 8.2: 5-row access matrix; basis = first three rows;
+        # LegalBasis negates the second row.
+        access = Matrix(
+            [[-1, 1, 0], [0, 1, -1], [0, 0, 1], [1, 0, -1], [1, 0, 0]]
+        )
+        deps = Matrix([[0], [0], [1]])
+        transform, provenance = derive_transformation_matrix(access, deps)
+        assert transform == Matrix([[-1, 1, 0], [0, -1, 1], [0, 0, 1]])
+        assert provenance == ((0, False), (1, True), (2, False))
+
+    def test_rank_deficient_padded(self):
+        access = Matrix([[1, 1, -1, 0], [2, 2, -2, 0], [0, 0, 1, -1]])
+        transform, provenance = derive_transformation_matrix(
+            access, Matrix.zeros(4, 0)
+        )
+        assert transform.is_invertible()
+        assert [p[0] for p in provenance] == [0, 2]
+
+    def test_empty_access_matrix_gives_identity(self):
+        transform, provenance = derive_transformation_matrix(
+            Matrix.zeros(0, 2), Matrix.zeros(2, 0)
+        )
+        assert is_identity(transform)
+        assert provenance == ()
+
+
+class TestClassify:
+    def test_identity(self):
+        assert classify(Matrix.identity(2)) == ["identity", "unimodular"]
+
+    def test_interchange(self):
+        labels = classify(Matrix([[0, 1], [1, 0]]))
+        assert "interchange" in labels
+        assert "unimodular" in labels
+        assert is_interchange(Matrix([[0, 1], [1, 0]]))
+
+    def test_reversal(self):
+        assert is_reversal(Matrix([[1, 0], [0, -1]]))
+        assert "reversal" in classify(Matrix([[1, 0], [0, -1]]))
+
+    def test_scaling_is_non_unimodular(self):
+        matrix = Matrix([[2, 0], [0, 1]])
+        assert is_scaling(matrix)
+        labels = classify(matrix)
+        assert "scaling" in labels
+        assert "non-unimodular" in labels
+
+    def test_skewing(self):
+        labels = classify(Matrix([[1, 1], [0, 1]]))
+        assert "skewing" in labels
+        assert "unimodular" in labels
+
+    def test_section3_matrix_is_scaling_and_skewing(self):
+        labels = classify(Matrix([[2, 4], [1, 5]]))
+        assert "non-unimodular" in labels
+        assert "skewing" in labels
+
+    def test_negatives(self):
+        assert not is_interchange(Matrix.identity(2))
+        assert not is_reversal(Matrix([[2, 0], [0, 1]]))
+        assert not is_scaling(Matrix([[1, 0], [0, 1]]))
+        assert not is_scaling(Matrix([[1, 1], [0, 1]]))

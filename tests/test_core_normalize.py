@@ -1,0 +1,211 @@
+"""End-to-end tests of the access-normalization driver (EX1, EX5, EX6)."""
+
+import pytest
+
+from repro.core import access_normalize
+from repro.distributions import wrapped_column
+from repro.errors import IllegalTransformationError
+from repro.ir import allocate_arrays, arrays_equal, execute, make_program
+from repro.linalg import Matrix
+
+
+def figure1_program(**params):
+    defaults = {"N1": 5, "N2": 4, "b": 3}
+    defaults.update(params)
+    return make_program(
+        loops=[("i", 0, "N1-1"), ("j", "i", "i+b-1"), ("k", 0, "N2-1")],
+        body=["B[i, j-i] = B[i, j-i] + A[i, j+k]"],
+        arrays=[("B", "N1", "b"), ("A", "N1", "N1+b+N2")],
+        distributions={"A": wrapped_column(), "B": wrapped_column()},
+        params=defaults,
+        name="figure1",
+    )
+
+
+def gemm_program(n=6):
+    return make_program(
+        loops=[("i", 0, "N-1"), ("j", 0, "N-1"), ("k", 0, "N-1")],
+        body=["C[i, j] = C[i, j] + A[i, k] * B[k, j]"],
+        arrays=[("C", "N", "N"), ("A", "N", "N"), ("B", "N", "N")],
+        distributions={
+            "A": wrapped_column(),
+            "B": wrapped_column(),
+            "C": wrapped_column(),
+        },
+        params={"N": n},
+        name="gemm",
+    )
+
+
+def syr2k_program(n=8, b=3):
+    return make_program(
+        loops=[
+            ("i", 1, "N"),
+            ("j", "i", "min(i+2b-2, N)"),
+            ("k", "max(i-b+1, j-b+1, 1)", "min(i+b-1, j+b-1, N)"),
+        ],
+        body=[
+            "Cb[i, j-i+1] = Cb[i, j-i+1]"
+            " + alpha*Ab[k, i-k+b]*Bb[k, j-k+b]"
+            " + alpha*Ab[k, j-k+b]*Bb[k, i-k+b]"
+        ],
+        arrays=[
+            ("Cb", "N+1", "2*b"),
+            ("Ab", "N+1", "2*b+1"),
+            ("Bb", "N+1", "2*b+1"),
+        ],
+        distributions={
+            "Ab": wrapped_column(),
+            "Bb": wrapped_column(),
+            "Cb": wrapped_column(),
+        },
+        params={"N": n, "b": b, "alpha": 1},
+        name="syr2k",
+    )
+
+
+class TestFigure1:
+    def test_transformation_matrix_is_access_matrix(self):
+        result = access_normalize(figure1_program())
+        assert result.matrix == Matrix([[-1, 1, 0], [0, 1, 1], [1, 0, 0]])
+        assert result.transformation.is_unimodular  # |det| = 1 here
+
+    def test_semantics(self):
+        program = figure1_program()
+        result = access_normalize(program)
+        base = allocate_arrays(program, seed=11)
+        other = {k: v.copy() for k, v in base.items()}
+        execute(program, base)
+        execute(result.transformed, other)
+        assert arrays_equal(base, other)
+
+    def test_normalized_rows_provenance(self):
+        result = access_normalize(figure1_program())
+        assert result.normalized_rows == ((0, False), (1, False), (2, False))
+
+    def test_report_mentions_everything(self):
+        result = access_normalize(figure1_program())
+        text = result.report()
+        assert "figure1" in text
+        assert "transformation" in text
+        assert "classification" in text
+
+
+class TestGEMM:
+    def test_paper_transformation(self):
+        result = access_normalize(gemm_program())
+        # Section 8.1: T = [[0,1,0],[0,0,1],[1,0,0]].
+        assert result.matrix == Matrix([[0, 1, 0], [0, 0, 1], [1, 0, 0]])
+
+    def test_dependence_columns(self):
+        result = access_normalize(gemm_program())
+        assert result.dependence_columns == Matrix([[0], [0], [1]])
+
+    def test_transformed_body_matches_paper(self):
+        # Paper: C[w, u] = C[w, u] + A[w, v] * B[v, u].
+        result = access_normalize(gemm_program())
+        statement = result.transformed.nest.body[0]
+        assert str(statement.lhs) == "C[w, u]"
+        text = str(statement.rhs)
+        assert "A[w, v]" in text
+        assert "B[v, u]" in text
+
+    def test_semantics(self):
+        program = gemm_program(5)
+        result = access_normalize(program)
+        base = allocate_arrays(program, seed=5)
+        other = {k: v.copy() for k, v in base.items()}
+        execute(program, base)
+        execute(result.transformed, other)
+        assert arrays_equal(base, other)
+
+    def test_legality(self):
+        from repro.core import is_legal_transformation
+
+        result = access_normalize(gemm_program())
+        assert is_legal_transformation(result.matrix, result.dependence_columns)
+
+
+class TestSYR2K:
+    def test_paper_transformation_with_priority(self):
+        # The paper's published access-matrix order (its tie-breaking
+        # between equally-ranked subscripts is unspecified; see DESIGN.md).
+        result = access_normalize(
+            syr2k_program(), priority=["j-i", "j-k", "k", "i-k", "i"]
+        )
+        assert result.matrix == Matrix([[-1, 1, 0], [0, -1, 1], [0, 0, 1]])
+        assert result.normalized_rows == ((0, False), (1, True), (2, False))
+
+    def test_default_heuristic_also_legal_and_normalizing(self):
+        from repro.core import is_legal_transformation
+
+        result = access_normalize(syr2k_program())
+        assert is_legal_transformation(result.matrix, result.dependence_columns)
+        # The outermost row must still be the Cb distribution subscript j-i.
+        assert result.matrix.row_at(0) == (-1, 1, 0)
+
+    def test_semantics_paper_matrix(self):
+        program = syr2k_program(n=7, b=2)
+        result = access_normalize(program, priority=["j-i", "j-k", "k", "i-k", "i"])
+        base = allocate_arrays(program, seed=2)
+        other = {k: v.copy() for k, v in base.items()}
+        execute(program, base)
+        execute(result.transformed, other)
+        assert arrays_equal(base, other)
+
+    def test_semantics_default_heuristic(self):
+        program = syr2k_program(n=6, b=3)
+        result = access_normalize(program)
+        base = allocate_arrays(program, seed=8)
+        other = {k: v.copy() for k, v in base.items()}
+        execute(program, base)
+        execute(result.transformed, other)
+        assert arrays_equal(base, other)
+
+
+class TestFallbacks:
+    def test_non_uniform_dependences_fall_back_to_identity(self):
+        program = make_program(
+            loops=[("i", 0, "N-1"), ("j", 0, "N-1")],
+            body=["A[i, j] = A[j, i] + 1"],
+            arrays=[("A", "N", "N")],
+            distributions={"A": wrapped_column()},
+            params={"N": 5},
+            name="transpose",
+        )
+        result = access_normalize(program)
+        assert result.matrix == Matrix.identity(2)
+        assert any("non-uniform" in note for note in result.notes)
+
+    def test_no_subscripts_identity(self):
+        program = make_program(
+            loops=[("i", 0, 4)],
+            body=["A[0] = A[0] + 1"],
+            arrays=[("A", 1)],
+            params={},
+            name="scalarish",
+        )
+        result = access_normalize(program)
+        assert result.matrix == Matrix.identity(1)
+
+    def test_dependence_blocks_normalization_row(self):
+        # B[i, j] with the i row desired outermost but dependence (1, -1)
+        # would be reversed: LegalBasis must drop or fix the offending row
+        # and the result must still be legal.
+        from repro.core import is_legal_transformation
+
+        program = make_program(
+            loops=[("i", 0, "N-1"), ("j", 0, "N-1")],
+            body=["A[j] = A[j] + B[i, j]"],
+            arrays=[("A", "N"), ("B", "N", "N")],
+            distributions={"B": wrapped_column()},
+            params={"N": 5},
+            name="rowsum",
+        )
+        result = access_normalize(program)
+        assert is_legal_transformation(result.matrix, result.dependence_columns)
+        base = allocate_arrays(program, seed=4)
+        other = {k: v.copy() for k, v in base.items()}
+        execute(program, base)
+        execute(result.transformed, other)
+        assert arrays_equal(base, other)

@@ -1,0 +1,296 @@
+"""Tests for loop restructuring with invertible matrices (EX2 + properties).
+
+The key invariants: the transformed nest executes exactly the same set of
+statement instances (a bijection between iteration spaces), in an order
+consistent with all dependences, and computes the same array contents.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import access_normalize, apply_transformation, nest_constraints
+from repro.distributions import wrapped_column
+from repro.errors import CodegenError, IRError
+from repro.ir import allocate_arrays, arrays_equal, execute, make_nest, make_program
+from repro.linalg import Matrix
+
+
+def section3_nest():
+    return make_nest(
+        loops=[("i", 1, 3), ("j", 1, 3)],
+        body=["A[2i + 4j, i + 5j] = j"],
+    )
+
+
+def section3_program():
+    return make_program(
+        loops=[("i", 1, 3), ("j", 1, 3)],
+        body=["A[2i + 4j, i + 5j] = j"],
+        arrays=[("A", 20, 20)],
+        name="section3",
+    )
+
+
+class TestSection3Scaling:
+    """The paper's non-unimodular worked example (Section 3)."""
+
+    def test_transformed_structure(self):
+        t = Matrix([[2, 4], [1, 5]])
+        result = apply_transformation(section3_nest(), t)
+        outer, inner = result.nest.loops
+        # Paper: for u = 6, 18 step 2; inner step 3 aligned to u/2 mod 3.
+        assert outer.step == 2
+        assert inner.step == 3
+        assert list(outer.iter_values({})) == [6, 8, 10, 12, 14, 16, 18]
+        assert inner.align is not None
+
+    def test_point_bijection(self):
+        t = Matrix([[2, 4], [1, 5]])
+        result = apply_transformation(section3_nest(), t)
+        original = {(i, j) for i in range(1, 4) for j in range(1, 4)}
+        mapped_back = []
+        for env in result.nest.iterate({}):
+            mapped_back.append(result.unmap_point((env["u"], env["v"])))
+        assert len(mapped_back) == len(original)
+        assert set(mapped_back) == original
+
+    def test_subscripts_normalized(self):
+        t = Matrix([[2, 4], [1, 5]])
+        result = apply_transformation(section3_nest(), t)
+        statement = result.nest.body[0]
+        # Paper: A[u, v] = (2v - u)/6.
+        assert str(statement.lhs) == "A[u, v]"
+        assert "2/6" in str(statement.rhs) or "1/3" in str(statement.rhs)
+
+    def test_semantics_preserved(self):
+        t = Matrix([[2, 4], [1, 5]])
+        program = section3_program()
+        result = apply_transformation(program.nest, t)
+        before = allocate_arrays(program, init="zeros")
+        after = allocate_arrays(program, init="zeros")
+        execute(program, before)
+        execute(program.with_nest(result.nest), after)
+        assert arrays_equal(before, after)
+
+    def test_lexicographic_order_of_new_indices(self):
+        t = Matrix([[2, 4], [1, 5]])
+        result = apply_transformation(section3_nest(), t)
+        sequence = [(env["u"], env["v"]) for env in result.nest.iterate({})]
+        assert sequence == sorted(sequence)
+
+    def test_map_unmap_roundtrip(self):
+        t = Matrix([[2, 4], [1, 5]])
+        result = apply_transformation(section3_nest(), t)
+        for point in [(1, 1), (2, 3), (3, 2)]:
+            assert result.unmap_point(result.map_point(point)) == point
+        with pytest.raises(ValueError):
+            result.unmap_point((7, 0))  # odd u is off the lattice
+
+    def test_transformation_metadata(self):
+        t = Matrix([[2, 4], [1, 5]])
+        result = apply_transformation(section3_nest(), t)
+        assert not result.is_unimodular
+        assert result.determinant == 6
+        assert result.source_indices == ("i", "j")
+        assert result.new_indices == ("u", "v")
+
+
+class TestInputValidation:
+    def test_shape_mismatch(self):
+        with pytest.raises(CodegenError):
+            apply_transformation(section3_nest(), Matrix.identity(3))
+
+    def test_singular_matrix(self):
+        with pytest.raises(CodegenError):
+            apply_transformation(section3_nest(), Matrix([[1, 2], [2, 4]]))
+
+    def test_non_integer_matrix(self):
+        from fractions import Fraction
+
+        with pytest.raises(CodegenError):
+            apply_transformation(
+                section3_nest(), Matrix([[Fraction(1, 2), 0], [0, 1]])
+            )
+
+    def test_strided_input_rejected(self):
+        nest = make_nest(loops=[("i", 0, 9, 2)], body=["A[i] = 1"])
+        with pytest.raises(IRError):
+            apply_transformation(nest, Matrix([[1]]))
+
+    def test_custom_index_names(self):
+        result = apply_transformation(
+            section3_nest(), Matrix.identity(2), new_indices=["a", "b"]
+        )
+        assert result.new_indices == ("a", "b")
+        with pytest.raises(CodegenError):
+            apply_transformation(section3_nest(), Matrix.identity(2), new_indices=["a"])
+
+    def test_index_names_avoid_collisions(self):
+        nest = make_nest(
+            loops=[("i", 0, "u-1"), ("j", 0, "v-1")],
+            body=["A[i, j] = 1"],
+        )
+        result = apply_transformation(nest, Matrix.identity(2))
+        assert "u" not in result.new_indices
+        assert "v" not in result.new_indices
+
+
+class TestConstraints:
+    def test_nest_constraints_shape(self):
+        nest = section3_nest()
+        constraints = nest_constraints(nest, [])
+        assert len(constraints) == 4
+        # i >= 1: coeffs (1, 0), const -1.
+        assert constraints[0].coeffs == (1, 0)
+        assert constraints[0].const == -1
+
+    def test_symbolic_params_pass_through(self):
+        nest = make_nest(
+            loops=[("i", 0, "N-1"), ("j", "i", "i+b-1")],
+            body=["A[i, j] = 1"],
+        )
+        constraints = nest_constraints(nest, ["N", "b"])
+        widths = {len(c.coeffs) for c in constraints}
+        assert widths == {4}
+
+
+def interchange_cases():
+    return [
+        Matrix([[0, 1], [1, 0]]),               # interchange
+        Matrix([[1, 0], [1, 1]]),               # skewing
+        Matrix([[1, 0], [0, -1]]),              # reversal
+        Matrix([[2, 0], [0, 1]]),               # scaling
+        Matrix([[2, 4], [1, 5]]),               # paper composite
+        Matrix([[-1, 1], [1, 0]]),              # mixed
+    ]
+
+
+class TestElementaryTransformations:
+    @pytest.mark.parametrize("t", interchange_cases())
+    def test_bijection_rectangle(self, t):
+        nest = make_nest(
+            loops=[("i", 0, 4), ("j", -2, 3)],
+            body=["B[i, j] = i + 2*j"],
+        )
+        result = apply_transformation(nest, t)
+        original = {(i, j) for i in range(5) for j in range(-2, 4)}
+        unmapped = set()
+        count = 0
+        for env in result.nest.iterate({}):
+            point = tuple(env[name] for name in result.new_indices)
+            unmapped.add(result.unmap_point(point))
+            count += 1
+        assert count == len(original)
+        assert unmapped == original
+
+    @pytest.mark.parametrize("t", interchange_cases())
+    def test_bijection_triangle(self, t):
+        nest = make_nest(
+            loops=[("i", 0, 5), ("j", "i", 7)],
+            body=["B[i, j] = i + 2*j"],
+        )
+        result = apply_transformation(nest, t)
+        original = {(i, j) for i in range(6) for j in range(i, 8)}
+        unmapped = set()
+        for env in result.nest.iterate({}):
+            point = tuple(env[name] for name in result.new_indices)
+            unmapped.add(result.unmap_point(point))
+        assert unmapped == original
+
+    def test_symbolic_bounds_interchange(self):
+        nest = make_nest(
+            loops=[("i", 0, "N-1"), ("j", 0, "M-1")],
+            body=["B[i, j] = 1"],
+        )
+        result = apply_transformation(nest, Matrix([[0, 1], [1, 0]]))
+        values = [
+            tuple(env[name] for name in result.new_indices)
+            for env in result.nest.iterate({"N": 3, "M": 2})
+        ]
+        assert values == [(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2)]
+
+
+def small_invertible():
+    entry = st.integers(-3, 3)
+    return st.tuples(entry, entry, entry, entry).map(
+        lambda e: Matrix([[e[0], e[1]], [e[2], e[3]]])
+    ).filter(lambda m: m.det() != 0)
+
+
+class TestBijectionProperty:
+    @given(small_invertible(), st.integers(2, 5), st.integers(2, 5))
+    @settings(max_examples=50, deadline=None)
+    def test_random_matrix_rectangle(self, t, width, height):
+        nest = make_nest(
+            loops=[("i", 0, width - 1), ("j", 0, height - 1)],
+            body=["B[i, j] = 1"],
+        )
+        result = apply_transformation(nest, t)
+        original = {(i, j) for i in range(width) for j in range(height)}
+        unmapped = []
+        for env in result.nest.iterate({}):
+            point = tuple(env[name] for name in result.new_indices)
+            unmapped.append(result.unmap_point(point))
+        assert len(unmapped) == len(original)
+        assert set(unmapped) == original
+
+    @given(small_invertible(), st.integers(1, 4))
+    @settings(max_examples=30, deadline=None)
+    def test_random_matrix_triangle_semantics(self, t, size):
+        program = make_program(
+            loops=[("i", 0, size), ("j", 0, "i")],
+            body=["S[0] = S[0] + B[i, j]"],
+            arrays=[("S", 1), ("B", size + 1, size + 1)],
+            name="sum",
+        )
+        result = apply_transformation(program.nest, t)
+        base = allocate_arrays(program, init="index")
+        transformed = {k: v.copy() for k, v in base.items()}
+        execute(program, base)
+        execute(program.with_nest(result.nest), transformed)
+        # Summation of distinct integers: exact in float64 at this size.
+        assert base["S"][0] == transformed["S"][0]
+
+
+class TestDepth3:
+    def test_figure1_transformation_bounds(self):
+        """EX1: the Figure 1(a) -> 1(c) restructuring."""
+        program = make_program(
+            loops=[("i", 0, "N1-1"), ("j", "i", "i+b-1"), ("k", 0, "N2-1")],
+            body=["B[i, j-i] = B[i, j-i] + A[i, j+k]"],
+            arrays=[("B", "N1", "b"), ("A", "N1", "N1+b+N2")],
+            distributions={"A": wrapped_column(), "B": wrapped_column()},
+            params={"N1": 5, "N2": 4, "b": 3},
+            name="figure1",
+        )
+        t = Matrix([[-1, 1, 0], [0, 1, 1], [1, 0, 0]])
+        result = apply_transformation(program.nest, t)
+        params = {"N1": 5, "N2": 4, "b": 3}
+        # Outer loop: u = j - i in 0 .. b-1.
+        outer = result.nest.loops[0]
+        assert outer.lower_value(params) == 0
+        assert outer.upper_value(params) == 2
+        # Middle loop at u=0: v = j + k in u .. u + N1 + N2 - 2.
+        env = dict(params, u=0)
+        middle = result.nest.loops[1]
+        assert middle.lower_value(env) == 0
+        assert middle.upper_value(env) == 7
+        # Iteration count preserved.
+        assert result.nest.iteration_count(params) == 5 * 3 * 4
+
+    def test_figure1_semantics(self):
+        program = make_program(
+            loops=[("i", 0, "N1-1"), ("j", "i", "i+b-1"), ("k", 0, "N2-1")],
+            body=["B[i, j-i] = B[i, j-i] + A[i, j+k]"],
+            arrays=[("B", "N1", "b"), ("A", "N1", "N1+b+N2")],
+            params={"N1": 5, "N2": 4, "b": 3},
+        )
+        t = Matrix([[-1, 1, 0], [0, 1, 1], [1, 0, 0]])
+        result = apply_transformation(program.nest, t)
+        base = allocate_arrays(program, seed=3)
+        transformed = {k: v.copy() for k, v in base.items()}
+        execute(program, base)
+        execute(program.with_nest(result.nest), transformed)
+        assert arrays_equal(base, transformed)

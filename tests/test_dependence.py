@@ -1,0 +1,210 @@
+"""Tests for dependence analysis: distances, kinds, matrices, filters."""
+
+import pytest
+
+from repro.dependence import (
+    Dependence,
+    DependenceKind,
+    analyze_dependences,
+    dependence_matrix,
+    has_non_uniform,
+    is_lex_positive,
+    lex_sign,
+    normalize_lex_positive,
+    subscript_matrix,
+)
+from repro.errors import DependenceError
+from repro.ir import make_nest
+from repro.linalg import Matrix
+
+
+class TestLexOrder:
+    def test_lex_sign(self):
+        assert lex_sign([0, 0, 1]) == 1
+        assert lex_sign([0, -2, 1]) == -1
+        assert lex_sign([0, 0, 0]) == 0
+
+    def test_is_lex_positive(self):
+        assert is_lex_positive([1, -5])
+        assert not is_lex_positive([0, -1])
+        assert not is_lex_positive([0, 0])
+
+    def test_normalize(self):
+        assert normalize_lex_positive([0, -1, 2]) == (0, 1, -2)
+        assert normalize_lex_positive([2, 0]) == (2, 0)
+        assert normalize_lex_positive([0, 0]) is None
+
+
+class TestDependenceObject:
+    def test_requires_exactly_one_representation(self):
+        with pytest.raises(DependenceError):
+            Dependence(array="A", kind=DependenceKind.FLOW)
+        with pytest.raises(DependenceError):
+            Dependence(
+                array="A",
+                kind=DependenceKind.FLOW,
+                distance=(1,),
+                direction=("*",),
+            )
+
+    def test_rejects_lex_negative_distance(self):
+        with pytest.raises(DependenceError):
+            Dependence(array="A", kind=DependenceKind.FLOW, distance=(0, -1))
+
+    def test_str(self):
+        dep = Dependence(array="C", kind=DependenceKind.FLOW, distance=(0, 0, 1))
+        assert "flow" in str(dep)
+        assert "C" in str(dep)
+
+
+class TestSubscriptMatrix:
+    def test_figure1(self):
+        nest = make_nest(
+            loops=[("i", 0, "N1-1"), ("j", "i", "i+b-1"), ("k", 0, "N2-1")],
+            body=["B[i, j-i] = B[i, j-i] + A[i, j+k]"],
+        )
+        refs = nest.array_refs()
+        b_matrix = subscript_matrix(refs[0][0], ["i", "j", "k"])
+        assert b_matrix == Matrix([[1, 0, 0], [-1, 1, 0]])
+        a_matrix = subscript_matrix(refs[2][0], ["i", "j", "k"])
+        assert a_matrix == Matrix([[1, 0, 0], [0, 1, 1]])
+
+
+class TestGEMMDependences:
+    def make(self):
+        return make_nest(
+            loops=[("i", 1, "N"), ("j", 1, "N"), ("k", 1, "N")],
+            body=["C[i, j] = C[i, j] + A[i, k] * B[k, j]"],
+        )
+
+    def test_gemm_dependence_is_k_carried(self):
+        deps = analyze_dependences(self.make())
+        distances = {dep.distance for dep in deps if dep.distance}
+        # The paper: dependence matrix of GEMM is (0, 0, 1)^T.
+        assert distances == {(0, 0, 1)}
+        assert not has_non_uniform(deps)
+
+    def test_gemm_kinds(self):
+        deps = analyze_dependences(self.make())
+        kinds = {dep.kind for dep in deps}
+        # C is read and written at the same subscripts: flow, anti and
+        # output dependences all with distance (0,0,1).
+        assert kinds == {DependenceKind.FLOW, DependenceKind.ANTI, DependenceKind.OUTPUT}
+
+    def test_gemm_dependence_matrix(self):
+        deps = analyze_dependences(self.make())
+        matrix = dependence_matrix(deps, 3)
+        assert matrix == Matrix([[0], [0], [1]])
+
+
+class TestSYR2KDependences:
+    def test_syr2k_dependence(self):
+        nest = make_nest(
+            loops=[
+                ("i", 1, "N"),
+                ("j", "i", "min(i+2b-2, N)"),
+                ("k", "max(i-b+1, j-b+1, 1)", "min(i+b-1, j+b-1, N)"),
+            ],
+            body=[
+                "Cb[i, j-i+1] = Cb[i, j-i+1]"
+                " + alpha*Ab[k, i-k+b]*Bb[k, j-k+b]"
+                " + alpha*Ab[k, j-k+b]*Bb[k, i-k+b]"
+            ],
+        )
+        deps = analyze_dependences(nest)
+        matrix = dependence_matrix(deps, 3)
+        # The paper: dependence matrix is (0, 0, 1)^T.
+        assert matrix == Matrix([[0], [0], [1]])
+
+
+class TestUniformSolver:
+    def test_constant_offset_flow(self):
+        # A[i] written, A[i-1] read: flow dependence with distance 1.
+        nest = make_nest(loops=[("i", 1, 9)], body=["A[i] = A[i-1] + 1"])
+        deps = analyze_dependences(nest)
+        flows = [d for d in deps if d.kind == DependenceKind.FLOW]
+        assert any(d.distance == (1,) for d in flows)
+
+    def test_anti_direction_offset(self):
+        # A[i] written, A[i+1] read: the reader of iteration i conflicts
+        # with the writer of iteration i+1 -> anti dependence distance 1.
+        nest = make_nest(loops=[("i", 1, 9)], body=["A[i] = A[i+1] + 1"])
+        deps = analyze_dependences(nest)
+        assert any(d.kind == DependenceKind.ANTI and d.distance == (1,) for d in deps)
+
+    def test_no_dependence_parity(self):
+        # A[2i] vs A[2i+1]: even and odd elements never collide.
+        nest = make_nest(loops=[("i", 0, 9)], body=["A[2i] = A[2i+1] + 1"])
+        deps = analyze_dependences(nest)
+        assert deps == []
+
+    def test_same_iteration_only_no_columns(self):
+        # A[i] = A[i] + 1 in a 1-deep nest: same-iteration dependence only.
+        nest = make_nest(loops=[("i", 0, 9)], body=["A[i] = A[i] + 1"])
+        deps = analyze_dependences(nest)
+        assert all(dep.distance != (0,) for dep in deps)
+        assert dependence_matrix(deps, 1).ncols == 0
+
+    def test_skewed_uniform(self):
+        nest = make_nest(
+            loops=[("i", 1, 9), ("j", 1, 9)],
+            body=["A[i+j] = A[i+j-1] + 1"],
+        )
+        deps = analyze_dependences(nest)
+        distances = {dep.distance for dep in deps if dep.distance}
+        # F = [1 1]; particular solution plus 1-D null lattice -> the
+        # conservative mixed path produces a direction vector instead.
+        assert distances == set() or all(len(d) == 2 for d in distances)
+        assert deps  # there IS a dependence
+
+
+class TestNonUniform:
+    def test_transpose_pair_is_non_uniform(self):
+        nest = make_nest(
+            loops=[("i", 0, "N-1"), ("j", 0, "N-1")],
+            body=["A[i, j] = A[j, i] + 1"],
+        )
+        deps = analyze_dependences(nest)
+        assert has_non_uniform(deps)
+
+    def test_gcd_filter_kills_parity_nonuniform(self):
+        # 2i vs 4i+1: even versus odd addresses, and the pair is
+        # non-uniform (different linear parts), so the GCD test fires:
+        # gcd(2, -4) = 2 does not divide 1.
+        nest = make_nest(
+            loops=[("i", 0, 9)],
+            body=["A[2i] = A[4i + 1] + 1"],
+        )
+        deps = analyze_dependences(nest)
+        assert deps == []
+
+    def test_banerjee_filter_with_params(self):
+        # A[2i] writes 0..8; A[i+12] reads 12..16: ranges disjoint, so
+        # with concrete bounds Banerjee proves independence.
+        nest = make_nest(
+            loops=[("i", 0, 4)],
+            body=["A[2i] = A[i + 12] + 1"],
+        )
+        assert analyze_dependences(nest, params={}) == []
+        # Without bounds information the conservative answer keeps it.
+        assert analyze_dependences(nest) != []
+
+    def test_dependence_matrix_rejects_non_uniform(self):
+        dep = Dependence(array="A", kind=DependenceKind.FLOW, direction=("*",))
+        with pytest.raises(DependenceError):
+            dependence_matrix([dep], 1)
+
+    def test_dependence_matrix_depth_mismatch(self):
+        dep = Dependence(array="A", kind=DependenceKind.FLOW, distance=(1,))
+        with pytest.raises(DependenceError):
+            dependence_matrix([dep], 2)
+
+
+class TestReadOnlyPairs:
+    def test_reads_produce_no_dependences(self):
+        nest = make_nest(
+            loops=[("i", 0, 9)],
+            body=["B[i] = A[i] + A[i-1]"],
+        )
+        deps = analyze_dependences(nest)
+        assert all(dep.array != "A" for dep in deps)

@@ -1,0 +1,79 @@
+"""Final cross-cutting properties: monotonicity and partition invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blas import gemm_program
+from repro.codegen import generate_spmd, generate_tiled_spmd
+from repro.core import access_normalize
+from repro.numa import butterfly_gp1000, simulate
+
+
+class TestMonotonicityProperties:
+    @given(st.integers(1, 9))
+    @settings(max_examples=9, deadline=None)
+    def test_block_cache_never_hurts(self, processors):
+        normalized = access_normalize(gemm_program(18)).transformed
+        node = generate_spmd(normalized)
+        plain = simulate(node, processors=processors)
+        cached = simulate(node, processors=processors, block_cache=True)
+        assert cached.totals.block_transfers <= plain.totals.block_transfers
+        assert cached.total_time_us <= plain.total_time_us
+        # Caching never changes the work done.
+        assert cached.totals.statements == plain.totals.statements
+        assert cached.totals.local == plain.totals.local
+
+    @given(st.integers(1, 8), st.integers(1, 6))
+    @settings(max_examples=12, deadline=None)
+    def test_tiling_preserves_work(self, processors, tile):
+        normalized = access_normalize(gemm_program(12)).transformed
+        node = generate_tiled_spmd(normalized, tile_size=tile)
+        outcome = simulate(node, processors=processors)
+        assert outcome.totals.iterations == 12 ** 3
+        assert outcome.totals.statements == 12 ** 3
+
+    @given(st.floats(0.0, 0.5))
+    @settings(max_examples=10, deadline=None)
+    def test_contention_monotone(self, coefficient):
+        normalized = access_normalize(gemm_program(16)).transformed
+        node = generate_spmd(normalized, block_transfers=False)
+        quiet = simulate(node, processors=4, machine=butterfly_gp1000())
+        loud = simulate(
+            node,
+            processors=4,
+            machine=butterfly_gp1000(contention_coefficient=coefficient),
+        )
+        assert loud.total_time_us >= quiet.total_time_us - 1e-9
+        assert loud.remote_multiplier >= 1.0
+
+    @given(st.integers(2, 10))
+    @settings(max_examples=9, deadline=None)
+    def test_more_processors_never_more_per_proc_work(self, processors):
+        normalized = access_normalize(gemm_program(20)).transformed
+        node = generate_spmd(normalized)
+        one = simulate(node, processors=1)
+        many = simulate(node, processors=processors)
+        per_proc_max = max(r.counts.iterations for r in many.per_proc)
+        assert per_proc_max <= one.totals.iterations
+        # And the union is exact.
+        assert many.totals.iterations == one.totals.iterations
+
+
+class TestScheduleEquivalence:
+    @given(st.integers(1, 7), st.sampled_from(["wrapped", "blocked"]))
+    @settings(max_examples=14, deadline=None)
+    def test_schedules_partition_identically_sized_work(self, processors, schedule):
+        normalized = access_normalize(gemm_program(14)).transformed
+        node = generate_spmd(normalized, schedule=schedule)
+        outcome = simulate(node, processors=processors)
+        assert outcome.totals.iterations == 14 ** 3
+        # Blocked dealing uses ceil-sized blocks of outer slices, so a
+        # processor can deviate from the ideal share by up to one block
+        # (the trailing processor may even sit idle).
+        per_slice = 14 * 14  # iterations per outer value
+        slices = 14
+        block = -(-slices // processors)
+        ideal = 14 ** 3 / processors
+        for result in outcome.per_proc:
+            assert abs(result.counts.iterations - ideal) <= block * per_slice

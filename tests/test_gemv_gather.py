@@ -1,0 +1,131 @@
+"""Tests for the GEMV workload and whole-array gather transfers."""
+
+import numpy as np
+import pytest
+
+from repro.blas import gemv_program, gemv_reference
+from repro.codegen import RefClass, generate_spmd, plan_locality, render_node_program
+from repro.core import access_normalize
+from repro.distributions import Blocked, Wrapped
+from repro.ir import allocate_arrays, execute, make_program, validate_program
+from repro.numa import simulate
+
+
+class TestGEMVWorkload:
+    def test_program_validates(self):
+        validate_program(gemv_program(16))
+
+    def test_reference_semantics(self):
+        program = gemv_program(10)
+        arrays = allocate_arrays(program, seed=90)
+        expected = gemv_reference(arrays)
+        execute(program, arrays)
+        np.testing.assert_allclose(arrays["Y"], expected, atol=1e-9)
+
+    def test_identity_transformation(self):
+        # GEMV's natural loop order already matches the distribution.
+        from repro.core import is_identity
+
+        result = access_normalize(gemv_program(16))
+        assert is_identity(result.matrix)
+
+    def test_parallel_execution(self):
+        program = gemv_program(12)
+        node = generate_spmd(access_normalize(program).transformed)
+        arrays = allocate_arrays(program, seed=91)
+        expected = gemv_reference(arrays)
+        simulate(node, processors=3, arrays=arrays, mode="execute")
+        np.testing.assert_allclose(arrays["Y"], expected, atol=1e-9)
+
+
+class TestGatherPlanning:
+    def test_x_is_gathered(self):
+        program = access_normalize(gemv_program(16)).transformed
+        plan = plan_locality(program.nest, program.distributions)
+        x_infos = [info for info in plan.refs if info.ref.array == "X"]
+        assert x_infos[0].ref_class == RefClass.COVERED
+        assert "gathered" in x_infos[0].reason
+        assert any(
+            read.array == "X" and all(p is None for p in read.pattern)
+            for _, read in plan.block_reads
+        )
+
+    def test_rendered_as_read_star(self):
+        node = generate_spmd(access_normalize(gemv_program(16)).transformed)
+        assert "read X[*];" in render_node_program(node)
+
+    def test_written_arrays_never_gathered(self):
+        # Same shape as GEMV but X is also written: a gathered copy would
+        # go stale, so the reference must stay CHECK.
+        program = make_program(
+            loops=[("i", 0, "N-1"), ("j", 0, "N-1")],
+            body=["Y[i] = Y[i] + X[j]", "X[j] = X[j] * 1"],
+            arrays=[("Y", "N"), ("X", "N")],
+            distributions={"Y": Wrapped(0), "X": Wrapped(0)},
+            params={"N": 8},
+        )
+        plan = plan_locality(program.nest, program.distributions)
+        x_reads = [
+            info for info in plan.refs
+            if info.ref.array == "X" and not info.is_write
+        ]
+        assert all(info.ref_class == RefClass.CHECK for info in x_reads)
+
+    def test_outer_dependent_subscript_not_gathered(self):
+        program = make_program(
+            loops=[("i", 0, "N-1"), ("j", 0, "N-2")],
+            body=["Y[i] = Y[i] + X[i+j]"],
+            arrays=[("Y", "N"), ("X", "2*N")],
+            distributions={"Y": Wrapped(0), "X": Wrapped(0)},
+            params={"N": 8},
+        )
+        plan = plan_locality(program.nest, program.distributions)
+        x_info = [i for i in plan.refs if i.ref.array == "X"][0]
+        assert x_info.ref_class == RefClass.CHECK
+
+
+class TestGatherAccounting:
+    def test_gather_costs(self):
+        n, processors = 64, 4
+        node = generate_spmd(access_normalize(gemv_program(n)).transformed)
+        outcome = simulate(node, processors=processors)
+        totals = outcome.totals
+        # Per outer iteration each processor gathers the 3/4 of X it does
+        # not own, paying one message per remote owner.
+        outer_iterations = n
+        assert totals.block_transfers == outer_iterations * (processors - 1)
+        assert totals.block_bytes == outer_iterations * (n - n // processors) * 8
+        # Y and A accesses all local; X consumption local too.
+        assert totals.remote == 0
+
+    def test_gather_with_cache_once_per_processor(self):
+        n, processors = 64, 4
+        node = generate_spmd(access_normalize(gemv_program(n)).transformed)
+        outcome = simulate(node, processors=processors, block_cache=True)
+        assert outcome.totals.block_transfers == processors * (processors - 1)
+
+    def test_single_processor_gather_free(self):
+        node = generate_spmd(access_normalize(gemv_program(16)).transformed)
+        outcome = simulate(node, processors=1)
+        assert outcome.totals.block_transfers == 0
+        assert outcome.totals.block_bytes == 0
+
+    def test_blocked_distribution_gather(self):
+        program = make_program(
+            loops=[("i", 0, "N-1"), ("j", 0, "N-1")],
+            body=["Y[i] = Y[i] + X[j]"],
+            arrays=[("Y", "N"), ("X", "N")],
+            distributions={"Y": Blocked(0), "X": Blocked(0)},
+            params={"N": 16},
+        )
+        node = generate_spmd(program, schedule="blocked")
+        outcome = simulate(node, processors=4)
+        # Each processor owns a 4-element block of X; gathers 12 remote
+        # elements per outer iteration.
+        assert outcome.totals.block_bytes == 16 * 12 * 8
+
+    def test_gather_speedup_scales(self):
+        node = generate_spmd(access_normalize(gemv_program(96)).transformed)
+        seq = simulate(node, processors=1).total_time_us
+        speed8 = simulate(node, processors=8, block_cache=True).speedup(seq)
+        assert speed8 > 6.0

@@ -1,0 +1,130 @@
+"""Golden end-to-end pipeline tests for every workload.
+
+For each workload: run access normalization, generate the SPMD node
+program, simulate in execute mode against the numpy reference, and check
+the conservation laws and legality.  This is the safety net that keeps all
+subsystems compatible.
+"""
+
+import numpy as np
+import pytest
+
+from repro.blas import (
+    PAPER_PRIORITY,
+    gemm_program,
+    gemm_reference,
+    gemv_program,
+    gemv_reference,
+    jacobi_program,
+    jacobi_reference,
+    syr2k_program,
+    syr2k_reference,
+    syrk_program,
+    syrk_reference,
+)
+from repro.codegen import generate_spmd, render_node_program
+from repro.core import access_normalize, is_legal_transformation
+from repro.ir import allocate_arrays, execute, render_nest
+from repro.numa import simulate
+
+CASES = {
+    "gemm": {
+        "program": lambda: gemm_program(8),
+        "priority": None,
+        "check": lambda arrays: ("C", gemm_reference(arrays)),
+        "refs_per_iteration": 4,
+    },
+    "syr2k": {
+        "program": lambda: syr2k_program(12, 3),
+        "priority": list(PAPER_PRIORITY),
+        "check": lambda arrays: ("Cb", syr2k_reference(arrays, 12, 3)),
+        "refs_per_iteration": 6,
+    },
+    "syrk": {
+        "program": lambda: syrk_program(9),
+        "priority": None,
+        "check": lambda arrays: ("C", syrk_reference(arrays)),
+        "refs_per_iteration": 4,
+    },
+    "gemv": {
+        "program": lambda: gemv_program(10),
+        "priority": None,
+        "check": lambda arrays: ("Y", gemv_reference(arrays)),
+        "refs_per_iteration": 4,
+    },
+    "jacobi": {
+        "program": lambda: jacobi_program(12),
+        "priority": None,
+        "check": lambda arrays: ("B", jacobi_reference(arrays)),
+        "refs_per_iteration": 5,
+    },
+}
+
+
+@pytest.fixture(params=sorted(CASES))
+def case(request):
+    spec = CASES[request.param]
+    program = spec["program"]()
+    result = access_normalize(program, priority=spec["priority"])
+    return request.param, spec, program, result
+
+
+class TestGoldenPipeline:
+    def test_legality(self, case):
+        _, _, _, result = case
+        assert is_legal_transformation(result.matrix, result.dependence_columns)
+        assert result.outer_carried_count == 0
+
+    def test_semantic_equivalence_sequential(self, case):
+        _, _, program, result = case
+        base = allocate_arrays(program, seed=7)
+        other = {k: v.copy() for k, v in base.items()}
+        execute(program, base)
+        execute(result.transformed, other)
+        for name in base:
+            np.testing.assert_allclose(base[name], other[name], atol=1e-9)
+
+    @pytest.mark.parametrize("processors", [1, 3, 4])
+    def test_parallel_execution_matches_numpy(self, case, processors):
+        name, spec, program, result = case
+        node = generate_spmd(result.transformed)
+        arrays = allocate_arrays(program, seed=11)
+        target, expected = spec["check"](arrays)
+        simulate(node, processors=processors, arrays=arrays, mode="execute")
+        if name == "syrk":
+            np.testing.assert_allclose(
+                np.triu(arrays[target]), np.triu(expected), atol=1e-9
+            )
+        else:
+            np.testing.assert_allclose(arrays[target], expected, atol=1e-9)
+
+    def test_conservation(self, case):
+        _, spec, program, result = case
+        node = generate_spmd(result.transformed, block_transfers=False)
+        sequential = simulate(node, processors=1)
+        parallel = simulate(node, processors=3)
+        assert parallel.totals.iterations == sequential.totals.iterations
+        assert parallel.totals.statements == sequential.totals.statements
+        expected_accesses = (
+            spec["refs_per_iteration"] * sequential.totals.iterations
+        )
+        for outcome in (sequential, parallel):
+            assert (
+                outcome.totals.local + outcome.totals.remote
+                == expected_accesses
+            )
+
+    def test_speedup_profile(self, case):
+        _, _, _, result = case
+        node = generate_spmd(result.transformed)
+        sequential = simulate(node, processors=1).total_time_us
+        parallel = simulate(node, processors=4)
+        speedup = parallel.speedup(sequential)
+        assert 0.5 < speedup <= 4.0 + 1e-9
+
+    def test_artifacts_render(self, case):
+        _, _, _, result = case
+        node = generate_spmd(result.transformed)
+        assert render_nest(result.transformed.nest)
+        assert "node program" in render_node_program(node)
+        assert "transformation T" in result.report()

@@ -1,0 +1,212 @@
+"""Tests for affine expressions and the shared expression parser."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NonAffineError, ParseError
+from repro.ir import (
+    AffineExpr,
+    BinOp,
+    Const,
+    IndexValue,
+    Load,
+    Param,
+    bind_indices,
+    parse_affine,
+    parse_scalar,
+    to_affine,
+)
+
+
+class TestAffineAlgebra:
+    def test_var_and_constant(self):
+        i = AffineExpr.var("i")
+        assert i.coeff("i") == 1
+        assert i.const == 0
+        assert AffineExpr.constant(5).is_constant()
+
+    def test_addition_merges_coefficients(self):
+        expr = AffineExpr.var("i") + AffineExpr.var("i") + 3
+        assert expr.coeff("i") == 2
+        assert expr.const == 3
+
+    def test_zero_coefficients_dropped(self):
+        expr = AffineExpr.var("i") - AffineExpr.var("i")
+        assert expr.is_constant()
+        assert expr.variables() == ()
+
+    def test_subtraction_and_negation(self):
+        expr = -(AffineExpr.var("j") - 2)
+        assert expr.coeff("j") == -1
+        assert expr.const == 2
+
+    def test_scalar_multiplication_and_division(self):
+        expr = (AffineExpr.var("u") * 2 + 4) / 6
+        assert expr.coeff("u") == Fraction(1, 3)
+        assert expr.const == Fraction(2, 3)
+
+    def test_division_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            AffineExpr.var("i") / 0
+
+    def test_substitute(self):
+        # i -> u + v, j -> -v   applied to  i + 2j - 1.
+        expr = AffineExpr.parse("i + 2*j - 1")
+        result = expr.substitute({
+            "i": AffineExpr.parse("u + v"),
+            "j": AffineExpr.parse("-v"),
+        })
+        assert result == AffineExpr.parse("u - v - 1")
+
+    def test_evaluate(self):
+        expr = AffineExpr.parse("2*i + j - 3")
+        assert expr.evaluate({"i": 4, "j": 1}) == 6
+        assert expr.evaluate_int({"i": 4, "j": 1}) == 6
+
+    def test_evaluate_int_rejects_fraction(self):
+        expr = AffineExpr.parse("i/2")
+        with pytest.raises(ValueError):
+            expr.evaluate_int({"i": 3})
+
+    def test_evaluate_unbound(self):
+        with pytest.raises(KeyError):
+            AffineExpr.var("i").evaluate({})
+
+    def test_predicates(self):
+        assert AffineExpr.var("i").is_single_variable()
+        assert not (AffineExpr.var("i") * 2).is_single_variable()
+        assert not (AffineExpr.var("i") + 1).is_single_variable()
+        assert AffineExpr.parse("i + j").depends_on(["j"])
+        assert not AffineExpr.parse("i + j").depends_on(["k"])
+
+    def test_coefficient_vector(self):
+        expr = AffineExpr.parse("j - i")
+        assert expr.coefficient_vector(["i", "j", "k"]) == (-1, 1, 0)
+
+    def test_is_integral(self):
+        assert AffineExpr.parse("2*i + 1").is_integral()
+        assert not AffineExpr.parse("i/2").is_integral()
+
+    def test_equality_and_hash(self):
+        a = AffineExpr.parse("i + 1")
+        b = AffineExpr.var("i") + 1
+        assert a == b
+        assert hash(a) == hash(b)
+        assert AffineExpr.constant(3) == 3
+
+    @given(st.integers(-9, 9), st.integers(-9, 9), st.integers(-9, 9), st.integers(-9, 9))
+    @settings(max_examples=40)
+    def test_evaluate_linear_property(self, a, b, i, j):
+        expr = AffineExpr({"i": a, "j": b}, 7)
+        assert expr.evaluate({"i": i, "j": j}) == a * i + b * j + 7
+
+
+class TestAffineFormatting:
+    def test_str_roundtrip(self):
+        for text in ["i", "i+2*j-1", "-u-v+3", "1/2*i", "0"]:
+            expr = AffineExpr.parse(text)
+            assert AffineExpr.parse(str(expr)) == expr
+
+    def test_str_zero(self):
+        assert str(AffineExpr.constant(0)) == "0"
+
+    def test_str_signs(self):
+        assert str(AffineExpr.parse("-i + 1")) == "-i+1"
+
+
+class TestExpressionParser:
+    def test_implicit_multiplication(self):
+        assert parse_affine("2i + 4j") == AffineExpr.parse("2*i + 4*j")
+
+    def test_paper_subscripts(self):
+        # Every subscript from Figure 1 and Section 8.2.
+        for text in ["j-i", "j+k", "i", "j-i+1", "i-k+b", "j-k+b", "-u-v+w+1"]:
+            expr = parse_affine(text)
+            assert expr is not None
+
+    def test_parenthesized_division(self):
+        expr = parse_affine("(2v - u)/6")
+        assert expr.coeff("v") == Fraction(1, 3)
+        assert expr.coeff("u") == Fraction(-1, 6)
+
+    def test_array_reference(self):
+        node = parse_scalar("A[i, j+k]")
+        assert isinstance(node, Load)
+        assert node.ref.array == "A"
+        assert node.ref.subscripts[1] == AffineExpr.parse("j+k")
+
+    def test_nested_expression(self):
+        node = parse_scalar("B[i, j-i] + A[i, j+k] * alpha")
+        assert isinstance(node, BinOp)
+        assert len(node.references()) == 2
+
+    def test_load_is_not_affine(self):
+        with pytest.raises(NonAffineError):
+            parse_affine("A[i]")
+
+    def test_variable_product_is_not_affine(self):
+        with pytest.raises(NonAffineError):
+            parse_affine("i * j")
+
+    def test_division_by_variable_is_not_affine(self):
+        with pytest.raises(NonAffineError):
+            parse_affine("i / j")
+
+    def test_constant_folding_via_affine(self):
+        assert parse_affine("2 * 3 + 1") == 7
+
+    def test_syntax_errors(self):
+        with pytest.raises(ParseError):
+            parse_scalar("i +")
+        with pytest.raises(ParseError):
+            parse_scalar("(i")
+        with pytest.raises(ParseError):
+            parse_scalar("i @ j")
+        with pytest.raises(ParseError):
+            parse_scalar("i j")
+
+    def test_unary_plus_minus(self):
+        assert parse_affine("-i") == AffineExpr.var("i") * -1
+        assert parse_affine("+i") == AffineExpr.var("i")
+        assert parse_affine("--i") == AffineExpr.var("i")
+
+
+class TestBindIndices:
+    def test_bare_index_becomes_index_value(self):
+        node = bind_indices(parse_scalar("j"), ["i", "j"])
+        assert isinstance(node, IndexValue)
+        assert node.expr == AffineExpr.var("j")
+
+    def test_parameter_stays_param(self):
+        node = bind_indices(parse_scalar("alpha"), ["i", "j"])
+        assert isinstance(node, Param)
+
+    def test_mixed_expression(self):
+        node = bind_indices(parse_scalar("A[i] * j + alpha"), ["i", "j"])
+        assert isinstance(node, BinOp)
+        product = node.left
+        assert isinstance(product, BinOp)
+        assert isinstance(product.right, IndexValue)
+
+    def test_affine_subtree_collapsed(self):
+        node = bind_indices(parse_scalar("2*i + 3*j - 1"), ["i", "j"])
+        assert isinstance(node, IndexValue)
+        assert node.expr == AffineExpr.parse("2i + 3j - 1")
+
+    def test_constant_not_collapsed(self):
+        node = bind_indices(parse_scalar("5"), ["i"])
+        assert isinstance(node, Const)
+
+    def test_substitution_after_binding(self):
+        # The Section 3 example: A[2i+4j, i+5j] = j must become
+        # A[u, v] = (2v-u)/6 under i,j -> T^{-1}(u,v).
+        node = bind_indices(parse_scalar("j"), ["i", "j"])
+        rewritten = node.substitute_indices({
+            "i": AffineExpr.parse("5/6*u - 2/3*v"),
+            "j": AffineExpr.parse("-1/6*u + 1/3*v"),
+        })
+        assert isinstance(rewritten, IndexValue)
+        assert rewritten.expr == AffineExpr.parse("(2v - u)/6")

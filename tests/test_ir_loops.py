@@ -1,0 +1,311 @@
+"""Tests for loops, nests, statements, programs, validation and the interpreter."""
+
+import numpy as np
+import pytest
+
+from repro.errors import IRError, ParseError
+from repro.ir import (
+    AffineExpr,
+    ArrayDecl,
+    Assign,
+    BlockRead,
+    IfThen,
+    Loop,
+    LoopNest,
+    ModEq,
+    allocate_arrays,
+    arrays_equal,
+    execute,
+    make_nest,
+    make_program,
+    parse_assignment,
+    render_nest,
+    run_fresh,
+    validate_nest,
+    validate_program,
+)
+
+
+def figure1_nest() -> LoopNest:
+    return make_nest(
+        loops=[("i", 0, "N1-1"), ("j", "i", "i+b-1"), ("k", 0, "N2-1")],
+        body=["B[i, j-i] = B[i, j-i] + A[i, j+k]"],
+    )
+
+
+class TestLoop:
+    def test_basic_range(self):
+        loop = Loop.make("i", 0, 9)
+        assert list(loop.iter_values({})) == list(range(10))
+        assert loop.trip_count({}) == 10
+
+    def test_symbolic_bounds(self):
+        loop = Loop.make("j", "i", "i+b-1")
+        env = {"i": 3, "b": 4}
+        assert list(loop.iter_values(env)) == [3, 4, 5, 6]
+
+    def test_max_min_bounds(self):
+        loop = Loop.make("k", ["i-2", "0"], ["i+2", "N-1"])
+        assert list(loop.iter_values({"i": 1, "N": 3})) == [0, 1, 2]
+        assert list(loop.iter_values({"i": 5, "N": 10})) == [3, 4, 5, 6, 7]
+
+    def test_step(self):
+        loop = Loop.make("i", 1, 10, step=3)
+        assert list(loop.iter_values({})) == [1, 4, 7, 10]
+
+    def test_aligned_step(self):
+        # i === 2 (mod 5), starting at the first such value >= 0.
+        loop = Loop.make("i", 0, 20, step=5, align=2)
+        assert list(loop.iter_values({})) == [2, 7, 12, 17]
+
+    def test_aligned_step_symbolic(self):
+        loop = Loop.make("p_loop", 0, 10, step=4, align="p")
+        assert list(loop.iter_values({"p": 3})) == [3, 7]
+
+    def test_empty_range(self):
+        loop = Loop.make("i", 5, 4)
+        assert list(loop.iter_values({})) == []
+        assert loop.trip_count({}) == 0
+
+    def test_negative_step_rejected(self):
+        with pytest.raises(IRError):
+            Loop.make("i", 0, 10, step=-1)
+
+    def test_rational_bounds_use_ceil_floor(self):
+        lower = AffineExpr.parse("i/2")
+        upper = AffineExpr.parse("i/2 + 5/2")
+        loop = Loop(index="j", lower=(lower,), upper=(upper,))
+        # i=3: lower 1.5 -> 2, upper 4.0 -> 4.
+        assert list(loop.iter_values({"i": 3})) == [2, 3, 4]
+
+
+class TestLoopNest:
+    def test_depth_and_indices(self):
+        nest = figure1_nest()
+        assert nest.depth == 3
+        assert nest.indices == ("i", "j", "k")
+
+    def test_iterate_lexicographic(self):
+        nest = make_nest(loops=[("i", 0, 1), ("j", "i", 2)], body=["A[i, j] = 1"])
+        points = [(env["i"], env["j"]) for env in nest.iterate({})]
+        assert points == [(0, 0), (0, 1), (0, 2), (1, 1), (1, 2)]
+
+    def test_iteration_count(self):
+        nest = figure1_nest()
+        assert nest.iteration_count({"N1": 4, "N2": 3, "b": 2}) == 4 * 2 * 3
+
+    def test_array_refs(self):
+        nest = figure1_nest()
+        refs = nest.array_refs()
+        assert [(ref.array, wr) for ref, wr in refs] == [
+            ("B", True),
+            ("B", False),
+            ("A", False),
+        ]
+        assert nest.array_names() == ["B", "A"]
+
+    def test_free_variables(self):
+        assert set(figure1_nest().free_variables()) == {"N1", "N2", "b"}
+
+    def test_render(self):
+        text = render_nest(figure1_nest())
+        assert "for i = 0, N1-1" in text
+        assert "B[i, j-i] = B[i, j-i] + A[i, j+k]" in text
+
+
+class TestStatements:
+    def test_parse_assignment_rejects_bad_input(self):
+        with pytest.raises(ParseError):
+            parse_assignment("A[i] = B[i] = 1", ["i"])
+        with pytest.raises(ParseError):
+            parse_assignment("3 = A[i]", ["i"])
+
+    def test_substitute_indices_through_assign(self):
+        stmt = parse_assignment("A[i, j] = A[i, j] + j", ["i", "j"])
+        rewritten = stmt.substitute_indices({
+            "i": AffineExpr.var("v"),
+            "j": AffineExpr.var("u"),
+        })
+        assert str(rewritten.lhs) == "A[v, u]"
+        assert "u" in str(rewritten.rhs)
+
+    def test_modeq_guard(self):
+        cond = ModEq(AffineExpr.parse("j-i"), AffineExpr.var("P"), AffineExpr.var("p"))
+        assert cond.evaluate({"i": 1, "j": 5, "P": 4, "p": 0})
+        assert not cond.evaluate({"i": 1, "j": 5, "P": 4, "p": 1})
+
+    def test_ifthen_conjunction_and_disjunction(self):
+        cond_true = ModEq(AffineExpr.constant(0), AffineExpr.constant(2), AffineExpr.constant(0))
+        cond_false = ModEq(AffineExpr.constant(1), AffineExpr.constant(2), AffineExpr.constant(0))
+        stmt = parse_assignment("A[i] = 1", ["i"])
+        assert not IfThen((cond_true, cond_false), stmt).evaluate_guard({})
+        assert IfThen((cond_true, cond_false), stmt, disjunctive=True).evaluate_guard({})
+
+    def test_blockread(self):
+        read = BlockRead("A", (None, AffineExpr.var("v")))
+        assert str(read) == "read A[*, v]"
+        assert read.fixed_values({"v": 7}) == (None, 7)
+        assert read.array_refs() == ()
+
+
+class TestProgram:
+    def make(self):
+        return make_program(
+            loops=[("i", 0, "N-1"), ("j", 0, "N-1")],
+            body=["C[i, j] = C[i, j] + A[j, i]"],
+            arrays=[("C", "N", "N"), ("A", "N", "N")],
+            params={"N": 6},
+            name="transpose-add",
+        )
+
+    def test_array_lookup(self):
+        program = self.make()
+        assert program.array("C").rank == 2
+        assert program.has_array("A")
+        assert not program.has_array("Z")
+        with pytest.raises(IRError):
+            program.array("Z")
+
+    def test_shapes(self):
+        program = self.make()
+        assert program.array("C").shape({"N": 6}) == (6, 6)
+
+    def test_param_merging(self):
+        program = self.make()
+        assert program.bound_params({"N": 3}) == {"N": 3}
+        bigger = program.with_params(N=10)
+        assert bigger.bound_params() == {"N": 10}
+
+    def test_with_nest(self):
+        program = self.make()
+        clone = program.with_nest(program.nest, name="clone")
+        assert clone.name == "clone"
+        assert clone.arrays == program.arrays
+
+    def test_validate_ok(self):
+        validate_program(self.make())
+
+    def test_validate_missing_array(self):
+        program = make_program(
+            loops=[("i", 0, 3)],
+            body=["A[i] = 1"],
+            arrays=[],
+        )
+        with pytest.raises(IRError):
+            validate_program(program)
+
+    def test_validate_rank_mismatch(self):
+        program = make_program(
+            loops=[("i", 0, 3)],
+            body=["A[i] = 1"],
+            arrays=[("A", 4, 4)],
+        )
+        with pytest.raises(IRError):
+            validate_program(program)
+
+    def test_validate_duplicate_index(self):
+        nest = LoopNest(
+            (Loop.make("i", 0, 3), Loop.make("i", 0, 3)),
+            (parse_assignment("A[i] = 1", ["i"]),),
+        )
+        with pytest.raises(IRError):
+            validate_nest(nest)
+
+    def test_validate_inner_index_in_bound(self):
+        nest = LoopNest(
+            (Loop.make("i", 0, "j"), Loop.make("j", 0, 3)),
+            (parse_assignment("A[i] = 1", ["i", "j"]),),
+        )
+        with pytest.raises(IRError):
+            validate_nest(nest)
+
+
+class TestInterpreter:
+    def test_matmul_matches_numpy(self):
+        program = make_program(
+            loops=[("i", 0, "N-1"), ("j", 0, "N-1"), ("k", 0, "N-1")],
+            body=["C[i, j] = C[i, j] + A[i, k] * B[k, j]"],
+            arrays=[("C", "N", "N"), ("A", "N", "N"), ("B", "N", "N")],
+            params={"N": 5},
+        )
+        arrays = allocate_arrays(program, seed=1)
+        a = arrays["A"].copy()
+        b = arrays["B"].copy()
+        c = arrays["C"].copy()
+        execute(program, arrays)
+        np.testing.assert_allclose(arrays["C"], c + a @ b, atol=1e-10)
+
+    def test_index_value_semantics(self):
+        program = make_program(
+            loops=[("i", 0, 4)],
+            body=["A[i] = 2*i + 1"],
+            arrays=[("A", 5)],
+        )
+        arrays = run_fresh(program)
+        np.testing.assert_allclose(arrays["A"], [1, 3, 5, 7, 9])
+
+    def test_scalar_param_in_body(self):
+        program = make_program(
+            loops=[("i", 0, 3)],
+            body=["A[i] = alpha * A[i]"],
+            arrays=[("A", 4)],
+            params={"alpha": 3},
+        )
+        arrays = allocate_arrays(program, init="index")
+        execute(program, arrays)
+        np.testing.assert_allclose(arrays["A"], [0, 3, 6, 9])
+
+    def test_unbound_symbol_raises(self):
+        program = make_program(
+            loops=[("i", 0, 3)],
+            body=["A[i] = beta"],
+            arrays=[("A", 4)],
+        )
+        arrays = allocate_arrays(program)
+        with pytest.raises(IRError):
+            execute(program, arrays)
+
+    def test_guarded_statement(self):
+        guard = ModEq(AffineExpr.var("i"), AffineExpr.constant(2), AffineExpr.constant(0))
+        inner = parse_assignment("A[i] = 1", ["i"])
+        program = make_program(
+            loops=[("i", 0, 5)],
+            body=[IfThen((guard,), inner)],
+            arrays=[("A", 6)],
+        )
+        arrays = allocate_arrays(program, init="zeros")
+        execute(program, arrays)
+        np.testing.assert_allclose(arrays["A"], [1, 0, 1, 0, 1, 0])
+
+    def test_blockread_is_noop_for_semantics(self):
+        program = make_program(
+            loops=[("i", 0, 3)],
+            body=[BlockRead("A", (None,)), parse_assignment("A[i] = 1", ["i"])],
+            arrays=[("A", 4)],
+        )
+        arrays = run_fresh(program)
+        np.testing.assert_allclose(arrays["A"], [1, 1, 1, 1])
+
+    def test_arrays_equal(self):
+        program = self_program = make_program(
+            loops=[("i", 0, 3)],
+            body=["A[i] = i"],
+            arrays=[("A", 4)],
+        )
+        left = run_fresh(program)
+        right = run_fresh(self_program)
+        assert arrays_equal(left, right)
+        right["A"][0] += 1
+        assert not arrays_equal(left, right)
+        assert not arrays_equal(left, {})
+
+    def test_allocate_modes(self):
+        program = make_program(
+            loops=[("i", 0, 3)], body=["A[i] = 1"], arrays=[("A", 4)]
+        )
+        assert allocate_arrays(program, init="zeros")["A"].sum() == 0
+        np.testing.assert_allclose(
+            allocate_arrays(program, init="index")["A"], [0, 1, 2, 3]
+        )
+        with pytest.raises(ValueError):
+            allocate_arrays(program, init="bogus")

@@ -1,0 +1,237 @@
+"""Tests for the front-end DSL."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import Blocked, Wrapped
+from repro.errors import ParseError, SemanticError
+from repro.ir import allocate_arrays, arrays_equal, execute
+from repro.lang import parse_program
+
+GEMM_SOURCE = """
+program gemm
+param N = 6
+real C(N, N) distribute (*, wrapped)
+real A(N, N) distribute (*, wrapped)
+real B(N, N) distribute (*, wrapped)
+
+for i = 0, N-1
+    for j = 0, N-1
+        for k = 0, N-1
+            C[i, j] = C[i, j] + A[i, k] * B[k, j]
+"""
+
+SYR2K_SOURCE = """
+program syr2k
+param N = 10
+param b = 3
+param alpha = 1
+real Cb(N, 2*b-1) distribute (*, wrapped)
+real Ab(N, 2*b-1) distribute (*, wrapped)
+real Bb(N, 2*b-1) distribute (*, wrapped)
+
+for i = 0, N-1
+    for j = i, min(i+2b-2, N-1)
+        for k = max(i-b+1, j-b+1, 0), min(i+b-1, j+b-1, N-1)
+            Cb[i, j-i] = Cb[i, j-i] + alpha*Ab[k, i-k+b-1]*Bb[k, j-k+b-1] + alpha*Ab[k, j-k+b-1]*Bb[k, i-k+b-1]
+"""
+
+
+class TestParsing:
+    def test_gemm_structure(self):
+        program = parse_program(GEMM_SOURCE)
+        assert program.name == "gemm"
+        assert program.params == {"N": 6}
+        assert program.nest.depth == 3
+        assert program.nest.indices == ("i", "j", "k")
+        assert {d.name for d in program.arrays} == {"A", "B", "C"}
+        assert isinstance(program.distributions["C"], Wrapped)
+        assert program.distributions["C"].dim == 1
+
+    def test_gemm_matches_builder_program(self):
+        from repro.blas import gemm_program
+
+        parsed = parse_program(GEMM_SOURCE)
+        built = gemm_program(6)
+        base = allocate_arrays(built, seed=14)
+        other = {k: v.copy() for k, v in base.items()}
+        execute(built, base)
+        execute(parsed, other)
+        assert arrays_equal(base, other)
+
+    def test_syr2k_max_min_bounds(self):
+        program = parse_program(SYR2K_SOURCE)
+        k_loop = program.nest.loops[2]
+        assert len(k_loop.lower) == 3
+        assert len(k_loop.upper) == 3
+
+    def test_syr2k_executes(self):
+        from repro.blas import syr2k_program
+
+        parsed = parse_program(SYR2K_SOURCE)
+        built = syr2k_program(10, 3)
+        base = allocate_arrays(built, seed=15)
+        other = {k: v.copy() for k, v in base.items()}
+        execute(built, base)
+        execute(parsed, other)
+        assert arrays_equal(base, other)
+
+    def test_step_clause(self):
+        program = parse_program(
+            """
+real A(20)
+for i = 0, 19, step 2
+    A[i] = i
+"""
+        )
+        assert program.nest.loops[0].step == 2
+
+    def test_blocked_and_row_distributions(self):
+        program = parse_program(
+            """
+real A(8, 8) distribute (block, *)
+real B(8, 8) distribute (wrapped, *)
+real C(8, 8)
+for i = 0, 7
+    C[i, i] = A[i, 0] + B[0, i]
+"""
+        )
+        assert isinstance(program.distributions["A"], Blocked)
+        assert program.distributions["A"].dim == 0
+        assert program.distributions["B"].dim == 0
+        assert "C" not in program.distributions
+
+    def test_comments_and_blank_lines(self):
+        program = parse_program(
+            """
+# a comment
+real A(4)  ! trailing comment
+
+for i = 0, 3
+    A[i] = 1  # body comment
+"""
+        )
+        assert program.nest.depth == 1
+
+    def test_multiple_body_statements(self):
+        program = parse_program(
+            """
+real A(4, 4)
+real B(4, 4)
+for i = 0, 3
+    for j = 0, 3
+        A[i, j] = i + j
+        B[i, j] = A[i, j] * 2
+"""
+        )
+        assert len(program.nest.body) == 2
+
+    def test_param_without_default(self):
+        program = parse_program(
+            """
+param N
+real A(N)
+for i = 0, N-1
+    A[i] = 1
+"""
+        )
+        assert "N" in program.params
+
+
+class TestParseErrors:
+    def test_empty_program(self):
+        with pytest.raises(ParseError):
+            parse_program("   \n  \n")
+
+    def test_missing_body(self):
+        with pytest.raises(ParseError):
+            parse_program("real A(4)\nfor i = 0, 3\n")
+
+    def test_no_loop(self):
+        with pytest.raises(ParseError):
+            parse_program("real A(4)\nA[0] = 1\n")
+
+    def test_malformed_for(self):
+        with pytest.raises(ParseError):
+            parse_program("real A(4)\nfor i in range(4)\n    A[i] = 1\n")
+
+    def test_bad_step(self):
+        with pytest.raises(ParseError):
+            parse_program("real A(9)\nfor i = 0, 8, step N\n    A[i] = 1\n")
+
+    def test_unindented_body(self):
+        with pytest.raises(ParseError):
+            parse_program("real A(4)\nfor i = 0, 3\nA[i] = 1\n")
+
+    def test_imperfect_nest_rejected(self):
+        source = """
+real A(4, 4)
+for i = 0, 3
+    A[i, 0] = 1
+    for j = 0, 3
+        A[i, j] = 2
+"""
+        with pytest.raises(ParseError):
+            parse_program(source)
+
+    def test_inconsistent_body_indent(self):
+        source = """
+real A(4)
+for i = 0, 3
+    A[i] = 1
+      A[i] = 2
+"""
+        with pytest.raises(ParseError):
+            parse_program(source)
+
+    def test_tabs_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("real A(4)\nfor i = 0, 3\n\tA[i] = 1\n")
+
+    def test_two_distribution_dims_rejected(self):
+        source = """
+real A(4, 4) distribute (wrapped, wrapped)
+for i = 0, 3
+    A[i, i] = 1
+"""
+        with pytest.raises(ParseError):
+            parse_program(source)
+
+    def test_unknown_distribution(self):
+        source = """
+real A(4) distribute (diagonal)
+for i = 0, 3
+    A[i] = 1
+"""
+        with pytest.raises(ParseError):
+            parse_program(source)
+
+    def test_undeclared_array_is_semantic_error(self):
+        source = """
+real A(4)
+for i = 0, 3
+    B[i] = 1
+"""
+        with pytest.raises(SemanticError):
+            parse_program(source)
+
+    def test_line_numbers_in_errors(self):
+        source = "real A(4)\nfor i = 0, 3\n    A[i] = = 1\n"
+        with pytest.raises(ParseError) as info:
+            parse_program(source)
+        assert "line 3" in str(info.value)
+
+
+class TestEndToEndThroughDSL:
+    def test_parse_normalize_simulate(self):
+        from repro.codegen import generate_spmd
+        from repro.core import access_normalize
+        from repro.numa import simulate
+
+        program = parse_program(GEMM_SOURCE)
+        result = access_normalize(program)
+        node = generate_spmd(result.transformed)
+        arrays = allocate_arrays(program, seed=30)
+        expected = arrays["C"] + arrays["A"] @ arrays["B"]
+        simulate(node, processors=3, arrays=arrays, mode="execute")
+        np.testing.assert_allclose(arrays["C"], expected, atol=1e-9)

@@ -1,0 +1,192 @@
+"""Tests for integer lattices and Fourier-Motzkin elimination."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NotInvertibleError, ShapeError
+from repro.linalg import (
+    Constraint,
+    InfeasibleSystemError,
+    IntegerLattice,
+    Matrix,
+    eliminate,
+    first_aligned_at_least,
+    last_aligned_at_most,
+)
+
+
+def invertible_2x2():
+    entry = st.integers(-4, 4)
+    return st.tuples(entry, entry, entry, entry).map(
+        lambda t: Matrix([[t[0], t[1]], [t[2], t[3]]])
+    ).filter(lambda m: m.det() != 0)
+
+
+class TestIntegerLattice:
+    def test_requires_square_integer_invertible(self):
+        with pytest.raises(ShapeError):
+            IntegerLattice(Matrix([[1, 2]]))
+        with pytest.raises(NotInvertibleError):
+            IntegerLattice(Matrix([[1, 2], [2, 4]]))
+        with pytest.raises(ValueError):
+            IntegerLattice(Matrix([[Fraction(1, 2)]]))
+
+    def test_paper_scaling_lattice(self):
+        # T = [[2,4],[1,5]]: image points (u, v) = (2i+4j, i+5j).
+        lattice = IntegerLattice(Matrix([[2, 4], [1, 5]]))
+        assert lattice.determinant == 6
+        for i in range(-3, 4):
+            for j in range(-3, 4):
+                point = [2 * i + 4 * j, i + 5 * j]
+                assert lattice.contains(point)
+        assert not lattice.contains([1, 0])
+        # Outermost stride is 2: u = 2i+4j is always even.
+        assert lattice.stride(0) == 2
+
+    def test_level_offset_matches_membership(self):
+        lattice = IntegerLattice(Matrix([[2, 4], [1, 5]]))
+        # For u = 6 (i.e. some lattice-consistent outer value), the inner
+        # loop takes values congruent to offset mod stride(1).
+        stride = lattice.stride(1)
+        offset = lattice.level_offset([6], 1)
+        members = {
+            (2 * i + 4 * j, i + 5 * j)
+            for i in range(-10, 11)
+            for j in range(-10, 11)
+        }
+        inner_values = sorted(v for (u, v) in members if u == 6)
+        assert inner_values
+        for value in inner_values:
+            assert value % stride == offset % stride
+
+    def test_level_offset_rejects_bad_prefix(self):
+        lattice = IntegerLattice(Matrix([[2, 0], [0, 1]]))
+        with pytest.raises(ValueError):
+            lattice.level_offset([1], 1)  # 1 is not a multiple of 2
+
+    @given(invertible_2x2())
+    @settings(max_examples=60, deadline=None)
+    def test_membership_property(self, t):
+        lattice = IntegerLattice(t)
+        for i in range(-2, 3):
+            for j in range(-2, 3):
+                point = [int(v) for v in t.apply([i, j])]
+                assert lattice.contains(point)
+
+    @given(invertible_2x2())
+    @settings(max_examples=40, deadline=None)
+    def test_determinant_counts_cosets(self, t):
+        # |det| = index of the lattice in Z^2: in any det x det box the
+        # lattice hits exactly det points per det^2 cells on average.
+        lattice = IntegerLattice(t)
+        d = lattice.determinant
+        span = 3 * d
+        count = sum(
+            1
+            for x in range(span)
+            for y in range(span)
+            if lattice.contains([x, y])
+        )
+        assert count * d == span * span
+
+
+class TestAlignment:
+    def test_first_aligned(self):
+        assert first_aligned_at_least(5, 0, 3) == 6
+        assert first_aligned_at_least(6, 0, 3) == 6
+        assert first_aligned_at_least(Fraction(11, 2), 1, 4) == 9
+        assert first_aligned_at_least(-7, 2, 5) == -3
+
+    def test_last_aligned(self):
+        assert last_aligned_at_most(5, 0, 3) == 3
+        assert last_aligned_at_most(6, 0, 3) == 6
+        assert last_aligned_at_most(Fraction(11, 2), 1, 4) == 5
+        assert last_aligned_at_most(-7, 2, 5) == -8
+
+    def test_bad_stride(self):
+        with pytest.raises(ValueError):
+            first_aligned_at_least(0, 0, 0)
+        with pytest.raises(ValueError):
+            last_aligned_at_most(0, 0, -1)
+
+
+def triangle_constraints():
+    # 0 <= j <= i <= n with n a parameter: variables (i, j), parameter n.
+    return [
+        Constraint.make([1, 0, 0], 0),        # i >= 0
+        Constraint.make([-1, 0, 1], 0),       # n - i >= 0
+        Constraint.make([0, 1, 0], 0),        # j >= 0
+        Constraint.make([1, -1, 0], 0),       # i - j >= 0
+    ]
+
+
+class TestFourierMotzkin:
+    def test_triangle(self):
+        levels = eliminate(triangle_constraints(), num_vars=2)
+        n = 4
+        # Outermost: 0 <= i <= n.
+        low = levels[0].lower_value([0, 0, n])
+        high = levels[0].upper_value([0, 0, n])
+        assert (low, high) == (0, n)
+        # Inner: 0 <= j <= i.
+        for i in range(n + 1):
+            assert levels[1].lower_value([i, 0, n]) == 0
+            assert levels[1].upper_value([i, 0, n]) == i
+
+    def test_enumeration_matches_bruteforce(self):
+        constraints = [
+            Constraint.make([1, 0, 0], -1),       # i >= 1
+            Constraint.make([-1, 0, 0], 7),       # i <= 7
+            Constraint.make([-2, 1, 0], 3),       # j >= 2i - 3
+            Constraint.make([1, -1, 0], 4),       # j <= i + 4
+        ]
+        levels = eliminate(constraints, num_vars=2)
+        expected = {
+            (i, j)
+            for i in range(-10, 20)
+            for j in range(-20, 30)
+            if 1 <= i <= 7 and 2 * i - 3 <= j <= i + 4
+        }
+        got = set()
+        lo0 = levels[0].lower_value([0, 0, 0])
+        hi0 = levels[0].upper_value([0, 0, 0])
+        i = -(-lo0.numerator // lo0.denominator)
+        while i <= hi0:
+            lo1 = levels[1].lower_value([i, 0, 0])
+            hi1 = levels[1].upper_value([i, 0, 0])
+            j = -(-lo1.numerator // lo1.denominator)
+            while j <= hi1:
+                got.add((i, j))
+                j += 1
+            i += 1
+        assert got == expected
+
+    def test_infeasible_detected(self):
+        constraints = [
+            Constraint.make([1], 0),    # x >= 0
+            Constraint.make([-1], -1),  # x <= -1
+        ]
+        with pytest.raises(InfeasibleSystemError):
+            eliminate(constraints, num_vars=1)
+
+    def test_trivial_and_duplicate_constraints_pruned(self):
+        constraints = triangle_constraints() + [
+            Constraint.make([0, 0, 0], 5),  # trivially true
+            Constraint.make([2, 0, 0], 0),  # duplicate of i >= 0 (scaled)
+        ]
+        levels = eliminate(constraints, num_vars=2)
+        assert len(levels) == 2
+
+    def test_normalized_scaling(self):
+        c = Constraint.make([2, 4], 6).normalized()
+        assert c.coeffs == (1, 2)
+        assert c.const == 3
+
+    def test_missing_bound_raises(self):
+        constraints = [Constraint.make([1, 0], 0)]  # only i >= 0
+        levels = eliminate(constraints, num_vars=2)
+        with pytest.raises(InfeasibleSystemError):
+            levels[0].upper_value([0, 0])

@@ -1,0 +1,197 @@
+"""Unit tests for the exact rational matrix class."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import NotInvertibleError, ShapeError
+from repro.linalg import Matrix
+
+
+class TestConstruction:
+    def test_shape(self):
+        m = Matrix([[1, 2, 3], [4, 5, 6]])
+        assert m.shape == (2, 3)
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(ShapeError):
+            Matrix([[1, 2], [3]])
+
+    def test_entries_coerced_to_fractions(self):
+        m = Matrix([[1, Fraction(1, 2)]])
+        assert m[0, 0] == Fraction(1)
+        assert m[0, 1] == Fraction(1, 2)
+
+    def test_float_entries_rejected(self):
+        with pytest.raises(TypeError):
+            Matrix([[1.5]])
+
+    def test_identity(self):
+        assert Matrix.identity(3) == Matrix([[1, 0, 0], [0, 1, 0], [0, 0, 1]])
+
+    def test_zeros(self):
+        assert Matrix.zeros(2, 3).is_zero()
+
+    def test_from_cols(self):
+        m = Matrix.from_cols([[1, 2], [3, 4]])
+        assert m == Matrix([[1, 3], [2, 4]])
+
+    def test_column_and_row_vectors(self):
+        assert Matrix.column([1, 2]).shape == (2, 1)
+        assert Matrix.row([1, 2]).shape == (1, 2)
+
+    def test_empty_matrix(self):
+        m = Matrix([])
+        assert m.shape == (0, 0)
+        assert m.rank() == 0
+
+
+class TestArithmetic:
+    def test_add_sub(self):
+        a = Matrix([[1, 2], [3, 4]])
+        b = Matrix([[5, 6], [7, 8]])
+        assert a + b == Matrix([[6, 8], [10, 12]])
+        assert b - a == Matrix([[4, 4], [4, 4]])
+
+    def test_add_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            Matrix([[1]]) + Matrix([[1, 2]])
+
+    def test_neg(self):
+        assert -Matrix([[1, -2]]) == Matrix([[-1, 2]])
+
+    def test_scale(self):
+        assert Matrix([[2, 4]]).scale(Fraction(1, 2)) == Matrix([[1, 2]])
+
+    def test_matmul(self):
+        a = Matrix([[1, 2], [3, 4]])
+        b = Matrix([[0, 1], [1, 0]])
+        assert a @ b == Matrix([[2, 1], [4, 3]])
+
+    def test_matmul_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            Matrix([[1, 2]]) @ Matrix([[1, 2]])
+
+    def test_apply(self):
+        m = Matrix([[2, 4], [1, 5]])
+        assert m.apply([1, 1]) == [6, 6]
+
+    def test_apply_length_mismatch(self):
+        with pytest.raises(ShapeError):
+            Matrix([[1, 2]]).apply([1, 2, 3])
+
+
+class TestStructure:
+    def test_transpose(self):
+        assert Matrix([[1, 2, 3]]).transpose() == Matrix([[1], [2], [3]])
+
+    def test_hstack_vstack(self):
+        a = Matrix([[1], [2]])
+        b = Matrix([[3], [4]])
+        assert a.hstack(b) == Matrix([[1, 3], [2, 4]])
+        assert a.vstack(b) == Matrix([[1], [2], [3], [4]])
+
+    def test_select_rows_cols(self):
+        m = Matrix([[1, 2, 3], [4, 5, 6], [7, 8, 9]])
+        assert m.select_rows([2, 0]) == Matrix([[7, 8, 9], [1, 2, 3]])
+        assert m.select_cols([1]) == Matrix([[2], [5], [8]])
+
+    def test_drop_col(self):
+        m = Matrix([[1, 2, 3]])
+        assert m.drop_col(1) == Matrix([[1, 3]])
+
+    def test_row_col_access(self):
+        m = Matrix([[1, 2], [3, 4]])
+        assert m.row_at(1) == (3, 4)
+        assert m.col_at(0) == (1, 3)
+
+
+class TestElimination:
+    def test_rank_full(self):
+        assert Matrix([[1, 0], [0, 1]]).rank() == 2
+
+    def test_rank_deficient(self):
+        assert Matrix([[1, 2], [2, 4]]).rank() == 1
+
+    def test_paper_rank_example(self):
+        # Section 5: rows 1 and 3 are independent, row 2 = 2 * row 1.
+        x = Matrix([[1, 1, -1, 0], [2, 2, -2, 0], [0, 0, 1, -1]])
+        assert x.rank() == 2
+        assert x.independent_row_indices() == [0, 2]
+
+    def test_det(self):
+        assert Matrix([[2, 4], [1, 5]]).det() == 6
+        assert Matrix([[1, 2], [2, 4]]).det() == 0
+
+    def test_det_sign_with_swap(self):
+        assert Matrix([[0, 1], [1, 0]]).det() == -1
+
+    def test_det_non_square(self):
+        with pytest.raises(ShapeError):
+            Matrix([[1, 2]]).det()
+
+    def test_inverse(self):
+        m = Matrix([[2, 4], [1, 5]])
+        assert m @ m.inverse() == Matrix.identity(2)
+
+    def test_inverse_singular(self):
+        with pytest.raises(NotInvertibleError):
+            Matrix([[1, 2], [2, 4]]).inverse()
+
+    def test_inverse_non_square(self):
+        with pytest.raises(NotInvertibleError):
+            Matrix([[1, 2]]).inverse()
+
+    def test_solve(self):
+        m = Matrix([[2, 0], [0, 4]])
+        rhs = Matrix.column([6, 8])
+        assert m.solve(rhs) == Matrix.column([3, 2])
+
+    def test_null_space(self):
+        m = Matrix([[1, 1, -1, 0], [2, 2, -2, 0], [0, 0, 1, -1]])
+        basis = m.null_space()
+        assert len(basis) == 2
+        for vector in basis:
+            assert all(value == 0 for value in m.apply(vector))
+
+    def test_paper_transformation_matrix_invertible(self):
+        # Section 4: the SYR2K-like data access matrix is invertible.
+        x = Matrix([[-1, 1, 0], [0, 1, 1], [1, 0, 0]])
+        assert x.is_invertible()
+
+    def test_unimodular(self):
+        assert Matrix([[0, 1], [1, 0]]).is_unimodular()
+        assert not Matrix([[2, 0], [0, 1]]).is_unimodular()
+        # Section 3 scaling example is invertible but NOT unimodular.
+        scaling = Matrix([[2, 4], [1, 5]])
+        assert scaling.is_invertible()
+        assert not scaling.is_unimodular()
+
+    def test_is_permutation(self):
+        assert Matrix([[0, 1, 0], [0, 0, 1], [1, 0, 0]]).is_permutation()
+        assert not Matrix([[1, 1], [0, 1]]).is_permutation()
+
+    def test_integer_predicates(self):
+        assert Matrix([[1, 2]]).is_integer()
+        assert not Matrix([[Fraction(1, 2)]]).is_integer()
+        assert Matrix([[1, 2]]).to_int_rows() == [[1, 2]]
+        with pytest.raises(ValueError):
+            Matrix([[Fraction(1, 2)]]).to_int_rows()
+
+
+class TestDunder:
+    def test_eq_and_hash(self):
+        a = Matrix([[1, 2]])
+        b = Matrix([[1, 2]])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != Matrix([[2, 1]])
+
+    def test_repr_roundtrip_style(self):
+        m = Matrix([[1, Fraction(1, 2)]])
+        assert "1/2" in repr(m)
+
+    def test_pretty(self):
+        text = Matrix([[1, 22], [333, 4]]).pretty()
+        assert text.count("\n") == 1
+        assert "333" in text

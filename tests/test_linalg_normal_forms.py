@@ -1,0 +1,193 @@
+"""Unit and property tests for Hermite/Smith normal forms and Diophantine solving."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NoIntegerSolutionError
+from repro.linalg import (
+    Matrix,
+    column_hnf,
+    hnf_diagonal,
+    integer_null_basis,
+    row_hnf,
+    smith_normal_form,
+    solve_diophantine,
+    try_solve_diophantine,
+)
+
+
+def small_int_matrix(max_dim=4, lo=-6, hi=6):
+    return st.integers(1, max_dim).flatmap(
+        lambda n: st.integers(1, max_dim).flatmap(
+            lambda m: st.lists(
+                st.lists(st.integers(lo, hi), min_size=m, max_size=m),
+                min_size=n,
+                max_size=n,
+            )
+        )
+    ).map(Matrix)
+
+
+def invertible_matrix(max_dim=4, lo=-4, hi=4):
+    return small_int_matrix(max_dim, lo, hi).filter(
+        lambda m: m.is_square and m.det() != 0
+    )
+
+
+class TestColumnHNF:
+    def test_identity(self):
+        h, u = column_hnf(Matrix.identity(3))
+        assert h == Matrix.identity(3)
+        assert u.is_unimodular()
+
+    def test_paper_scaling_example(self):
+        # T = [[2,4],[1,5]] from Section 3; det = 6.
+        t = Matrix([[2, 4], [1, 5]])
+        h, u = column_hnf(t)
+        assert t @ u == h
+        assert u.is_unimodular()
+        # Lower triangular with positive diagonal whose product is |det|.
+        assert h[0, 1] == 0
+        assert h[0, 0] > 0 and h[1, 1] > 0
+        assert h[0, 0] * h[1, 1] == 6
+        # The outermost transformed loop of the paper steps by 2.
+        assert hnf_diagonal(t)[0] == 2
+
+    def test_lower_triangular_shape(self):
+        t = Matrix([[3, 1, 4], [1, 5, 9], [2, 6, 5]])
+        h, u = column_hnf(t)
+        assert t @ u == h
+        for i in range(3):
+            for j in range(i + 1, 3):
+                assert h[i, j] == 0
+        for i in range(3):
+            assert h[i, i] > 0
+            for j in range(i):
+                assert 0 <= h[i, j] < h[i, i]
+
+    def test_rectangular(self):
+        a = Matrix([[2, 4, 6], [0, 0, 5]])
+        h, u = column_hnf(a)
+        assert a @ u == h
+        assert u.is_unimodular()
+
+    @given(invertible_matrix())
+    @settings(max_examples=60, deadline=None)
+    def test_factorization_property(self, t):
+        h, u = column_hnf(t)
+        assert t @ u == h
+        assert abs(u.det()) == 1
+        n = t.nrows
+        for i in range(n):
+            assert h[i, i] > 0
+            for j in range(i + 1, n):
+                assert h[i, j] == 0
+
+    @given(invertible_matrix())
+    @settings(max_examples=40, deadline=None)
+    def test_diagonal_product_is_abs_det(self, t):
+        diag = hnf_diagonal(t)
+        product = 1
+        for value in diag:
+            product *= value
+        assert product == abs(t.det())
+
+
+class TestRowHNF:
+    def test_factorization(self):
+        a = Matrix([[2, 4], [1, 5], [3, 3]])
+        h, u = row_hnf(a)
+        assert u @ a == h
+        assert u.is_unimodular()
+
+    @given(small_int_matrix())
+    @settings(max_examples=40, deadline=None)
+    def test_row_factorization_property(self, a):
+        h, u = row_hnf(a)
+        assert u @ a == h
+        assert abs(u.det()) == 1
+
+
+class TestSmith:
+    def test_diagonal_and_divisibility(self):
+        a = Matrix([[2, 4, 4], [-6, 6, 12], [10, 4, 16]])
+        s, u, v = smith_normal_form(a)
+        assert u @ a @ v == s
+        assert u.is_unimodular() and v.is_unimodular()
+        diag = [int(s[i, i]) for i in range(3)]
+        for i in range(3):
+            for j in range(3):
+                if i != j:
+                    assert s[i, j] == 0
+        for first, second in zip(diag, diag[1:]):
+            if first and second:
+                assert second % first == 0
+
+    def test_singular_matrix(self):
+        a = Matrix([[1, 2], [2, 4]])
+        s, u, v = smith_normal_form(a)
+        assert u @ a @ v == s
+        assert s[1, 1] == 0
+
+    @given(small_int_matrix())
+    @settings(max_examples=50, deadline=None)
+    def test_smith_property(self, a):
+        s, u, v = smith_normal_form(a)
+        assert u @ a @ v == s
+        assert abs(u.det()) == 1
+        assert abs(v.det()) == 1
+        diag = [int(s[i, i]) for i in range(min(a.nrows, a.ncols))]
+        for i in range(a.nrows):
+            for j in range(a.ncols):
+                if i != j:
+                    assert s[i, j] == 0
+        nonzero = [d for d in diag if d]
+        for first, second in zip(nonzero, nonzero[1:]):
+            assert second % first == 0
+
+
+class TestDiophantine:
+    def test_unique_solution(self):
+        a = Matrix([[2, 0], [0, 3]])
+        solution = solve_diophantine(a, [4, 9])
+        assert solution.particular == [2, 3]
+        assert solution.is_unique
+
+    def test_no_solution(self):
+        a = Matrix([[2]])
+        with pytest.raises(NoIntegerSolutionError):
+            solve_diophantine(a, [3])
+        assert try_solve_diophantine(a, [3]) is None
+
+    def test_underdetermined(self):
+        a = Matrix([[1, 1, -1]])
+        solution = solve_diophantine(a, [5])
+        assert len(solution.homogeneous) == 2
+        # Every generated solution satisfies the equation.
+        for coeffs in ([0, 0], [1, 0], [2, -3]):
+            x = solution.sample(coeffs)
+            assert a.apply(x) == [5]
+
+    def test_inconsistent_overdetermined(self):
+        a = Matrix([[1, 0], [1, 0]])
+        with pytest.raises(NoIntegerSolutionError):
+            solve_diophantine(a, [1, 2])
+
+    def test_null_basis(self):
+        a = Matrix([[1, 1, -1, 0], [0, 0, 1, -1]])
+        basis = integer_null_basis(a)
+        assert len(basis) == 2
+        for vector in basis:
+            assert all(value == 0 for value in a.apply(vector))
+
+    @given(small_int_matrix(max_dim=3, lo=-4, hi=4),
+           st.lists(st.integers(-3, 3), min_size=3, max_size=3))
+    @settings(max_examples=50, deadline=None)
+    def test_constructed_rhs_always_solvable(self, a, x):
+        x = x[: a.ncols] + [0] * max(0, a.ncols - len(x))
+        rhs = [int(value) for value in a.apply(x)]
+        solution = solve_diophantine(a, rhs)
+        assert [int(v) for v in a.apply(solution.particular)] == rhs
+        for generator in solution.homogeneous:
+            assert all(value == 0 for value in a.apply(generator))

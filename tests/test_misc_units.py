@@ -1,0 +1,205 @@
+"""Unit tests for smaller behaviours across the stack."""
+
+import numpy as np
+import pytest
+
+from repro.codegen import generate_spmd, render_node_program
+from repro.core import apply_transformation, choose_new_indices
+from repro.errors import ParseError, ReproError
+from repro.ir import (
+    AffineExpr,
+    ArrayRef,
+    Assign,
+    IfThen,
+    Loop,
+    LoopNest,
+    ModEq,
+    allocate_arrays,
+    make_program,
+    parse_assignment,
+    render_nest,
+    run_fresh,
+)
+from repro.linalg import IntegerLattice, Matrix
+from repro.numa import simulate
+
+
+class TestErrorTypes:
+    def test_parse_error_location(self):
+        error = ParseError("bad token", line=3, column=7)
+        assert "line 3" in str(error)
+        assert error.line == 3 and error.column == 7
+
+    def test_hierarchy(self):
+        from repro.errors import (
+            CodegenError,
+            DependenceError,
+            IllegalTransformationError,
+            LinalgError,
+            NotInvertibleError,
+        )
+
+        for cls in (
+            CodegenError,
+            DependenceError,
+            IllegalTransformationError,
+            LinalgError,
+            NotInvertibleError,
+        ):
+            assert issubclass(cls, ReproError)
+
+
+class TestLoopRendering:
+    def test_step_and_align_comment(self):
+        loop = Loop.make("u", 6, 18, step=2, align="0")
+        text = str(loop)
+        assert "step 2" in text
+        assert "mod 2" in text
+
+    def test_max_min_rendering(self):
+        loop = Loop.make("k", ["i-2", "0"], ["i+2", "N-1"])
+        text = str(loop)
+        assert "max(" in text and "min(" in text
+
+    def test_nest_renders_disjunctive_guard(self):
+        cond1 = ModEq(AffineExpr.var("i"), AffineExpr.constant(2), AffineExpr.constant(0))
+        cond2 = ModEq(AffineExpr.var("i"), AffineExpr.constant(3), AffineExpr.constant(0))
+        stmt = IfThen(
+            (cond1, cond2), parse_assignment("A[i] = 1", ["i"]), disjunctive=True
+        )
+        nest = LoopNest((Loop.make("i", 0, 5),), (stmt,))
+        assert " or " in render_nest(nest)
+
+    def test_prologue_rendered(self):
+        from repro.ir import BlockRead
+
+        loop = Loop.make("v", 0, 5, prologue=[BlockRead("A", (None, AffineExpr.var("v")))])
+        nest = LoopNest((loop,), (parse_assignment("B[v] = 1", ["v"]),))
+        text = render_nest(nest)
+        assert "read A[*, v]" in text
+
+
+class TestNameChoice:
+    def test_preferred_names(self):
+        assert choose_new_indices(3, []) == ("u", "v", "w")
+
+    def test_collision_avoidance(self):
+        names = choose_new_indices(3, ["u", "w"])
+        assert "u" not in names and "w" not in names
+
+    def test_fallback_numbering(self):
+        names = choose_new_indices(10, [])
+        assert len(set(names)) == 10
+        assert any(name.startswith("u") and name[1:].isdigit() for name in names)
+
+
+class TestLatticeExtras:
+    def test_coordinates_roundtrip(self):
+        lattice = IntegerLattice(Matrix([[2, 4], [1, 5]]))
+        point = [2 * 3 + 4 * 2, 3 + 5 * 2]
+        coords = lattice.coordinates(point)
+        rebuilt = lattice.hermite.apply([int(c) for c in coords])
+        assert [int(v) for v in rebuilt] == point
+
+    def test_strides_list(self):
+        lattice = IntegerLattice(Matrix([[2, 4], [1, 5]]))
+        assert lattice.strides() == [2, 3]
+
+    def test_determinant(self):
+        assert IntegerLattice(Matrix([[2, 0], [0, 3]])).determinant == 6
+
+
+class TestNonUnimodularNodeProgram:
+    """The Section 3 scaling example distributed across processors."""
+
+    def make_node(self):
+        program = make_program(
+            loops=[("i", 1, 9), ("j", 1, 9)],
+            body=["A[2i + 4j, i + 5j] = i + j"],
+            arrays=[("A", 70, 70)],
+            name="scaled",
+        )
+        result = apply_transformation(program.nest, Matrix([[2, 4], [1, 5]]))
+        return program, program.with_nest(result.nest)
+
+    def test_render_strided_outer(self):
+        _, transformed = self.make_node()
+        node = generate_spmd(transformed, block_transfers=False)
+        text = render_node_program(node)
+        assert "lcm(2, P)" in text or "step" in text
+
+    def test_simulated_execution_correct(self):
+        program, transformed = self.make_node()
+        node = generate_spmd(transformed, block_transfers=False)
+        arrays = allocate_arrays(program, init="zeros")
+        expected = {k: v.copy() for k, v in arrays.items()}
+        from repro.ir import execute
+
+        execute(program, expected)
+        for processors in (1, 3, 4):
+            trial = {k: np.zeros_like(v) for k, v in arrays.items()}
+            simulate(node, processors=processors, arrays=trial, mode="execute")
+            np.testing.assert_allclose(trial["A"], expected["A"])
+
+    def test_blocked_schedule_on_strided_outer(self):
+        program, transformed = self.make_node()
+        node = generate_spmd(
+            transformed, schedule="blocked", block_transfers=False
+        )
+        outcome = simulate(node, processors=3)
+        assert outcome.totals.iterations == 81
+
+
+class TestInterpExtras:
+    def test_run_fresh(self):
+        program = make_program(
+            loops=[("i", 0, 3)], body=["A[i] = 2*i"], arrays=[("A", 4)]
+        )
+        arrays = run_fresh(program)
+        np.testing.assert_allclose(arrays["A"], [0, 2, 4, 6])
+
+    def test_arrayref_make_coercions(self):
+        ref = ArrayRef.make("A", "i+1", 3, AffineExpr.var("j"))
+        assert str(ref) == "A[i+1, 3, j]"
+        assert ref.rank == 3
+
+    def test_assign_str(self):
+        stmt = parse_assignment("A[i] = A[i] * 2 + 1", ["i"])
+        assert isinstance(stmt, Assign)
+        assert str(stmt) == "A[i] = A[i] * 2 + 1"
+
+
+class TestMatrixExtras:
+    def test_submatrix(self):
+        m = Matrix([[1, 2, 3], [4, 5, 6], [7, 8, 9]])
+        assert m.submatrix(slice(0, 2), slice(1, 3)) == Matrix([[2, 3], [5, 6]])
+
+    def test_from_rows_alias(self):
+        assert Matrix.from_rows([[1, 2]]) == Matrix([[1, 2]])
+
+    def test_iter(self):
+        rows = list(Matrix([[1, 2], [3, 4]]))
+        assert rows[1] == (3, 4)
+
+    def test_from_cols_ragged(self):
+        from repro.errors import ShapeError
+
+        with pytest.raises(ShapeError):
+            Matrix.from_cols([[1, 2], [3]])
+
+
+class TestAffineExtras:
+    def test_from_coeffs(self):
+        expr = AffineExpr.from_coeffs(["i", "j"], [2, -1], 5)
+        assert expr.evaluate({"i": 1, "j": 1}) == 6
+
+    def test_repr(self):
+        assert "AffineExpr" in repr(AffineExpr.parse("i+1"))
+
+    def test_radd_rsub_rmul(self):
+        expr = 1 + AffineExpr.var("i")
+        assert expr.const == 1
+        expr = 5 - AffineExpr.var("i")
+        assert expr.coeff("i") == -1
+        expr = 3 * AffineExpr.var("i")
+        assert expr.coeff("i") == 3

@@ -1,0 +1,255 @@
+"""Cross-cutting property tests (hypothesis).
+
+These tie the whole stack together: random programs and random
+transformations must preserve semantics, generated Python must agree with
+the interpreter, and the simulator's counts must obey conservation laws.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codegen import compile_program, generate_spmd
+from repro.core import access_normalize, apply_transformation
+from repro.core.prenormalize import normalize_program_steps
+from repro.distributions import Blocked, Wrapped
+from repro.ir import (
+    allocate_arrays,
+    arrays_equal,
+    execute,
+    make_program,
+)
+from repro.linalg import Matrix
+from repro.numa import butterfly_gp1000, simulate
+
+
+def invertible_3x3():
+    entry = st.integers(-2, 2)
+    return st.lists(
+        st.lists(entry, min_size=3, max_size=3), min_size=3, max_size=3
+    ).map(Matrix).filter(lambda m: m.det() != 0)
+
+
+def small_subscript_pair():
+    """Random affine subscripts (c1*i + c2*j + offset) kept inside bounds."""
+    coeff = st.integers(0, 2)
+    return st.tuples(coeff, coeff, st.integers(0, 3))
+
+
+def random_program(draw_style):
+    (a1, b1, c1), (a2, b2, c2), width, height = draw_style
+    extent0 = a1 * (width - 1) + b1 * (height - 1) + c1 + 1
+    extent1 = a2 * (width - 1) + b2 * (height - 1) + c2 + 1
+    return make_program(
+        loops=[("i", 0, width - 1), ("j", 0, height - 1)],
+        body=[
+            f"Acc[{a1}*i + {b1}*j + {c1}, {a2}*i + {b2}*j + {c2}]"
+            f" = Acc[{a1}*i + {b1}*j + {c1}, {a2}*i + {b2}*j + {c2}] + i + 2*j"
+        ],
+        arrays=[("Acc", extent0, extent1)],
+        name="random",
+    )
+
+
+class TestTransformSemanticsProperty:
+    @given(
+        invertible_3x3(),
+        st.integers(2, 4),
+        st.integers(2, 4),
+        st.integers(2, 4),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_depth3_bijection(self, t, a, b, c):
+        program = make_program(
+            loops=[("i", 0, a), ("j", 0, b), ("k", "i", c + 4)],
+            body=["S[0] = S[0] + i + 2*j + 4*k"],
+            arrays=[("S", 1)],
+        )
+        result = apply_transformation(program.nest, t)
+        original = {
+            (i, j, k)
+            for i in range(a + 1)
+            for j in range(b + 1)
+            for k in range(i, c + 5)
+        }
+        seen = []
+        for env in result.nest.iterate({}):
+            point = tuple(env[name] for name in result.new_indices)
+            seen.append(result.unmap_point(point))
+        assert len(seen) == len(original)
+        assert set(seen) == original
+
+    @given(
+        st.tuples(
+            small_subscript_pair(),
+            small_subscript_pair(),
+            st.integers(2, 5),
+            st.integers(2, 5),
+        ),
+        st.sampled_from(
+            [
+                Matrix([[0, 1], [1, 0]]),
+                Matrix([[1, 1], [0, 1]]),
+                Matrix([[2, 0], [0, 1]]),
+                Matrix([[1, 0], [1, -1]]),
+            ]
+        ),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_accumulation_semantics(self, style, t):
+        program = random_program(style)
+        result = apply_transformation(program.nest, t)
+        base = allocate_arrays(program, init="index")
+        other = {k: v.copy() for k, v in base.items()}
+        execute(program, base)
+        execute(program.with_nest(result.nest), other)
+        assert arrays_equal(base, other)
+
+
+class TestPycodegenProperty:
+    @given(
+        st.tuples(
+            small_subscript_pair(),
+            small_subscript_pair(),
+            st.integers(2, 5),
+            st.integers(2, 5),
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_generated_python_matches_interpreter(self, style):
+        program = random_program(style)
+        via_interp = allocate_arrays(program, seed=6)
+        via_codegen = {k: v.copy() for k, v in via_interp.items()}
+        execute(program, via_interp)
+        compile_program(program)(via_codegen)
+        assert arrays_equal(via_interp, via_codegen)
+
+    @given(
+        st.tuples(
+            small_subscript_pair(),
+            small_subscript_pair(),
+            st.integers(2, 4),
+            st.integers(2, 4),
+        ),
+        st.sampled_from(
+            [Matrix([[0, 1], [1, 0]]), Matrix([[2, 0], [0, 1]])]
+        ),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_generated_python_after_transformation(self, style, t):
+        program = random_program(style)
+        result = apply_transformation(program.nest, t)
+        transformed = program.with_nest(result.nest)
+        via_interp = allocate_arrays(program, seed=7)
+        via_codegen = {k: v.copy() for k, v in via_interp.items()}
+        execute(program, via_interp)
+        compile_program(transformed)(via_codegen)
+        assert arrays_equal(via_interp, via_codegen)
+
+
+class TestSimulatorInvariantsProperty:
+    @given(
+        st.integers(4, 12),
+        st.integers(1, 7),
+        st.sampled_from(["wrapped", "blocked"]),
+        st.booleans(),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_conservation_laws(self, n, processors, schedule, blocked_arrays):
+        distribution = Blocked(1) if blocked_arrays else Wrapped(1)
+        program = make_program(
+            loops=[("i", 0, "N-1"), ("j", 0, "N-1"), ("k", 0, "N-1")],
+            body=["C[i, j] = C[i, j] + A[i, k] * B[k, j]"],
+            arrays=[("C", "N", "N"), ("A", "N", "N"), ("B", "N", "N")],
+            distributions={"A": distribution, "B": distribution, "C": distribution},
+            params={"N": n},
+            name="gemm-prop",
+        )
+        result = access_normalize(program)
+        node = generate_spmd(
+            result.transformed, schedule=schedule, block_transfers=False
+        )
+        outcome = simulate(node, processors=processors)
+        totals = outcome.totals
+        # Work conservation: every iteration executed exactly once.
+        assert totals.iterations == n ** 3
+        assert totals.statements == n ** 3
+        # Access conservation: 4 array accesses per iteration.
+        assert totals.local + totals.remote == 4 * n ** 3
+        # Speedup sanity: no super-linear scaling.
+        sequential = simulate(node, processors=1).total_time_us
+        assert outcome.speedup(sequential) <= processors + 1e-9
+
+    @given(st.integers(4, 10), st.integers(2, 5))
+    @settings(max_examples=15, deadline=None)
+    def test_execute_matches_account(self, n, processors):
+        program = make_program(
+            loops=[("i", 0, "N-1"), ("j", 0, "N-1"), ("k", 0, "N-1")],
+            body=["C[i, j] = C[i, j] + A[i, k] * B[k, j]"],
+            arrays=[("C", "N", "N"), ("A", "N", "N"), ("B", "N", "N")],
+            distributions={"A": Wrapped(1), "B": Wrapped(1), "C": Wrapped(1)},
+            params={"N": n},
+        )
+        node = generate_spmd(access_normalize(program).transformed)
+        arrays = allocate_arrays(program, seed=8)
+        expected = arrays["C"] + arrays["A"] @ arrays["B"]
+        executed = simulate(
+            node, processors=processors, arrays=arrays, mode="execute"
+        )
+        accounted = simulate(node, processors=processors)
+        assert executed.totals == accounted.totals
+        np.testing.assert_allclose(arrays["C"], expected, atol=1e-9)
+
+
+class TestNormalizePipelineProperty:
+    @given(
+        st.integers(3, 8),
+        st.integers(2, 5),
+        st.sampled_from([0, 1]),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_normalized_parallel_execution_correct(self, n, processors, dist_dim):
+        program = make_program(
+            loops=[("i", 0, "N-1"), ("j", 0, "N-1"), ("k", 0, "N-1")],
+            body=["C[i, j] = C[i, j] + A[i, k] * B[k, j]"],
+            arrays=[("C", "N", "N"), ("A", "N", "N"), ("B", "N", "N")],
+            distributions={
+                "A": Wrapped(dist_dim),
+                "B": Wrapped(dist_dim),
+                "C": Wrapped(dist_dim),
+            },
+            params={"N": n},
+        )
+        result = access_normalize(program)
+        from repro.core import is_legal_transformation
+
+        assert is_legal_transformation(result.matrix, result.dependence_columns)
+        node = generate_spmd(result.transformed)
+        arrays = allocate_arrays(program, seed=9)
+        expected = arrays["C"] + arrays["A"] @ arrays["B"]
+        simulate(node, processors=processors, arrays=arrays, mode="execute")
+        np.testing.assert_allclose(arrays["C"], expected, atol=1e-9)
+
+
+class TestStepNormalizationProperty:
+    @given(
+        st.integers(1, 4),
+        st.integers(0, 3),
+        st.integers(8, 20),
+        st.integers(1, 3),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_strided_semantics(self, step, low, high, inner_step):
+        program = make_program(
+            loops=[("i", low, high, step), ("j", 0, 6, inner_step)],
+            body=["Grid[i, j] = 3*i + j"],
+            arrays=[("Grid", high + 1, 7)],
+        )
+        normalized = normalize_program_steps(program)
+        for loop in normalized.nest.loops:
+            assert loop.step == 1
+        base = allocate_arrays(program, init="zeros")
+        other = {k: v.copy() for k, v in base.items()}
+        execute(program, base)
+        execute(normalized, other)
+        assert arrays_equal(base, other)

@@ -1,0 +1,142 @@
+"""Tests for the results-report generator, per-processor tables, the DSL
+``assume`` directive, and a scipy cross-validation of the exact LP."""
+
+import numpy as np
+import pytest
+
+from repro.bench.report import build_report, main as report_main
+from repro.blas import gemm_program
+from repro.codegen import generate_spmd
+from repro.core import access_normalize
+from repro.lang import parse_program
+from repro.linalg import Constraint, maximize
+from repro.numa import simulate
+
+
+class TestReport:
+    def test_build_report_sections(self):
+        report = build_report(n_gemm=48, n_syr2k=48, b=8)
+        assert "FIG4" in report
+        assert "FIG5" in report
+        assert "ABL1" in report
+        assert "ABL6" in report
+        assert "(processors)" in report  # charts present
+
+    def test_main_writes_file(self, tmp_path, capsys):
+        output = tmp_path / "RESULTS.md"
+        assert report_main(
+            ["--output", str(output), "--gemm-n", "32",
+             "--syr2k-n", "32", "--band", "6"]
+        ) == 0
+        assert output.exists()
+        assert "wrote" in capsys.readouterr().out
+
+
+class TestPerProcTable:
+    def test_table_contents(self):
+        node = generate_spmd(access_normalize(gemm_program(12)).transformed)
+        outcome = simulate(node, processors=3)
+        table = outcome.table()
+        lines = table.splitlines()
+        assert len(lines) == 2 + 3  # header, rule, one row per processor
+        assert "proc" in lines[0]
+        assert "time (ms)" in lines[0]
+
+    def test_table_shows_imbalance(self):
+        # 5 outer iterations on 4 processors: processor 0 gets two.
+        node = generate_spmd(access_normalize(gemm_program(5)).transformed)
+        outcome = simulate(node, processors=4)
+        iters = [r.counts.iterations for r in outcome.per_proc]
+        assert max(iters) == 2 * 5 * 5
+        assert min(iters) == 5 * 5
+
+
+class TestAssumeDirective:
+    SOURCE = """
+program banded
+param N = 40
+param b = 5
+assume N >= 2*b
+assume b >= 2
+real Cb(N, 2*b-1) distribute (*, wrapped)
+real Ab(N, 2*b-1) distribute (*, wrapped)
+real Bb(N, 2*b-1) distribute (*, wrapped)
+
+for i = 0, N-1
+    for j = i, min(i+2b-2, N-1)
+        for k = max(i-b+1, j-b+1, 0), min(i+b-1, j+b-1, N-1)
+            Cb[i, j-i] = Cb[i, j-i] + Ab[k, i-k+b-1]*Bb[k, j-k+b-1]
+"""
+
+    def test_assumptions_parsed(self):
+        program = parse_program(self.SOURCE)
+        assert program.assumptions == ("N >= 2*b", "b >= 2")
+
+    def test_assumptions_simplify_bounds(self):
+        program = parse_program(self.SOURCE)
+        result = access_normalize(
+            program, priority=["j-i", "j-k", "k", "i-k", "i"]
+        )
+        outer = result.transformed.nest.loops[0]
+        assert len(outer.lower) == 1 and len(outer.upper) == 1
+        assert str(outer) == "for u = 0, 2*b-2"
+
+    def test_explicit_assumptions_override_program(self):
+        program = parse_program(self.SOURCE)
+        result = access_normalize(
+            program,
+            priority=["j-i", "j-k", "k", "i-k", "i"],
+            assumptions=[],  # explicitly none
+        )
+        outer = result.transformed.nest.loops[0]
+        assert len(outer.upper) > 1  # no facts, bounds stay guarded
+
+    def test_bad_assume_rejected(self):
+        from repro.errors import ParseError
+
+        with pytest.raises(ParseError):
+            parse_program("assume N == 4\nreal A(4)\nfor i = 0, 3\n    A[i] = 1\n")
+
+    def test_assumptions_survive_with_nest(self):
+        program = parse_program(self.SOURCE)
+        clone = program.with_nest(program.nest).with_params(N=80)
+        assert clone.assumptions == program.assumptions
+
+
+class TestLPAgainstScipy:
+    """Cross-validate the exact Fourier-Motzkin LP against scipy linprog."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_bounded_lp(self, seed):
+        from scipy.optimize import linprog
+
+        rng = np.random.default_rng(seed)
+        nvars = int(rng.integers(2, 4))
+        nconstraints = int(rng.integers(3, 5))
+        a_ub = rng.integers(-3, 4, size=(nconstraints, nvars))
+        b_ub = rng.integers(1, 12, size=nconstraints)
+        objective = rng.integers(-5, 6, size=nvars)
+        # Box-bound everything so the LP is feasible and bounded.
+        constraints = [
+            Constraint.make([-int(v) for v in row], int(rhs))
+            for row, rhs in zip(a_ub, b_ub)
+        ]
+        for var in range(nvars):
+            unit = [0] * nvars
+            unit[var] = 1
+            constraints.append(Constraint.make(unit, 10))   # x >= -10
+            unit_neg = [0] * nvars
+            unit_neg[var] = -1
+            constraints.append(Constraint.make(unit_neg, 10))  # x <= 10
+
+        ours = maximize(constraints, [int(c) for c in objective])
+        result = linprog(
+            c=-objective,
+            A_ub=np.vstack([a_ub, np.eye(nvars), -np.eye(nvars)]),
+            b_ub=np.concatenate([b_ub, [10] * nvars, [10] * nvars]),
+            bounds=[(None, None)] * nvars,
+            method="highs",
+        )
+        assert result.success
+        assert ours is not None
+        assert float(ours) == pytest.approx(-result.fun, abs=1e-7)

@@ -1,0 +1,120 @@
+"""Tests for the Jacobi stencil workload and the vectorization driver."""
+
+import numpy as np
+import pytest
+
+from repro.blas import jacobi_program, jacobi_reference
+from repro.codegen import generate_spmd
+from repro.core import access_normalize, is_identity, is_interchange
+from repro.distributions import wrapped_column, wrapped_row
+from repro.ir import allocate_arrays, execute, make_program, validate_program
+from repro.numa import simulate
+from repro.vector import stride_report, vector_priority, vectorize
+
+
+class TestJacobi:
+    def test_program_validates(self):
+        validate_program(jacobi_program(16))
+
+    def test_reference_semantics(self):
+        program = jacobi_program(12)
+        arrays = allocate_arrays(program, seed=80)
+        expected = jacobi_reference(arrays)
+        execute(program, arrays)
+        np.testing.assert_allclose(arrays["B"], expected, atol=1e-12)
+
+    def test_row_distribution_keeps_loop_order(self):
+        result = access_normalize(jacobi_program(16, wrapped_row()))
+        assert is_identity(result.matrix)
+
+    def test_column_distribution_interchanges(self):
+        result = access_normalize(jacobi_program(16, wrapped_column()))
+        assert is_interchange(result.matrix)
+
+    def test_no_dependences(self):
+        result = access_normalize(jacobi_program(16))
+        assert result.dependence_columns.ncols == 0
+
+    def test_parallel_execution_both_distributions(self):
+        for distribution in (wrapped_row(), wrapped_column()):
+            program = jacobi_program(14, distribution)
+            node = generate_spmd(
+                access_normalize(program).transformed, block_transfers=False
+            )
+            arrays = allocate_arrays(program, seed=81)
+            expected = jacobi_reference(arrays)
+            simulate(node, processors=3, arrays=arrays, mode="execute")
+            np.testing.assert_allclose(arrays["B"], expected, atol=1e-12)
+
+    def test_matched_distribution_is_mostly_local(self):
+        program = jacobi_program(32, wrapped_column())
+        matched = generate_spmd(
+            access_normalize(program).transformed, block_transfers=False
+        )
+        mismatched = generate_spmd(program, block_transfers=False)
+        good = simulate(matched, processors=4)
+        bad = simulate(mismatched, processors=4)
+        good_fraction = good.totals.local / (
+            good.totals.local + good.totals.remote
+        )
+        bad_fraction = bad.totals.local / (bad.totals.local + bad.totals.remote)
+        assert good_fraction > 2 * bad_fraction
+        assert good.total_time_us < bad.total_time_us
+
+
+class TestVectorizeDriver:
+    def figure1(self):
+        return make_program(
+            loops=[("i", 0, "N1-1"), ("j", "i", "i+b-1"), ("k", 0, "N2-1")],
+            body=["B[i, j-i] = B[i, j-i] + A[i, j+k]"],
+            arrays=[("B", "N1", "b"), ("A", "N1", "N1+b+N2")],
+            params={"N1": 12, "N2": 12, "b": 3},
+            name="fig1",
+        )
+
+    def test_vector_priority_lists_slow_dims(self):
+        program = self.figure1()
+        priority = vector_priority(program.nest)
+        # Dimension-1 subscripts only: j-i (twice) before j+k (once).
+        assert priority == ["j-i", "j+k"]
+
+    def test_vectorize_gives_unit_strides(self):
+        program = self.figure1()
+        result = vectorize(program)
+        report = stride_report(result.transformed)
+        assert all(info.stride == 1 for info in report)
+
+    def test_vectorize_without_any_distribution(self):
+        # The point of the driver: no distribution info needed at all.
+        program = self.figure1()
+        assert not program.distributions
+        result = vectorize(program)
+        assert not is_identity(result.matrix)
+
+    def test_vectorize_preserves_semantics(self):
+        from repro.ir import arrays_equal
+
+        program = self.figure1()
+        result = vectorize(program)
+        base = allocate_arrays(program, seed=82)
+        other = {k: v.copy() for k, v in base.items()}
+        execute(program, base)
+        execute(result.transformed, other)
+        assert arrays_equal(base, other)
+
+    def test_vectorize_respects_dependences(self):
+        from repro.core import is_legal_transformation
+
+        program = make_program(
+            loops=[("i", 0, "N-1"), ("j", 1, "N-1")],
+            body=["A[i, j] = A[i, j-1] + 1"],
+            arrays=[("A", "N", "N")],
+            params={"N": 10},
+        )
+        result = vectorize(program)
+        assert is_legal_transformation(result.matrix, result.dependence_columns)
+
+    def test_kwargs_passthrough(self):
+        program = self.figure1()
+        result = vectorize(program, new_indices=["x", "y", "z"])
+        assert result.transformation.new_indices == ("x", "y", "z")
