@@ -24,8 +24,16 @@ def render_chart(
 
     The x axis is the processor count, the y axis the speedup; each series
     gets one mark character, listed in the legend.
+
+    Raises :class:`ValueError` when there is nothing to plot (no processor
+    counts, no series, or a series with no points).
     """
     names = list(series)
+    if not procs or not names or any(len(series[n]) == 0 for n in names):
+        raise ValueError(
+            "render_chart needs at least one processor count and one "
+            "non-empty series"
+        )
     max_y = max(max(values) for values in series.values())
     max_y = max(max_y, 1.0)
     min_x, max_x = min(procs), max(procs)
@@ -50,7 +58,9 @@ def render_chart(
     for x_value in procs:
         col = round((x_value - min_x) / span_x * (width - 1))
         label = str(x_value)
-        start = min(col, width - len(label))
+        if len(label) > width:  # label wider than the whole chart
+            label = label[:width]
+        start = max(0, min(col, width - len(label)))
         for offset, char in enumerate(label):
             axis[start + offset] = char
     lines.append(" " * 8 + "".join(axis) + "   (processors)")

@@ -18,6 +18,8 @@ from repro.codegen import generate_spmd
 from repro.core import access_normalize
 from repro.numa.machine import MachineConfig, butterfly_gp1000
 from repro.numa.model import gemm_speedup_series
+from repro.runtime.cache import SimulationCache
+from repro.runtime.metrics import Metrics
 
 
 def figure_machine(**overrides) -> MachineConfig:
@@ -67,11 +69,16 @@ def fig4_series_simulated(
     n: int = 128,
     procs: Sequence[int] = PAPER_PROCS,
     machine: Optional[MachineConfig] = None,
+    *,
+    jobs: int = 1,
+    cache: Optional[SimulationCache] = None,
+    metrics: Optional[Metrics] = None,
 ) -> Tuple[Sequence[int], Dict[str, List[float]]]:
     """Figure 4 via the event-exact simulator (use moderate ``n``)."""
     machine = machine or figure_machine()
     series = run_speedup_sweep(
-        gemm_variants(n), procs, machine=machine, baseline="gemmB"
+        gemm_variants(n), procs, machine=machine, baseline="gemmB",
+        jobs=jobs, cache=cache, metrics=metrics,
     )
     return procs, series
 
@@ -81,6 +88,10 @@ def fig5_series(
     b: int = 48,
     procs: Sequence[int] = PAPER_PROCS,
     machine: Optional[MachineConfig] = None,
+    *,
+    jobs: int = 1,
+    cache: Optional[SimulationCache] = None,
+    metrics: Optional[Metrics] = None,
 ) -> Tuple[Sequence[int], Dict[str, List[float]]]:
     """Figure 5 (banded SYR2K speedups), via the event-exact simulator.
 
@@ -89,6 +100,7 @@ def fig5_series(
     """
     machine = machine or figure_machine()
     series = run_speedup_sweep(
-        syr2k_variants(n, b), procs, machine=machine, baseline="syr2kB"
+        syr2k_variants(n, b), procs, machine=machine, baseline="syr2kB",
+        jobs=jobs, cache=cache, metrics=metrics,
     )
     return procs, series

@@ -6,7 +6,9 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
 from repro.codegen.spmd import NodeProgram
 from repro.numa.machine import MachineConfig, butterfly_gp1000
-from repro.numa.simulator import simulate
+from repro.runtime.cache import SimulationCache
+from repro.runtime.executor import SweepCell, run_grid
+from repro.runtime.metrics import Metrics
 
 #: The processor counts of the paper's speedup plots (x-axis 1..28).
 PAPER_PROCS = (1, 4, 8, 12, 16, 20, 24, 28)
@@ -49,24 +51,33 @@ def run_speedup_sweep(
     machine: Optional[MachineConfig] = None,
     params: Optional[Mapping[str, int]] = None,
     baseline: Optional[str] = None,
+    jobs: int = 1,
+    cache: Optional[SimulationCache] = None,
+    metrics: Optional[Metrics] = None,
 ) -> Dict[str, List[float]]:
     """Simulate every variant at every processor count and return speedups.
 
     All curves share one sequential baseline (the one-processor time of
     ``baseline``, defaulting to the first variant) so they are directly
-    comparable, as in the paper's figures.
+    comparable, as in the paper's figures.  The baseline's P=1 cell is the
+    same grid point as its ``P=1`` sweep entry, so it is simulated once.
+
+    The ``(variant, P)`` grid runs on the parallel sweep engine:
+    ``jobs > 1`` fans cells out over a process pool (results are merged in
+    grid order, so output is identical to a serial run), ``cache``
+    memoizes cells across sweeps (``None`` uses the process-wide shared
+    cache) and ``metrics`` collects stage timings and hit/miss counters.
     """
     machine = machine or butterfly_gp1000()
     names = list(nodes)
     base_name = baseline or names[0]
-    sequential = simulate(
-        nodes[base_name], processors=1, params=params, machine=machine
-    ).total_time_us
-    series: Dict[str, List[float]] = {name: [] for name in names}
+    cells = [SweepCell(base_name, nodes[base_name], 1, params, machine)]
     for processors in procs:
         for name in names:
-            result = simulate(
-                nodes[name], processors=processors, params=params, machine=machine
-            )
-            series[name].append(result.speedup(sequential))
+            cells.append(SweepCell(name, nodes[name], processors, params, machine))
+    results = run_grid(cells, jobs=jobs, cache=cache, metrics=metrics)
+    sequential = results[0].total_time_us
+    series: Dict[str, List[float]] = {name: [] for name in names}
+    for cell, result in zip(cells[1:], results[1:]):
+        series[cell.name].append(result.speedup(sequential))
     return series

@@ -31,6 +31,7 @@ from repro.errors import ReproError
 from repro.ir import render_nest
 from repro.lang import parse_program
 from repro.numa import butterfly_gp1000, ipsc860, simulate, uniform_memory
+from repro.runtime import Metrics
 
 _MACHINES = {
     "butterfly": butterfly_gp1000,
@@ -53,7 +54,24 @@ def _machine(args):
 
 
 def _parse_procs(text: str) -> List[int]:
-    return [int(part) for part in text.split(",") if part.strip()]
+    """Argparse type for ``--processors``: a non-empty list of positive ints."""
+    try:
+        procs = [int(part) for part in text.split(",") if part.strip()]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid processor list {text!r}: expected comma-separated "
+            "integers like '1,4,8'"
+        )
+    if not procs:
+        raise argparse.ArgumentTypeError(
+            "processor list is empty: pass comma-separated positive "
+            "counts like '1,4,8'"
+        )
+    if any(p <= 0 for p in procs):
+        raise argparse.ArgumentTypeError(
+            f"processor counts must be positive, got {text!r}"
+        )
+    return procs
 
 
 def cmd_compile(args) -> int:
@@ -87,26 +105,31 @@ def cmd_compile(args) -> int:
 
 
 def cmd_simulate(args) -> int:
-    program = _load(args.file)
+    metrics = Metrics()
+    with metrics.stage("parse"):
+        program = _load(args.file)
     priority = args.priority.split(",") if args.priority else None
-    result = access_normalize(
-        program, priority=priority,
-        assumptions=(tuple(program.assumptions) + tuple(args.assume)) or None,
-    )
+    with metrics.stage("normalize"):
+        result = access_normalize(
+            program, priority=priority,
+            assumptions=(tuple(program.assumptions) + tuple(args.assume)) or None,
+        )
     machine = _machine(args)
-    nodes = {
-        "naive": generate_spmd(program, block_transfers=False),
-        "normalized": generate_spmd(result.transformed, block_transfers=False),
-        "normalized+bt": generate_spmd(result.transformed),
-    }
-    if args.ownership:
-        try:
-            nodes["ownership"] = generate_ownership(program)
-        except ReproError as error:
-            print(f"(skipping ownership baseline: {error})", file=sys.stderr)
-    procs = _parse_procs(args.processors)
+    with metrics.stage("codegen"):
+        nodes = {
+            "naive": generate_spmd(program, block_transfers=False),
+            "normalized": generate_spmd(result.transformed, block_transfers=False),
+            "normalized+bt": generate_spmd(result.transformed),
+        }
+        if args.ownership:
+            try:
+                nodes["ownership"] = generate_ownership(program)
+            except ReproError as error:
+                print(f"(skipping ownership baseline: {error})", file=sys.stderr)
+    procs = args.processors
     series = run_speedup_sweep(
-        nodes, procs, machine=machine, baseline="normalized+bt"
+        nodes, procs, machine=machine, baseline="normalized+bt",
+        jobs=args.jobs, metrics=metrics,
     )
     print(f"machine: {machine.name}")
     print(speedup_table(procs, series))
@@ -116,19 +139,25 @@ def cmd_simulate(args) -> int:
         )
         print(f"\nper-processor breakdown (normalized+bt, P={procs[-1]}):")
         print(outcome.table())
+    if args.profile:
+        print(metrics.report(), file=sys.stderr)
     return 0
 
 
 def cmd_autodist(args) -> int:
     from repro.core.autodist import search_distributions
 
-    program = _load(args.file)
+    metrics = Metrics()
+    with metrics.stage("parse"):
+        program = _load(args.file)
     machine = _machine(args)
     outcome = search_distributions(
         program,
         processors=args.single_p,
         machine=machine,
         max_candidates=args.max_candidates,
+        jobs=args.jobs,
+        metrics=metrics,
     )
     rows = [
         (rank + 1, candidate.describe(), f"{candidate.time_us:,.0f}")
@@ -138,6 +167,8 @@ def cmd_autodist(args) -> int:
           f"{outcome.evaluated} candidates evaluated")
     print(format_table(["rank", "distribution", "time (us)"], rows))
     print(f"\nbest: {outcome.best.describe()}")
+    if args.profile:
+        print(metrics.report(), file=sys.stderr)
     return 0
 
 
@@ -172,6 +203,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--contention", type=float, default=None,
         help="contention coefficient override",
     )
+    runtime = argparse.ArgumentParser(add_help=False)
+    runtime.add_argument(
+        "--jobs", type=int, default=1,
+        help="run simulations on this many worker processes "
+        "(0 = all cores); results are identical at any job count",
+    )
+    runtime.add_argument(
+        "--profile", action="store_true",
+        help="print per-stage timings and cache statistics to stderr",
+    )
 
     compile_cmd = sub.add_parser(
         "compile", parents=[common], help="run the pass and print artifacts"
@@ -188,11 +229,11 @@ def build_parser() -> argparse.ArgumentParser:
     compile_cmd.set_defaults(func=cmd_compile)
 
     simulate_cmd = sub.add_parser(
-        "simulate", parents=[common, machine],
+        "simulate", parents=[common, machine, runtime],
         help="sweep processor counts and print speedups",
     )
     simulate_cmd.add_argument(
-        "-P", "--processors", default="1,4,8,16,28",
+        "-P", "--processors", default=[1, 4, 8, 16, 28], type=_parse_procs,
         help="comma-separated processor counts",
     )
     simulate_cmd.add_argument(
@@ -206,7 +247,7 @@ def build_parser() -> argparse.ArgumentParser:
     simulate_cmd.set_defaults(func=cmd_simulate)
 
     autodist_cmd = sub.add_parser(
-        "autodist", parents=[common, machine],
+        "autodist", parents=[common, machine, runtime],
         help="search for a good data distribution (Section 9 future work)",
     )
     autodist_cmd.add_argument("--single-p", type=int, default=16)

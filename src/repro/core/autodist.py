@@ -24,6 +24,9 @@ from repro.errors import ReproError
 from repro.ir.program import Program
 from repro.numa.machine import MachineConfig, butterfly_gp1000
 from repro.numa.simulator import simulate
+from repro.runtime.cache import SimulationCache
+from repro.runtime.executor import SweepCell, run_grid
+from repro.runtime.metrics import Metrics
 
 
 @dataclass(frozen=True)
@@ -117,34 +120,69 @@ def search_distributions(
     params: Optional[Mapping[str, int]] = None,
     max_candidates: Optional[int] = None,
     allow_replicated: bool = False,
+    jobs: int = 1,
+    cache: Optional[SimulationCache] = None,
+    metrics: Optional[Metrics] = None,
 ) -> AutoDistResult:
     """Search distribution assignments, best (lowest makespan) first.
 
     ``params`` can scale the problem down so the search stays cheap; the
     *relative* ranking is what matters.  Candidates whose pipeline fails
     (e.g. no legal transformation) are skipped.
+
+    The search runs in two phases on the sweep engine: normalization and
+    code generation build one node program per viable candidate (timed
+    under the ``normalize``/``codegen`` metric stages), then the
+    simulations fan out over ``jobs`` worker processes with memoization —
+    the ranking is identical at any job count.
     """
     machine = machine or butterfly_gp1000()
-    candidates: List[Candidate] = []
-    evaluated = 0
+    metrics = metrics if metrics is not None else Metrics()
+    built = []  # (assignment, transformation labels, node program)
     for assignment in candidate_assignments(
         program, allow_replicated=allow_replicated
     ):
-        if max_candidates is not None and evaluated >= max_candidates:
+        if max_candidates is not None and len(built) >= max_candidates:
             break
+        distributions = {
+            name: distribution
+            for name, distribution in assignment.items()
+            if distribution is not None
+        }
+        trial = Program(
+            nest=program.nest,
+            arrays=program.arrays,
+            distributions=distributions,
+            params=program.bound_params(params),
+            name=program.name,
+        )
         try:
-            candidate = evaluate_assignment(
-                program,
-                assignment,
-                processors=processors,
-                machine=machine,
-                params=params,
-            )
+            with metrics.stage("normalize"):
+                result = access_normalize(trial)
+            with metrics.stage("codegen"):
+                node = generate_spmd(result.transformed)
         except ReproError:
             continue
-        evaluated += 1
-        candidates.append(candidate)
+        built.append((dict(assignment), tuple(result.labels), node))
+    cells = [
+        SweepCell(f"candidate-{rank}", node, processors, None, machine)
+        for rank, (_, _, node) in enumerate(built)
+    ]
+    outcomes = run_grid(
+        cells, jobs=jobs, cache=cache, metrics=metrics, on_error="keep"
+    )
+    candidates: List[Candidate] = []
+    for (assignment, labels, _), outcome in zip(built, outcomes):
+        if isinstance(outcome, ReproError):
+            continue
+        candidates.append(
+            Candidate(
+                distributions=assignment,
+                time_us=outcome.total_time_us,
+                transformation_labels=labels,
+            )
+        )
     if not candidates:
         raise ReproError("no distribution candidate could be evaluated")
     candidates.sort(key=lambda c: c.time_us)
-    return AutoDistResult(ranking=tuple(candidates), evaluated=evaluated)
+    return AutoDistResult(ranking=tuple(candidates), evaluated=len(candidates))

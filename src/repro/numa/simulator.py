@@ -357,11 +357,17 @@ class _ProcWalker:
         dims = distribution.distribution_dims()
         kind = type(distribution).__name__
         if len(dims) == 1 and kind in ("Wrapped", "Blocked"):
-            compiled = _compile_affine(ref.subscripts[dims[0]])
+            subscript = ref.subscripts[dims[0]]
+            compiled = _compile_affine(subscript)
+            where = f"subscript '{subscript}' of array {ref.array!r}"
             cap, proc = self.P, self.p
             if kind == "Wrapped":
                 def charge_wrapped(env):
                     value = _eval_exact(compiled, env)
+                    if value is None:
+                        raise SimulationError(
+                            f"non-integral {where} in wrapped ownership test"
+                        )
                     if value % cap == proc:
                         counts.local += 1
                     else:
@@ -372,6 +378,10 @@ class _ProcWalker:
             low, high = proc * block, (proc + 1) * block - 1
             def charge_blocked(env):
                 value = _eval_exact(compiled, env)
+                if value is None:
+                    raise SimulationError(
+                        f"non-integral {where} in blocked ownership test"
+                    )
                 if low <= value <= high:
                     counts.local += 1
                 else:
@@ -420,6 +430,7 @@ class _ProcWalker:
                     _compile_affine(cond.expr),
                     _compile_affine(cond.modulus),
                     _compile_affine(cond.target),
+                    str(cond),
                 )
                 for cond in statement.conditions
             ]
@@ -430,12 +441,15 @@ class _ProcWalker:
             def run_guarded(env):
                 counts.guards += guard_count
                 taken = disjunctive is not True
-                for expr, modulus, target in conditions:
+                for expr, modulus, target, text in conditions:
                     mod = _eval_exact(modulus, env)
-                    hit = (
-                        _eval_exact(expr, env) % mod
-                        == _eval_exact(target, env) % mod
-                    )
+                    lhs = _eval_exact(expr, env)
+                    rhs = _eval_exact(target, env)
+                    if mod is None or lhs is None or rhs is None:
+                        raise SimulationError(
+                            f"non-integral value in guard '{text}'"
+                        )
+                    hit = lhs % mod == rhs % mod
                     if disjunctive and hit:
                         taken = True
                         break
@@ -806,6 +820,33 @@ def simulate(
         machine=machine,
         per_proc=tuple(per_proc),
         remote_multiplier=multiplier,
+    )
+
+
+#: The argument tuple of :func:`simulate_task`:
+#: ``(node, processors, params, machine, mode, block_cache)``.
+SimulateTask = Tuple[
+    NodeProgram, int, Optional[Mapping[str, int]], Optional[MachineConfig],
+    str, bool,
+]
+
+
+def simulate_task(task: SimulateTask) -> SimulationResult:
+    """Top-level, picklable entry point for one simulation cell.
+
+    ``multiprocessing`` workers must import their target function, so the
+    parallel sweep engine (:mod:`repro.runtime.executor`) ships cells as
+    plain tuples of picklable dataclasses and calls this instead of a
+    closure over :func:`simulate`.
+    """
+    node, processors, params, machine, mode, block_cache = task
+    return simulate(
+        node,
+        processors=processors,
+        params=params,
+        machine=machine,
+        mode=mode,
+        block_cache=block_cache,
     )
 
 

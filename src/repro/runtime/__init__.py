@@ -1,0 +1,29 @@
+"""Sweep runtime: parallel execution, simulation caching, profiling."""
+
+from repro.runtime.cache import (
+    SimulationCache,
+    cell_key,
+    node_fingerprint,
+    reset_shared_cache,
+    shared_cache,
+)
+from repro.runtime.executor import SweepCell, resolve_jobs, run_grid
+from repro.runtime.metrics import (
+    Metrics,
+    global_metrics,
+    reset_global_metrics,
+)
+
+__all__ = [
+    "Metrics",
+    "SimulationCache",
+    "SweepCell",
+    "cell_key",
+    "global_metrics",
+    "node_fingerprint",
+    "reset_global_metrics",
+    "reset_shared_cache",
+    "resolve_jobs",
+    "run_grid",
+    "shared_cache",
+]

@@ -1,0 +1,174 @@
+"""Simulation memoization: stable cell fingerprints + an LRU result cache.
+
+Every speedup figure, ablation and ``autodist`` search reduces to a grid of
+``(node program, P, params, machine, mode)`` simulation cells, and the same
+cell recurs across sections (every curve shares the P=1 baseline; ablations
+re-simulate the figure variants under new machines).  The cache keys each
+cell by a content fingerprint — the rendered node program plus every input
+that can change the simulated outcome — so a warm regeneration of
+RESULTS.md performs zero new ``simulate`` calls.
+
+The fingerprint is built from *rendered* canonical text (loop nest
+pseudo-code, distribution descriptions, sorted parameter bindings, machine
+constants), never from ``id()`` or hash ordering, so it is stable across
+processes and usable for the optional on-disk store.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from collections import OrderedDict
+from dataclasses import astuple
+from typing import Mapping, Optional
+
+from repro.codegen.spmd import NodeProgram
+from repro.ir.printer import render_nest
+from repro.numa.machine import MachineConfig
+from repro.numa.simulator import SimulationResult
+
+
+def node_fingerprint(node: NodeProgram) -> str:
+    """A stable content fingerprint of a node program.
+
+    Covers everything the simulator reads: the nest (including block-read
+    prologues), array declarations and element sizes, distributions,
+    default parameters, the schedule, sync events, and the locality plan's
+    per-reference classifications.
+    """
+    program = node.program
+    plan_part = ";".join(
+        f"{info.ref}|{'w' if info.is_write else 'r'}|{info.ref_class.value}"
+        for info in node.plan.refs
+    )
+    parts = [
+        program.name,
+        node.schedule,
+        f"sync={node.sync_per_outer_iteration}",
+        f"guards={node.guards_per_iteration}",
+        render_nest(program.nest),
+        ";".join(
+            f"{decl.name}({','.join(str(e) for e in decl.extents)}):{decl.element_bytes}"
+            for decl in program.arrays
+        ),
+        ";".join(
+            f"{name}={program.distributions[name].describe()}"
+            for name in sorted(program.distributions)
+        ),
+        ";".join(f"{k}={v}" for k, v in sorted(program.params.items())),
+        plan_part,
+    ]
+    digest = hashlib.sha256("\n".join(parts).encode("utf-8"))
+    return digest.hexdigest()
+
+
+def cell_key(
+    node: NodeProgram,
+    processors: int,
+    params: Optional[Mapping[str, int]],
+    machine: MachineConfig,
+    mode: str = "account",
+    block_cache: bool = False,
+) -> str:
+    """The cache key of one simulation cell."""
+    bound = node.program.bound_params(params)
+    param_part = ";".join(f"{k}={v}" for k, v in sorted(bound.items()))
+    machine_part = repr(astuple(machine))
+    raw = "\n".join(
+        [
+            node_fingerprint(node),
+            f"P={processors}",
+            param_part,
+            machine_part,
+            f"mode={mode}",
+            f"block_cache={block_cache}",
+        ]
+    )
+    return hashlib.sha256(raw.encode("utf-8")).hexdigest()
+
+
+class SimulationCache:
+    """An in-memory LRU of :class:`SimulationResult` with optional disk store.
+
+    ``max_entries`` bounds the in-memory layer (0 disables it).  When
+    ``store_dir`` is given, results are also pickled to
+    ``<store_dir>/<key>.pkl`` so a fresh process (a re-run of the CLI or of
+    the report generator) starts warm.
+    """
+
+    def __init__(
+        self,
+        max_entries: int = 4096,
+        store_dir: Optional[str] = None,
+    ) -> None:
+        self.max_entries = max_entries
+        self.store_dir = store_dir
+        self._memory: "OrderedDict[str, SimulationResult]" = OrderedDict()
+        if store_dir:
+            os.makedirs(store_dir, exist_ok=True)
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def get(self, key: str) -> Optional[SimulationResult]:
+        """The cached result for ``key``, or None."""
+        if key in self._memory:
+            self._memory.move_to_end(key)
+            return self._memory[key]
+        if self.store_dir:
+            path = os.path.join(self.store_dir, f"{key}.pkl")
+            try:
+                with open(path, "rb") as handle:
+                    result = pickle.load(handle)
+            except (OSError, pickle.UnpicklingError, EOFError):
+                return None
+            self._remember(key, result)
+            return result
+        return None
+
+    def put(self, key: str, result: SimulationResult) -> None:
+        """Store a result under ``key`` (memory, plus disk when configured)."""
+        self._remember(key, result)
+        if self.store_dir:
+            path = os.path.join(self.store_dir, f"{key}.pkl")
+            tmp = f"{path}.tmp.{os.getpid()}"
+            try:
+                with open(tmp, "wb") as handle:
+                    pickle.dump(result, handle)
+                os.replace(tmp, path)
+            except OSError:
+                pass  # best-effort persistence; the memory layer still holds it
+
+    def clear(self) -> None:
+        """Drop the in-memory layer (disk entries are kept)."""
+        self._memory.clear()
+
+    def _remember(self, key: str, result: SimulationResult) -> None:
+        if self.max_entries <= 0:
+            return
+        self._memory[key] = result
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.max_entries:
+            self._memory.popitem(last=False)
+
+
+_SHARED: Optional[SimulationCache] = None
+
+
+def shared_cache() -> SimulationCache:
+    """The process-wide default cache used when callers pass ``cache=None``.
+
+    Honors the ``REPRO_CACHE_DIR`` environment variable (set at first use)
+    for an on-disk store shared across processes.
+    """
+    global _SHARED
+    if _SHARED is None:
+        _SHARED = SimulationCache(store_dir=os.environ.get("REPRO_CACHE_DIR"))
+    return _SHARED
+
+
+def reset_shared_cache() -> None:
+    """Drop the process-wide default cache (mainly for tests)."""
+    global _SHARED
+    _SHARED = None

@@ -1,0 +1,102 @@
+"""Lightweight pipeline instrumentation: stage timers and counters.
+
+The sweep engine and the CLI record where wall-clock time goes (parse /
+normalize / codegen / simulate) and how effective the simulation cache is
+(hits / misses / deduplicated cells).  A :class:`Metrics` object is cheap
+enough to thread through every sweep; ``--profile`` on the CLI and on
+``python -m repro.bench.report`` prints the accumulated report.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional
+
+#: Canonical stage names, in pipeline order (used to order the report).
+PIPELINE_STAGES = ("parse", "normalize", "codegen", "simulate")
+
+
+class Metrics:
+    """Accumulated counters and per-stage wall-clock timers."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, int] = {}
+        self.timers: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def count(self, name: str, amount: int = 1) -> None:
+        """Increment counter ``name`` by ``amount``."""
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def add_time(self, stage: str, seconds: float) -> None:
+        """Add ``seconds`` of wall-clock time to ``stage``."""
+        self.timers[stage] = self.timers.get(stage, 0.0) + seconds
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        """Context manager timing one pipeline stage."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add_time(name, time.perf_counter() - start)
+
+    def merge(self, other: "Metrics") -> None:
+        """Fold another metrics object into this one."""
+        for name, value in other.counters.items():
+            self.count(name, value)
+        for name, value in other.timers.items():
+            self.add_time(name, value)
+
+    def reset(self) -> None:
+        """Clear all counters and timers."""
+        self.counters.clear()
+        self.timers.clear()
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> int:
+        """Current value of counter ``name`` (0 when never incremented)."""
+        return self.counters.get(name, 0)
+
+    def report(self) -> str:
+        """Human-readable profile: stage timings first, then counters."""
+        lines = ["pipeline profile"]
+        ordered = [s for s in PIPELINE_STAGES if s in self.timers]
+        ordered += sorted(set(self.timers) - set(PIPELINE_STAGES))
+        if ordered:
+            width = max(len(s) for s in ordered)
+            total = sum(self.timers.values())
+            for stage in ordered:
+                seconds = self.timers[stage]
+                share = 100.0 * seconds / total if total else 0.0
+                lines.append(
+                    f"  {stage.ljust(width)}  {seconds * 1e3:10.1f} ms  {share:5.1f}%"
+                )
+        if self.counters:
+            width = max(len(name) for name in self.counters)
+            for name in sorted(self.counters):
+                lines.append(f"  {name.ljust(width)}  {self.counters[name]:10d}")
+        if len(lines) == 1:
+            lines.append("  (no events recorded)")
+        return "\n".join(lines)
+
+
+_GLOBAL: Optional[Metrics] = None
+
+
+def global_metrics() -> Metrics:
+    """The process-wide default metrics sink."""
+    global _GLOBAL
+    if _GLOBAL is None:
+        _GLOBAL = Metrics()
+    return _GLOBAL
+
+
+def reset_global_metrics() -> None:
+    """Reset the process-wide default metrics sink."""
+    global_metrics().reset()

@@ -1,0 +1,240 @@
+"""Regression tests for the sweep/CLI/simulator bugfix round.
+
+Each test pins one previously-broken behavior:
+
+* the speedup sweep double-simulated the baseline's P=1 cell,
+* ``render_chart`` crashed on empty input and wrote x-axis labels at
+  negative indices,
+* ``repro simulate --processors ""`` crashed with ``IndexError``,
+* non-integral affine values inside ownership tests and guards surfaced
+  as bare ``TypeError`` instead of :class:`SimulationError`,
+* RESULTS.md regeneration was never byte-identical because of the
+  timestamp.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.bench.ascii_plot import render_chart
+from repro.bench.figures import figure_machine, gemm_variants
+from repro.bench.harness import run_speedup_sweep
+from repro.bench.report import build_report, main as report_main
+from repro.cli import main as cli_main
+from repro.codegen.locality import LocalityPlan
+from repro.codegen.spmd import NodeProgram
+from repro.distributions import Wrapped
+from repro.errors import SimulationError
+from repro.ir.affine import AffineExpr
+from repro.ir.loop import Loop, LoopNest
+from repro.ir.program import ArrayDecl, Program
+from repro.ir.scalar import ArrayRef, Load
+from repro.ir.stmt import Assign, IfThen, ModEq
+from repro.numa.simulator import simulate
+from repro.runtime import Metrics, SimulationCache
+
+
+class TestBaselineReuse:
+    def test_baseline_p1_simulated_once(self):
+        """3 variants x 2 procs with 1 in procs: 7 grid cells, 6 simulations."""
+        metrics = Metrics()
+        series = run_speedup_sweep(
+            gemm_variants(8), [1, 2], machine=figure_machine(),
+            baseline="gemmB", cache=SimulationCache(), metrics=metrics,
+        )
+        assert metrics.counter("grid_cells") == 7
+        assert metrics.counter("simulate_calls") == 6
+        assert metrics.counter("dedup_hits") == 1
+        assert series["gemmB"][0] == pytest.approx(1.0)
+
+    def test_baseline_reused_without_one_in_procs(self):
+        """No P=1 column: the baseline cell is extra, nothing is reused."""
+        metrics = Metrics()
+        run_speedup_sweep(
+            gemm_variants(8), [2, 4], machine=figure_machine(),
+            baseline="gemmB", cache=SimulationCache(), metrics=metrics,
+        )
+        assert metrics.counter("grid_cells") == 7
+        assert metrics.counter("simulate_calls") == 7
+        assert metrics.counter("dedup_hits") == 0
+
+
+class TestChartGuards:
+    def test_empty_everything_raises_value_error(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            render_chart([], {})
+
+    def test_empty_series_raises_value_error(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            render_chart([1, 2], {"s": []})
+
+    def test_no_series_raises_value_error(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            render_chart([1, 2], {})
+
+    def test_wide_label_clamped_not_negative(self):
+        """A label wider than the remaining chart used to land at a
+        negative index, wrapping to the end of the axis line."""
+        chart = render_chart(
+            [1, 1000000], {"s": [1.0, 2.0]}, width=5, height=4
+        )
+        axis_line = [l for l in chart.splitlines() if "(processors)" in l][0]
+        assert "10000" in axis_line  # truncated to the chart width
+        body = axis_line[8:8 + 5]
+        assert body == "10000"
+
+    def test_narrow_chart_still_renders(self):
+        chart = render_chart([1, 28], {"s": [1.0, 9.0]}, width=3, height=4)
+        assert "(processors)" in chart
+
+
+class TestProcsValidation:
+    def test_empty_processors_is_clean_argparse_error(self, tmp_path, capsys):
+        source = tmp_path / "p.an"
+        source.write_text(
+            "program p\nparam N = 4\nreal A(N) distribute (wrapped)\n\n"
+            "for i = 0, N-1\n    A[i] = A[i] + 1\n"
+        )
+        with pytest.raises(SystemExit) as excinfo:
+            cli_main(["simulate", str(source), "--processors", "", "--detail"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "processor list is empty" in err
+
+    def test_non_numeric_processors_rejected(self, tmp_path, capsys):
+        source = tmp_path / "p.an"
+        source.write_text("program p\nreal A(4)\n\nfor i = 0, 3\n    A[i] = 1\n")
+        with pytest.raises(SystemExit) as excinfo:
+            cli_main(["simulate", str(source), "-P", "1,two"])
+        assert excinfo.value.code == 2
+        assert "comma-separated integers" in capsys.readouterr().err
+
+    def test_non_positive_processors_rejected(self, tmp_path, capsys):
+        source = tmp_path / "p.an"
+        source.write_text("program p\nreal A(4)\n\nfor i = 0, 3\n    A[i] = 1\n")
+        with pytest.raises(SystemExit) as excinfo:
+            cli_main(["simulate", str(source), "-P", "1,0"])
+        assert excinfo.value.code == 2
+        assert "positive" in capsys.readouterr().err
+
+
+def _node_with_body(body, arrays, distributions):
+    nest = LoopNest((Loop.make("i", 0, 7),), tuple(body))
+    program = Program(
+        nest=nest,
+        arrays=tuple(arrays),
+        distributions=dict(distributions),
+        params={},
+        name="halfsub",
+    )
+    return NodeProgram(
+        program=program,
+        schedule="all",
+        plan=LocalityPlan(refs=(), block_reads=()),
+    )
+
+
+class TestNonIntegralSimulationErrors:
+    def test_wrapped_ownership_names_subscript(self):
+        ref = ArrayRef("A", (AffineExpr({"i": Fraction(1, 2)}),))
+        node = _node_with_body(
+            [Assign(ref, Load(ref))],
+            [ArrayDecl.make("A", 8)],
+            {"A": Wrapped(0)},
+        )
+        with pytest.raises(SimulationError, match=r"non-integral subscript"):
+            simulate(node, processors=2)
+        with pytest.raises(SimulationError, match=r"'A'"):
+            simulate(node, processors=2)
+
+    def test_guard_names_condition(self):
+        ref = ArrayRef("A", (AffineExpr({"i": 1}),))
+        guard = ModEq(
+            expr=AffineExpr({"i": Fraction(1, 2)}),
+            modulus=AffineExpr.constant(2),
+            target=AffineExpr.constant(0),
+        )
+        node = _node_with_body(
+            [IfThen((guard,), Assign(ref, Load(ref)))],
+            [ArrayDecl.make("A", 8)],
+            {},
+        )
+        with pytest.raises(SimulationError, match=r"non-integral value in guard"):
+            simulate(node, processors=1)
+
+    def test_integral_fractional_subscripts_still_work(self):
+        """i/2 over an even-strided loop is integral everywhere: no error."""
+        ref = ArrayRef("A", (AffineExpr({"i": Fraction(1, 2)}),))
+        nest = LoopNest(
+            (Loop.make("i", 0, 6, 2),), (Assign(ref, Load(ref)),)
+        )
+        program = Program(
+            nest=nest,
+            arrays=(ArrayDecl.make("A", 8),),
+            distributions={"A": Wrapped(0)},
+            params={},
+            name="evensub",
+        )
+        node = NodeProgram(
+            program=program, schedule="all",
+            plan=LocalityPlan(refs=(), block_reads=()),
+        )
+        outcome = simulate(node, processors=2)
+        assert outcome.totals.local + outcome.totals.remote == 16
+
+
+class TestDeterministicReport:
+    def test_build_report_no_timestamp_is_reproducible(self):
+        cache = SimulationCache()
+        first = build_report(32, 32, 6, timestamp=False, cache=cache)
+        second = build_report(32, 32, 6, timestamp=False, cache=cache)
+        assert first == second
+        assert "Generated by" in first
+        assert "Generated 2" not in first  # no wall-clock year
+
+    def test_source_date_epoch_pins_stamp(self, monkeypatch):
+        monkeypatch.setenv("SOURCE_DATE_EPOCH", "0")
+        report = build_report(32, 32, 6, cache=SimulationCache())
+        assert "Generated 1970-01-01 00:00:00" in report
+
+    def test_main_no_timestamp_flag(self, tmp_path, capsys):
+        output = tmp_path / "RESULTS.md"
+        args = ["--output", str(output), "--gemm-n", "32", "--syr2k-n", "32",
+                "--band", "6", "--no-timestamp"]
+        assert report_main(args) == 0
+        first = output.read_text()
+        assert report_main(args) == 0
+        assert output.read_text() == first
+        assert "wrote" in capsys.readouterr().out
+
+    def test_main_profile_flag(self, tmp_path, capsys):
+        output = tmp_path / "RESULTS.md"
+        assert report_main(
+            ["--output", str(output), "--gemm-n", "32", "--syr2k-n", "32",
+             "--band", "6", "--no-timestamp", "--jobs", "2", "--profile"]
+        ) == 0
+        err = capsys.readouterr().err
+        assert "pipeline profile" in err
+        # The report runs against the process-wide shared cache, so cells
+        # may be hits or misses depending on test order; the grid counter
+        # is always present.
+        assert "grid_cells" in err
+
+    def test_report_jobs_byte_identical(self):
+        serial = build_report(
+            32, 32, 6, jobs=1, timestamp=False, cache=SimulationCache()
+        )
+        parallel = build_report(
+            32, 32, 6, jobs=4, timestamp=False, cache=SimulationCache()
+        )
+        assert serial == parallel
+
+    def test_report_warm_cache_zero_simulate_calls(self):
+        cache = SimulationCache()
+        cold = Metrics()
+        build_report(32, 32, 6, timestamp=False, cache=cache, metrics=cold)
+        warm = Metrics()
+        build_report(32, 32, 6, timestamp=False, cache=cache, metrics=warm)
+        assert cold.counter("simulate_calls") > 0
+        assert warm.counter("simulate_calls") == 0
+        assert warm.counter("cache_misses") == 0
