@@ -1,13 +1,15 @@
 """Command-line driver: the 'compiler binary' of this reproduction.
 
-Three subcommands:
+Four subcommands:
 
 * ``compile FILE``  — run access normalization and print the requested
   artifacts (report, transformed IR, node program, generated Python);
 * ``simulate FILE`` — compile and sweep processor counts on a simulated
   NUMA machine, printing a speedup table;
 * ``autodist FILE`` — search for a good data distribution (the Section 9
-  "use our techniques in reverse" speculation).
+  "use our techniques in reverse" speculation);
+* ``fuzz``          — differential fuzzing of the whole pipeline against
+  the reference interpreter (see :mod:`repro.fuzz`).
 
 Programs are written in the FORTRAN-D-style DSL (see ``repro.lang``);
 sample programs live in ``examples/programs/``.
@@ -254,6 +256,10 @@ def build_parser() -> argparse.ArgumentParser:
     autodist_cmd.add_argument("--top", type=int, default=5)
     autodist_cmd.add_argument("--max-candidates", type=int, default=None)
     autodist_cmd.set_defaults(func=cmd_autodist)
+
+    from repro.fuzz.cli import add_fuzz_parser
+
+    add_fuzz_parser(sub, parents=[runtime])
     return parser
 
 

@@ -1,0 +1,49 @@
+"""Differential fuzzing of the normalization + SPMD pipeline.
+
+The subsystem has four parts:
+
+* :mod:`repro.fuzz.generator` — seeded random generation of valid affine
+  loop-nest programs (:func:`generate_spec`);
+* :mod:`repro.fuzz.oracle` — the differential oracle: interpreter
+  equivalence, parallel execute-mode equivalence and simulator accounting
+  conservation (:func:`check_spec`, :func:`fuzz_task`);
+* :mod:`repro.fuzz.shrink` — delta-debugging minimization and repro
+  emission (:func:`shrink_spec`);
+* :mod:`repro.fuzz.cli` — the ``repro fuzz`` subcommand.
+
+Regression corpus entries under ``tests/corpus/`` are
+:class:`ProgramSpec` JSON documents; ``tests/test_corpus.py`` replays every
+entry through the oracle on each test run.
+"""
+
+from repro.fuzz.generator import generate_spec
+from repro.fuzz.oracle import (
+    CheckResult,
+    FuzzRecord,
+    check_program,
+    check_spec,
+    fuzz_task,
+)
+from repro.fuzz.shrink import (
+    refit_extents,
+    shrink_spec,
+    write_corpus_entry,
+    write_pytest_repro,
+)
+from repro.fuzz.spec import DistSpec, ProgramSpec, SpecError
+
+__all__ = [
+    "CheckResult",
+    "DistSpec",
+    "FuzzRecord",
+    "ProgramSpec",
+    "SpecError",
+    "check_program",
+    "check_spec",
+    "fuzz_task",
+    "generate_spec",
+    "refit_extents",
+    "shrink_spec",
+    "write_corpus_entry",
+    "write_pytest_repro",
+]

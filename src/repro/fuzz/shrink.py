@@ -1,0 +1,293 @@
+"""Delta-debugging shrinker and repro emission.
+
+Given a failing program spec and a predicate that recognizes the failure,
+:func:`shrink_spec` greedily applies structure-reducing mutations — drop
+statements, drop distributions, shrink parameters, flatten loop bounds,
+zero subscript coefficients — keeping a mutation only when the reduced
+program still fails *and* is still a valid program (in-bounds subscripts,
+non-empty iteration space is not required).  The result is typically a
+handful of lines that a human can read at a glance.
+
+:func:`write_corpus_entry` and :func:`write_pytest_repro` turn a failure
+into durable artifacts: a JSON corpus entry (loaded forever after by
+``tests/test_corpus.py``) and a standalone pytest file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.ir.builder import make_nest, parse_assignment
+from repro.fuzz.spec import MAX_ITERATIONS, ProgramSpec, SpecError
+
+Predicate = Callable[[ProgramSpec], bool]
+
+#: Upper bound on predicate evaluations per shrink (each runs the oracle).
+MAX_EVALUATIONS = 500
+
+
+def refit_extents(spec: ProgramSpec) -> Optional[ProgramSpec]:
+    """Recompute array extents after a structural mutation.
+
+    Re-enumerates the (concrete) iteration space and sizes each array
+    dimension to the subscripts that actually occur.  Returns ``None`` when
+    the mutated spec is not a valid program (negative subscripts, parse
+    failure, iteration blow-up) — the shrinker discards such mutants.
+    Arrays no longer referenced are dropped along with their distributions.
+    """
+    params = dict(spec.params)
+    try:
+        nest = make_nest(
+            [tuple(loop) for loop in spec.loops], list(spec.statements)
+        )
+    except ReproError:
+        return None
+
+    refs = nest.array_refs()
+    used = {ref.array for ref, _ in refs}
+    ranks = {name: len(extents) for name, extents in spec.arrays}
+    for ref, _ in refs:
+        if ref.array not in ranks or ref.rank != ranks[ref.array]:
+            return None
+
+    spans: Dict[Tuple[str, int], Tuple[int, int]] = {}
+    count = 0
+    for env in nest.iterate(params):
+        count += 1
+        if count > MAX_ITERATIONS:
+            return None
+        for ref, _ in refs:
+            for dim, sub in enumerate(ref.subscripts):
+                value = sub.evaluate(env)
+                if value.denominator != 1:
+                    return None
+                value = int(value)
+                key = (ref.array, dim)
+                lo, hi = spans.get(key, (value, value))
+                spans[key] = (min(lo, value), max(hi, value))
+
+    arrays: List[Tuple[str, Tuple[int, ...]]] = []
+    for name, extents in spec.arrays:
+        if name not in used:
+            continue
+        new_extents = []
+        for dim in range(len(extents)):
+            lo, hi = spans.get((name, dim), (0, 0))
+            if lo < 0:
+                return None
+            new_extents.append(hi + 1)
+        arrays.append((name, tuple(new_extents)))
+
+    distributions = tuple(
+        (name, dist) for name, dist in spec.distributions
+        if name in used and dist.dim < ranks[name]
+    )
+    return spec.with_(arrays=tuple(arrays), distributions=distributions)
+
+
+# ----------------------------------------------------------------------
+# mutation generators (each yields structurally smaller candidate specs)
+# ----------------------------------------------------------------------
+def _drop_statements(spec: ProgramSpec) -> Iterator[ProgramSpec]:
+    if len(spec.statements) <= 1:
+        return
+    for position in range(len(spec.statements)):
+        statements = (
+            spec.statements[:position] + spec.statements[position + 1:]
+        )
+        yield spec.with_(statements=statements)
+
+
+def _drop_distributions(spec: ProgramSpec) -> Iterator[ProgramSpec]:
+    for position in range(len(spec.distributions)):
+        yield spec.with_(
+            distributions=spec.distributions[:position]
+            + spec.distributions[position + 1:]
+        )
+
+
+def _shrink_params(spec: ProgramSpec) -> Iterator[ProgramSpec]:
+    for position, (name, value) in enumerate(spec.params):
+        if value <= 2:
+            continue
+        params = list(spec.params)
+        params[position] = (name, value - 1)
+        yield spec.with_(params=tuple(params))
+
+
+def _flatten_bounds(spec: ProgramSpec) -> Iterator[ProgramSpec]:
+    size = spec.params[0][0] if spec.params else "N"
+    for position, (index, lower, upper, step) in enumerate(spec.loops):
+        for simpler in ((index, "0", upper, step), (index, lower, f"{size}-1", step)):
+            if simpler != spec.loops[position]:
+                loops = list(spec.loops)
+                loops[position] = simpler
+                yield spec.with_(loops=tuple(loops))
+
+
+def _zero_coefficients(spec: ProgramSpec) -> Iterator[ProgramSpec]:
+    """Zero one subscript coefficient (or constant) in one statement."""
+    indices = list(spec.indices)
+    for position, text in enumerate(spec.statements):
+        try:
+            statement = parse_assignment(text, indices)
+        except ReproError:
+            continue
+        refs = [statement.lhs] + list(statement.rhs.references())
+        seen = set()
+        for ref in refs:
+            for sub in ref.subscripts:
+                for variable in sub.variables():
+                    seen.add((str(sub), variable))
+        for sub_text, variable in sorted(seen):
+            mutated = _zero_variable_in_statement(text, indices, sub_text, variable)
+            if mutated and mutated != text:
+                statements = list(spec.statements)
+                statements[position] = mutated
+                yield spec.with_(statements=tuple(statements))
+
+
+def _zero_variable_in_statement(
+    text: str, indices: List[str], sub_text: str, variable: str
+) -> Optional[str]:
+    """Re-render ``text`` with ``variable`` zeroed in subscripts equal to
+    ``sub_text``."""
+    try:
+        statement = parse_assignment(text, indices)
+    except ReproError:
+        return None
+
+    from repro.ir.affine import AffineExpr
+    from repro.ir.scalar import ArrayRef, Load
+    from repro.ir.stmt import Assign
+
+    def fix_ref(ref: ArrayRef) -> ArrayRef:
+        subs = tuple(
+            sub - AffineExpr.var(variable) * sub.coeff(variable)
+            if str(sub) == sub_text else sub
+            for sub in ref.subscripts
+        )
+        return ArrayRef(ref.array, subs)
+
+    def fix_expr(node):
+        if isinstance(node, Load):
+            return Load(fix_ref(node.ref))
+        from repro.ir.scalar import BinOp
+
+        if isinstance(node, BinOp):
+            return BinOp(node.op, fix_expr(node.left), fix_expr(node.right))
+        return node
+
+    fixed = Assign(fix_ref(statement.lhs), fix_expr(statement.rhs))
+    return str(fixed)
+
+
+_MUTATORS = (
+    _drop_statements,
+    _drop_distributions,
+    _shrink_params,
+    _flatten_bounds,
+    _zero_coefficients,
+)
+
+
+def shrink_spec(
+    spec: ProgramSpec,
+    failing: Predicate,
+    *,
+    max_evaluations: int = MAX_EVALUATIONS,
+) -> ProgramSpec:
+    """Greedily minimize ``spec`` while ``failing`` keeps returning True.
+
+    ``failing`` must already be True for ``spec`` itself (the caller checks
+    once); the function never returns a spec for which it is False.
+    """
+    current = spec
+    evaluations = 0
+    improved = True
+    while improved and evaluations < max_evaluations:
+        improved = False
+        for mutate in _MUTATORS:
+            for candidate in mutate(current):
+                refit = refit_extents(candidate)
+                if refit is None:
+                    continue
+                try:
+                    refit.build()
+                except SpecError:
+                    continue
+                evaluations += 1
+                if evaluations > max_evaluations:
+                    return current
+                if failing(refit):
+                    current = refit
+                    improved = True
+                    break  # restart mutation pass on the smaller spec
+            if improved:
+                break
+    return current
+
+
+# ----------------------------------------------------------------------
+# repro emission
+# ----------------------------------------------------------------------
+def write_corpus_entry(
+    spec: ProgramSpec,
+    directory: str,
+    *,
+    status: str,
+    stage: str = "",
+    detail: str = "",
+    note: str = "",
+) -> str:
+    """Write a JSON corpus entry; returns its path."""
+    os.makedirs(directory, exist_ok=True)
+    entry = {
+        "spec": spec.to_dict(),
+        "found": {
+            "status": status,
+            "stage": stage,
+            "detail": detail,
+            "seed": spec.seed,
+        },
+        "note": note,
+    }
+    path = os.path.join(directory, f"{_slug(spec)}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(entry, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def write_pytest_repro(spec: ProgramSpec, directory: str, *, detail: str = "") -> str:
+    """Write a standalone pytest repro file; returns its path."""
+    os.makedirs(directory, exist_ok=True)
+    name = _slug(spec).replace("-", "_")
+    path = os.path.join(directory, f"test_repro_{name}.py")
+    spec_json = json.dumps(spec.to_dict(), indent=4, sort_keys=True)
+    body = f'''"""Standalone repro emitted by ``repro fuzz`` (shrunk program).
+
+Original failure: {detail or "(see corpus entry)"}
+Re-run with: pytest {os.path.basename(path)} -q
+"""
+
+from repro.fuzz import ProgramSpec, check_spec
+
+SPEC = {spec_json}
+
+
+def test_repro():
+    outcome = check_spec(ProgramSpec.from_dict(SPEC))
+    assert outcome.ok, f"{{outcome.status}} at {{outcome.stage}}: {{outcome.detail}}"
+'''
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(body)
+    return path
+
+
+def _slug(spec: ProgramSpec) -> str:
+    base = spec.name or "fuzz"
+    return "".join(c if c.isalnum() or c in "-_" else "-" for c in base)

@@ -1,0 +1,217 @@
+"""Serializable program specifications for the differential fuzzer.
+
+A :class:`ProgramSpec` is the fuzzer's unit of work: a loop nest, body
+statements and array declarations in plain strings and ints, which makes a
+spec (a) trivially JSON-serializable for the regression corpus, (b) easy to
+mutate structurally in the shrinker, and (c) buildable into a real
+:class:`~repro.ir.program.Program` through the public ``ir.builder`` API —
+so every corpus entry doubles as a readable repro of the original program.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, replace
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.distributions import Blocked, BlockCyclic, Wrapped
+from repro.errors import ReproError
+from repro.ir.builder import make_program
+from repro.ir.program import Program
+from repro.ir.validate import validate_program
+
+#: Specs whose iteration space exceeds this are rejected: the oracle runs
+#: every program through the reference interpreter several times, so the
+#: fuzzer deliberately stays in the "small scope" regime.
+MAX_ITERATIONS = 20_000
+
+
+class SpecError(ReproError):
+    """A program spec is structurally unusable (bad JSON, out-of-bounds
+    subscripts, oversized iteration space...)."""
+
+
+@dataclass(frozen=True)
+class DistSpec:
+    """A serializable distribution choice for one array."""
+
+    kind: str  # "wrapped" | "blocked" | "blockcyclic"
+    dim: int = 0
+    block: int = 2
+
+    def build(self):
+        """The corresponding :mod:`repro.distributions` object."""
+        if self.kind == "wrapped":
+            return Wrapped(self.dim)
+        if self.kind == "blocked":
+            return Blocked(self.dim)
+        if self.kind == "blockcyclic":
+            return BlockCyclic(self.dim, self.block)
+        raise SpecError(f"unknown distribution kind {self.kind!r}")
+
+    def to_dict(self) -> Dict:
+        data = {"kind": self.kind, "dim": self.dim}
+        if self.kind == "blockcyclic":
+            data["block"] = self.block
+        return data
+
+    @staticmethod
+    def from_dict(data: Mapping) -> "DistSpec":
+        return DistSpec(
+            kind=data["kind"], dim=int(data.get("dim", 0)),
+            block=int(data.get("block", 2)),
+        )
+
+
+@dataclass(frozen=True)
+class ProgramSpec:
+    """A whole fuzz program in serializable form.
+
+    ``loops`` holds ``(index, lower, upper, step)`` tuples with string/int
+    bounds, ``statements`` holds assignment strings parsed by
+    :func:`repro.ir.builder.parse_assignment`, ``arrays`` maps each array
+    name to its concrete integer extents.
+    """
+
+    name: str
+    loops: Tuple[Tuple[str, str, str, int], ...]
+    statements: Tuple[str, ...]
+    arrays: Tuple[Tuple[str, Tuple[int, ...]], ...]
+    distributions: Tuple[Tuple[str, DistSpec], ...] = ()
+    params: Tuple[Tuple[str, int], ...] = ()
+    seed: Optional[int] = None
+    note: str = ""
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def build(self, *, check_bounds: bool = True) -> Program:
+        """Materialize the spec as a validated :class:`Program`.
+
+        Raises :class:`SpecError` when the spec does not describe a legal,
+        fully in-bounds program — the shrinker relies on this to discard
+        mutations that stray outside the valid-program space.
+        """
+        try:
+            program = make_program(
+                loops=[tuple(loop) for loop in self.loops],
+                body=list(self.statements),
+                arrays=[(name, *extents) for name, extents in self.arrays],
+                distributions={
+                    name: dist.build() for name, dist in self.distributions
+                },
+                params=dict(self.params),
+                name=self.name,
+            )
+            validate_program(program)
+        except ReproError as error:
+            raise SpecError(f"spec {self.name!r} does not build: {error}") from error
+        if check_bounds:
+            check_program_bounds(program)
+        return program
+
+    def with_(self, **changes) -> "ProgramSpec":
+        """A structurally modified copy (thin wrapper over ``replace``)."""
+        return replace(self, **changes)
+
+    @property
+    def indices(self) -> Tuple[str, ...]:
+        """The loop index names, outermost first."""
+        return tuple(loop[0] for loop in self.loops)
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict:
+        return {
+            "name": self.name,
+            "loops": [list(loop) for loop in self.loops],
+            "statements": list(self.statements),
+            "arrays": {name: list(extents) for name, extents in self.arrays},
+            "distributions": {
+                name: dist.to_dict() for name, dist in self.distributions
+            },
+            "params": dict(self.params),
+            "seed": self.seed,
+            "note": self.note,
+        }
+
+    @staticmethod
+    def from_dict(data: Mapping) -> "ProgramSpec":
+        try:
+            loops = tuple(
+                (str(loop[0]), str(loop[1]), str(loop[2]),
+                 int(loop[3]) if len(loop) > 3 else 1)
+                for loop in data["loops"]
+            )
+            arrays = tuple(
+                (str(name), tuple(int(e) for e in extents))
+                for name, extents in dict(data["arrays"]).items()
+            )
+            distributions = tuple(
+                (str(name), DistSpec.from_dict(dist))
+                for name, dist in dict(data.get("distributions", {})).items()
+            )
+            params = tuple(
+                (str(name), int(value))
+                for name, value in dict(data.get("params", {})).items()
+            )
+            return ProgramSpec(
+                name=str(data.get("name", "fuzz")),
+                loops=loops,
+                statements=tuple(str(s) for s in data["statements"]),
+                arrays=arrays,
+                distributions=distributions,
+                params=params,
+                seed=data.get("seed"),
+                note=str(data.get("note", "")),
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise SpecError(f"malformed program spec: {error}") from error
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @staticmethod
+    def from_json(text: str) -> "ProgramSpec":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise SpecError(f"corpus entry is not valid JSON: {error}") from error
+        return ProgramSpec.from_dict(data)
+
+
+def check_program_bounds(program: Program) -> None:
+    """Reject programs whose subscripts leave their arrays' extents.
+
+    Negative subscripts would silently wrap around under numpy indexing and
+    break the simulator's ownership math, so out-of-bounds programs are not
+    an interesting fuzz input — they are excluded from the valid space.
+    Also enforces the :data:`MAX_ITERATIONS` budget.
+    """
+    params = program.bound_params()
+    shapes = {decl.name: decl.shape(params) for decl in program.arrays}
+    refs = program.nest.array_refs()
+    count = 0
+    for env in program.nest.iterate(params):
+        count += 1
+        if count > MAX_ITERATIONS:
+            raise SpecError(
+                f"program {program.name!r} exceeds the iteration budget "
+                f"({MAX_ITERATIONS})"
+            )
+        for ref, _ in refs:
+            shape = shapes[ref.array]
+            for dim, sub in enumerate(ref.subscripts):
+                value = sub.evaluate(env)
+                if value.denominator != 1:
+                    raise SpecError(
+                        f"subscript {sub} of {ref.array!r} is non-integral "
+                        f"at {dict(env)}"
+                    )
+                value = int(value)
+                if not 0 <= value < shape[dim]:
+                    raise SpecError(
+                        f"subscript {sub} of {ref.array!r} evaluates to "
+                        f"{value}, outside [0, {shape[dim]}) at {dict(env)}"
+                    )

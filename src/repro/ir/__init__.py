@@ -7,7 +7,7 @@ block-transfer statements that code generation introduces.
 """
 
 from repro.ir.affine import AffineExpr
-from repro.ir.builder import affine, make_nest, make_program, parse_assignment
+from repro.ir.builder import affine, make_loop, make_nest, make_program, parse_assignment
 from repro.ir.exprparse import bind_indices, parse_affine, parse_scalar, to_affine
 from repro.ir.interp import (
     allocate_arrays,
@@ -49,6 +49,7 @@ __all__ = [
     "evaluate_scalar",
     "execute",
     "execute_statement",
+    "make_loop",
     "make_nest",
     "make_program",
     "parse_affine",

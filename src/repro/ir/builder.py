@@ -45,19 +45,28 @@ def parse_assignment(text: str, index_names: Sequence[str]) -> Assign:
     return Assign(lhs.ref, rhs)
 
 
+def make_loop(spec: LoopSpec) -> Loop:
+    """Build one :class:`Loop` from a loop spec tuple.
+
+    A spec is ``(index, lower, upper)`` or ``(index, lower, upper, step)``
+    with string/int/affine bounds (``"max(...)"``/``"min(...)"`` strings are
+    split into bound lists); an existing :class:`Loop` passes through.  This
+    is the single conversion point shared by :func:`make_nest` and the fuzz
+    program generator.
+    """
+    if isinstance(spec, Loop):
+        return spec
+    index, lower, upper = spec[0], spec[1], spec[2]
+    step = spec[3] if len(spec) > 3 else 1
+    return Loop.make(index, _split_bound(lower), _split_bound(upper), step)
+
+
 def make_nest(
     loops: Sequence[LoopSpec],
     body: Sequence[Union[str, Statement]],
 ) -> LoopNest:
     """Build a loop nest from loop specs and statement strings."""
-    built_loops: List[Loop] = []
-    for spec in loops:
-        if isinstance(spec, Loop):
-            built_loops.append(spec)
-        else:
-            index, lower, upper = spec[0], spec[1], spec[2]
-            step = spec[3] if len(spec) > 3 else 1
-            built_loops.append(Loop.make(index, _split_bound(lower), _split_bound(upper), step))
+    built_loops: List[Loop] = [make_loop(spec) for spec in loops]
     index_names = [loop.index for loop in built_loops]
     statements: List[Statement] = []
     for item in body:

@@ -29,9 +29,11 @@ def allocate_arrays(
 ) -> Arrays:
     """Allocate numpy arrays for every declared array.
 
-    ``init`` is ``"random"`` (reproducible uniform values), ``"zeros"`` or
+    ``init`` is ``"random"`` (reproducible uniform values), ``"zeros"``,
     ``"index"`` (each element set to a distinct value derived from its flat
-    position — handy for debugging).
+    position — handy for debugging) or ``"smallint"`` (small random integers
+    stored as floats; sums and products of these stay exactly representable,
+    which lets differential tests compare array contents bit for bit).
     """
     bound = program.bound_params(params)
     rng = np.random.default_rng(seed)
@@ -40,6 +42,8 @@ def allocate_arrays(
         shape = decl.shape(bound)
         if init == "random":
             arrays[decl.name] = rng.uniform(-1.0, 1.0, size=shape)
+        elif init == "smallint":
+            arrays[decl.name] = rng.integers(-4, 5, size=shape).astype(float)
         elif init == "zeros":
             arrays[decl.name] = np.zeros(shape)
         elif init == "index":

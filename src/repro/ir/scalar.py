@@ -183,4 +183,12 @@ class BinOp(ScalarExpr):
             (self.op in "*/" and self.right.op in "+-") or self.op in "-/"
         ):
             right = f"({right})"
+        elif (
+            self.op in "*/"
+            and isinstance(self.right, IndexValue)
+            and ("*" in right or "/" in right)
+        ):
+            # A scaled index value ("2*j") on the right of * or / must keep
+            # its grouping, or reparsing reassociates "i * 2*j" as "(i*2)*j".
+            right = f"({right})"
         return f"{left} {self.op} {right}"

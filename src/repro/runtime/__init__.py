@@ -7,7 +7,7 @@ from repro.runtime.cache import (
     reset_shared_cache,
     shared_cache,
 )
-from repro.runtime.executor import SweepCell, resolve_jobs, run_grid
+from repro.runtime.executor import SweepCell, resolve_jobs, run_grid, run_tasks
 from repro.runtime.metrics import (
     Metrics,
     global_metrics,
@@ -25,5 +25,6 @@ __all__ = [
     "reset_shared_cache",
     "resolve_jobs",
     "run_grid",
+    "run_tasks",
     "shared_cache",
 ]

@@ -129,19 +129,41 @@ def run_grid(
     return results  # type: ignore[return-value]
 
 
-def _execute(tasks, *, jobs: int, metrics: Metrics):
-    """Run simulation tasks, parallel when possible, serial otherwise."""
-    if jobs > 1 and len(tasks) > 1:
-        processes = min(jobs, len(tasks))
+def run_tasks(
+    function,
+    items: Sequence,
+    *,
+    jobs: int = 1,
+    metrics: Optional[Metrics] = None,
+):
+    """Order-preserving parallel map with the executor's pool discipline.
+
+    ``function`` must be a top-level importable callable over picklable
+    items (``multiprocessing`` workers import their target).  Results come
+    back in input order, so parallel output is identical to a serial run;
+    when the pool cannot be created the map silently degrades to serial.
+    This is the generic engine under :func:`run_grid`, and is also what the
+    differential fuzzer fans its cases out with.
+    """
+    jobs = resolve_jobs(jobs)
+    if jobs > 1 and len(items) > 1:
+        processes = min(jobs, len(items))
         try:
             context = _pool_context()
             with context.Pool(processes=processes) as pool:
-                outcomes = pool.map(_guarded_simulate_task, tasks, chunksize=1)
-            metrics.count("parallel_batches")
+                outcomes = pool.map(function, items, chunksize=1)
+            if metrics is not None:
+                metrics.count("parallel_batches")
             return outcomes
         except (OSError, ValueError, pickle.PicklingError, ImportError):
-            metrics.count("pool_fallbacks")
-    return [_guarded_simulate_task(task) for task in tasks]
+            if metrics is not None:
+                metrics.count("pool_fallbacks")
+    return [function(item) for item in items]
+
+
+def _execute(tasks, *, jobs: int, metrics: Metrics):
+    """Run simulation tasks, parallel when possible, serial otherwise."""
+    return run_tasks(_guarded_simulate_task, tasks, jobs=jobs, metrics=metrics)
 
 
 def _pool_context():

@@ -1,0 +1,57 @@
+"""Replay the regression corpus through the differential oracle.
+
+Every top-level JSON file under ``tests/corpus/`` is a
+:class:`~repro.fuzz.spec.ProgramSpec` corpus entry (hand-seeded or promoted
+from a ``repro fuzz`` finding) and must pass the full oracle: interpreter
+equivalence after normalization and SPMD generation, plus the simulator's
+accounting invariants.
+
+``tests/corpus/pending/`` is deliberately NOT loaded — that is where the
+fuzzer parks freshly shrunk, not-yet-fixed failures, so an open finding
+never breaks the tier-1 suite.  Promoting an entry = moving its JSON file
+up one directory once the underlying bug is fixed.
+"""
+
+import glob
+import json
+import os
+
+import pytest
+
+from repro.fuzz import ProgramSpec, check_spec
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "corpus")
+
+ENTRIES = sorted(glob.glob(os.path.join(CORPUS_DIR, "*.json")))
+
+
+def _load_spec(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    # Corpus entries wrap the spec ({"spec": ..., "found": ..., "note": ...});
+    # a bare spec document is accepted too.
+    return ProgramSpec.from_dict(data.get("spec", data))
+
+
+def test_corpus_is_seeded():
+    assert ENTRIES, f"no corpus entries found under {CORPUS_DIR}"
+
+
+@pytest.mark.parametrize(
+    "path", ENTRIES, ids=[os.path.splitext(os.path.basename(p))[0] for p in ENTRIES]
+)
+def test_corpus_entry(path):
+    spec = _load_spec(path)
+    outcome = check_spec(spec)
+    assert outcome.ok, (
+        f"{os.path.basename(path)}: {outcome.status} at stage "
+        f"{outcome.stage!r}: {outcome.detail}"
+    )
+
+
+def test_pending_entries_still_parse():
+    """Pending findings must at least stay loadable (they are shipped as CI
+    artifacts and promoted by hand); they are allowed to fail the oracle."""
+    pending = sorted(glob.glob(os.path.join(CORPUS_DIR, "pending", "*.json")))
+    for path in pending:
+        _load_spec(path)

@@ -1,0 +1,85 @@
+"""End-to-end tests for the ``repro fuzz`` subcommand."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.fuzz.oracle import FuzzRecord
+import repro.fuzz.cli as fuzz_cli
+
+
+def _run_fuzz(capsys, tmp_path, *extra):
+    code = main([
+        "fuzz", "--count", "8", "--seed", "3",
+        "--corpus-dir", str(tmp_path / "corpus"), *extra,
+    ])
+    captured = capsys.readouterr()
+    return code, json.loads(captured.out)
+
+
+def test_fuzz_summary_shape(capsys, tmp_path):
+    code, summary = _run_fuzz(capsys, tmp_path)
+    assert code == 0
+    assert summary["tool"] == "repro-fuzz"
+    assert summary["seed"] == 3
+    assert summary["cases"] == 8
+    assert summary["ok"] is True
+    assert summary["status"] == {"ok": 8}
+    assert summary["failures"] == []
+    assert summary["checks"] > 0
+
+
+def test_fuzz_summary_independent_of_jobs(capsys, tmp_path):
+    _, serial = _run_fuzz(capsys, tmp_path, "--jobs", "1")
+    _, parallel = _run_fuzz(capsys, tmp_path, "--jobs", "2")
+    assert serial == parallel
+
+
+def test_fuzz_time_budget_runs_at_least_one_batch(capsys, tmp_path):
+    code = main([
+        "fuzz", "--count", "0", "--seed", "5", "--time-budget", "0.01",
+        "--corpus-dir", str(tmp_path / "corpus"),
+    ])
+    summary = json.loads(capsys.readouterr().out)
+    assert code == 0
+    assert summary["cases"] > 0
+
+
+def test_fuzz_failure_writes_pending_artifacts(capsys, tmp_path, monkeypatch):
+    """A failing case must exit nonzero and leave a corpus entry + pytest
+    repro under <corpus-dir>/pending/."""
+    real_task = fuzz_cli.fuzz_task
+
+    def sabotaged(item):
+        record = real_task(item)
+        index, _ = item
+        if index != 0:
+            return record
+        from repro.fuzz import generate_spec
+
+        return FuzzRecord(
+            index=record.index, seed=record.seed, status="mismatch",
+            stage="normalize", detail="synthetic failure for testing",
+            checks=record.checks, spec=generate_spec(record.seed).to_dict(),
+        )
+
+    monkeypatch.setattr(fuzz_cli, "fuzz_task", sabotaged)
+    corpus = tmp_path / "corpus"
+    code = main([
+        "fuzz", "--count", "2", "--seed", "0", "--corpus-dir", str(corpus),
+    ])
+    summary = json.loads(capsys.readouterr().out)
+    assert code == 1
+    assert summary["ok"] is False
+    assert summary["status"]["mismatch"] == 1
+    (failure,) = summary["failures"]
+    assert failure["status"] == "mismatch"
+    pending = corpus / "pending"
+    assert list(pending.glob("*.json")), "no pending corpus entry written"
+    assert list(pending.glob("test_repro_*.py")), "no pytest repro written"
+
+
+def test_fuzz_rejects_non_integer_jobs(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["fuzz", "--jobs", "x", "--corpus-dir", str(tmp_path)])

@@ -1,0 +1,153 @@
+"""Property tests for the fuzz generator, spec layer and shrinker.
+
+The generator's contract is that *every* seed yields a valid, in-bounds,
+interpretable program whose statements survive a printer/parser round
+trip — these are the invariants the differential oracle leans on, so they
+get their own hypothesis suite independent of any oracle run.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fuzz import ProgramSpec, generate_spec, refit_extents, shrink_spec
+from repro.fuzz.spec import MAX_ITERATIONS, check_program_bounds
+from repro.ir import make_nest
+from repro.ir.builder import parse_assignment
+from repro.ir.interp import run_fresh
+from repro.ir.printer import render_nest
+from repro.ir.validate import validate_program
+
+SEEDS = st.integers(0, 10_000)
+
+
+class TestGeneratorInvariants:
+    @given(SEEDS)
+    @settings(max_examples=60, deadline=None)
+    def test_generated_program_is_valid_and_in_bounds(self, seed):
+        spec = generate_spec(seed)
+        program = spec.build(check_bounds=False)
+        validate_program(program)
+        check_program_bounds(program)  # raises SpecError on violation
+
+    @given(SEEDS)
+    @settings(max_examples=25, deadline=None)
+    def test_generated_program_is_interpretable(self, seed):
+        spec = generate_spec(seed)
+        program = spec.build()
+        arrays = run_fresh(program, seed=7)
+        assert set(arrays) == {name for name, _ in spec.arrays}
+
+    @given(SEEDS)
+    @settings(max_examples=60, deadline=None)
+    def test_statements_round_trip_through_printer_and_parser(self, seed):
+        spec = generate_spec(seed)
+        indices = list(spec.indices)
+        for text in spec.statements:
+            statement = parse_assignment(text, indices)
+            assert str(parse_assignment(str(statement), indices)) == str(statement)
+
+    @given(SEEDS)
+    @settings(max_examples=60, deadline=None)
+    def test_nest_renders(self, seed):
+        spec = generate_spec(seed)
+        nest = make_nest(
+            [tuple(loop) for loop in spec.loops], list(spec.statements)
+        )
+        rendered = render_nest(nest)
+        for index, _, _, _ in spec.loops:
+            assert f"for {index} " in rendered
+
+    @given(SEEDS)
+    @settings(max_examples=40, deadline=None)
+    def test_generation_is_deterministic(self, seed):
+        assert generate_spec(seed) == generate_spec(seed)
+
+    @given(SEEDS)
+    @settings(max_examples=40, deadline=None)
+    def test_spec_json_round_trip(self, seed):
+        spec = generate_spec(seed)
+        assert ProgramSpec.from_json(spec.to_json()) == spec
+
+    @given(SEEDS)
+    @settings(max_examples=40, deadline=None)
+    def test_iteration_budget_respected(self, seed):
+        spec = generate_spec(seed)
+        params = dict(spec.params)
+        nest = make_nest(
+            [tuple(loop) for loop in spec.loops], list(spec.statements)
+        )
+        count = sum(1 for _ in nest.iterate(params))
+        assert 0 < count <= MAX_ITERATIONS
+
+
+class TestShrinker:
+    def _example_spec(self):
+        return ProgramSpec(
+            name="shrink-me",
+            loops=(("i", "0", "N-1", 1), ("j", "1", "N-1", 1)),
+            statements=(
+                "A[i, j] = A[i, j] + B[j, i]",
+                "C[i] = C[i] + A[i, j] * 2",
+                "B[i, j] = B[i, j] + 1",
+            ),
+            arrays=(("A", (6, 6)), ("B", (6, 6)), ("C", (6,))),
+            params=(("N", 6),),
+        )
+
+    def test_shrinker_minimizes_under_synthetic_predicate(self):
+        spec = self._example_spec()
+
+        def failing(candidate):
+            # Synthetic "bug": any program still containing a B load/store.
+            return any("B[" in text for text in candidate.statements)
+
+        assert failing(spec)
+        shrunk = shrink_spec(spec, failing)
+        assert failing(shrunk)
+        # Statements not needed to trigger the predicate are gone, and the
+        # arrays they referenced went with them.
+        assert len(shrunk.statements) == 1
+        assert all(name != "C" for name, _ in shrunk.arrays)
+        shrunk.build()  # the shrunk spec is still a valid program
+
+    def test_shrinker_shrinks_parameters(self):
+        spec = self._example_spec()
+        shrunk = shrink_spec(spec, lambda candidate: True)
+        assert dict(shrunk.params)["N"] == 2
+        shrunk.build()
+
+    def test_shrinker_never_returns_passing_spec(self):
+        spec = self._example_spec()
+
+        def failing(candidate):
+            return len(candidate.statements) >= 2
+
+        shrunk = shrink_spec(spec, failing)
+        assert failing(shrunk)
+
+    def test_refit_extents_drops_unused_arrays(self):
+        spec = self._example_spec().with_(
+            statements=("A[i, j] = A[i, j] + 1",)
+        )
+        refit = refit_extents(spec)
+        assert refit is not None
+        assert [name for name, _ in refit.arrays] == ["A"]
+        refit.build()
+
+    def test_refit_extents_rejects_negative_subscripts(self):
+        spec = self._example_spec().with_(
+            statements=("A[i - 5, j] = A[i - 5, j] + 1",)
+        )
+        assert refit_extents(spec) is None
+
+
+class TestOracleOnGenerated:
+    @pytest.mark.parametrize("seed", [11, 202, 3003])
+    def test_sampled_seeds_pass_the_oracle(self, seed):
+        from repro.fuzz import check_spec
+
+        outcome = check_spec(generate_spec(seed))
+        assert outcome.ok, (
+            f"seed {seed}: {outcome.status} at {outcome.stage}: {outcome.detail}"
+        )
