@@ -1,0 +1,52 @@
+"""Static analysis: legality, bounds, race, and lint passes.
+
+The package independently *rechecks* what the compilation pipeline
+claims — the legality verifier re-proves the transformation legal, the
+bounds checker proves subscripts within extents via Fourier-Motzkin, the
+race checker inspects the emitted SPMD node program, and the lint pass
+surfaces surprising-but-legal outcomes.  See ``docs/analysis.md``.
+"""
+
+from repro.analysis.bounds import BoundsPass
+from repro.analysis.diagnostics import (
+    CODES,
+    AnalysisReport,
+    Diagnostic,
+    Severity,
+    Span,
+    collect_suppressions,
+    normalize_suppressions,
+)
+from repro.analysis.legality import LegalityPass
+from repro.analysis.lint import LintPass
+from repro.analysis.manager import (
+    AnalysisContext,
+    AnalysisPass,
+    analyze_artifacts,
+    analyze_program,
+    build_context,
+    default_passes,
+    run_passes,
+)
+from repro.analysis.races import RacePass
+
+__all__ = [
+    "AnalysisContext",
+    "AnalysisPass",
+    "AnalysisReport",
+    "BoundsPass",
+    "CODES",
+    "Diagnostic",
+    "LegalityPass",
+    "LintPass",
+    "RacePass",
+    "Severity",
+    "Span",
+    "analyze_artifacts",
+    "analyze_program",
+    "build_context",
+    "collect_suppressions",
+    "default_passes",
+    "normalize_suppressions",
+    "run_passes",
+]

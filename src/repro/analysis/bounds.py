@@ -1,0 +1,286 @@
+"""Static bounds checker (codes ``BND001``-``BND003``).
+
+For every array subscript of the *source* program, proves over the
+iteration polyhedron (plus any declared ``assume`` facts) that the
+subscript lies within ``0 .. extent-1``, using the exact Fourier-Motzkin
+implication test in :mod:`repro.linalg.fourier_motzkin`.
+
+The proof runs over the rational relaxation of the iteration space, which
+is sound: if the affine subscript stays in bounds on the relaxation it
+stays in bounds on the integer points.  When a proof fails the checker
+searches for a concrete *witness iteration* by enumerating the nest under
+the program's default parameters — a found violation is a hard error
+(``BND001``) reported with the witness; an unprovable-but-unfalsified
+subscript is a warning (``BND002``).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.diagnostics import Diagnostic, Severity, Span
+from repro.core.transform import parse_assumption
+from repro.errors import ReproError
+from repro.ir.affine import AffineExpr
+from repro.ir.loop import LoopNest
+from repro.ir.program import Program
+from repro.ir.scalar import ArrayRef
+from repro.linalg.fourier_motzkin import Constraint, implies_bound
+
+if TYPE_CHECKING:
+    from repro.analysis.manager import AnalysisContext
+
+#: Cap on the iterations enumerated while searching for a witness.
+MAX_WITNESS_ITERATIONS = 20_000
+
+
+class BoundsPass:
+    """Prove every subscript within its array extents."""
+
+    name = "bounds"
+
+    def run(self, context: "AnalysisContext") -> List[Diagnostic]:
+        program = context.program
+        nest = program.nest
+        if nest.depth == 0:
+            return []
+        indices = list(nest.indices)
+        params = _parameter_order(program)
+        names = indices + params
+        region = _relaxed_nest_constraints(nest, indices, params)
+        region.extend(
+            _assumption_constraints(context.assumptions, indices, params)
+        )
+        # Second, lower-dimensional region with the program's ``param``
+        # bindings folded in as constants.  Proofs try the symbolic region
+        # first (general in the parameters); the folded region is the
+        # fallback for programs whose extents are concrete while their
+        # bounds are symbolic.  Folding keeps the FM problem small, which
+        # matters: parameter *equality rows* in the symbolic region make
+        # elimination blow up combinatorially.
+        bound = {
+            name: value
+            for name, value in program.bound_params().items()
+            if name in params
+        }
+        folded = (
+            _fold_constraints(region, names, bound) if bound else None
+        )
+
+        diagnostics: List[Diagnostic] = []
+        checked: Dict[Tuple[str, int, AffineExpr], bool] = {}
+        for statement_index, ref, _is_write in _statement_refs(nest):
+            if not program.has_array(ref.array):
+                continue  # validate_program reports undeclared arrays
+            decl = program.array(ref.array)
+            if decl.rank != ref.rank:
+                continue
+            for dim, subscript in enumerate(ref.subscripts):
+                key = (ref.array, dim, subscript)
+                if key in checked:
+                    continue
+                checked[key] = True
+                span = Span(
+                    program=program.name,
+                    statement=statement_index,
+                    reference=f"{ref} dim {dim}",
+                )
+                diagnostic = self._check_subscript(
+                    program, region, folded, bound, names, indices,
+                    subscript, decl.extents[dim], span,
+                )
+                if diagnostic is not None:
+                    diagnostics.append(diagnostic)
+        return diagnostics
+
+    # ------------------------------------------------------------------
+    def _check_subscript(
+        self,
+        program: Program,
+        region: List[Constraint],
+        folded: Optional[List[Constraint]],
+        bound: Dict[str, int],
+        names: List[str],
+        indices: List[str],
+        subscript: AffineExpr,
+        extent: AffineExpr,
+        span: Span,
+    ) -> Optional[Diagnostic]:
+        width = len(names)
+        subscript_row = list(subscript.coefficient_vector(names)) + [subscript.const]
+        zero_row: List[Fraction] = [Fraction(0)] * (width + 1)
+        upper = extent - 1
+        upper_row = list(upper.coefficient_vector(names)) + [upper.const]
+
+        lower_proven = implies_bound(region, subscript_row, zero_row)
+        upper_proven = implies_bound(region, upper_row, subscript_row)
+        if folded is not None and not (lower_proven and upper_proven):
+            sub_f = _fold_row(subscript_row, names, bound)
+            zero_f = _fold_row(zero_row, names, bound)
+            upper_f = _fold_row(upper_row, names, bound)
+            lower_proven = lower_proven or implies_bound(folded, sub_f, zero_f)
+            upper_proven = upper_proven or implies_bound(folded, upper_f, sub_f)
+        if lower_proven and upper_proven:
+            return None
+
+        side = "below" if not lower_proven else "above"
+        witness, non_integral = _find_witness(
+            program, indices, subscript, extent
+        )
+        if witness is not None:
+            value, env = witness
+            rendered = ", ".join(f"{k}={env[k]}" for k in indices if k in env)
+            return Diagnostic(
+                "BND001",
+                Severity.ERROR,
+                f"subscript {subscript} evaluates to {value} outside "
+                f"0..{extent}-1 at iteration ({rendered})",
+                span,
+            )
+        if non_integral is not None:
+            value, env = non_integral
+            rendered = ", ".join(f"{k}={env[k]}" for k in indices if k in env)
+            return Diagnostic(
+                "BND003",
+                Severity.WARNING,
+                f"subscript {subscript} evaluates to non-integral {value} "
+                f"at iteration ({rendered})",
+                span,
+            )
+        return Diagnostic(
+            "BND002",
+            Severity.WARNING,
+            f"cannot prove subscript {subscript} within 0..{extent}-1 "
+            f"(unproven {side}; no violation found at the default parameters)",
+            span,
+        )
+
+
+# ----------------------------------------------------------------------
+def _parameter_order(program: Program) -> List[str]:
+    """Deterministic parameter ordering: nest free variables first, then
+    any extra symbols from extents or assumptions, sorted."""
+    ordered = list(program.nest.free_variables())
+    extra = set()
+    for decl in program.arrays:
+        for extent in decl.extents:
+            extra.update(extent.variables())
+    for fact in program.assumptions:
+        for token in fact.replace(">=", " ").replace("<=", " ").split():
+            if token.isidentifier():
+                extra.add(token)
+    known = set(ordered) | set(program.nest.indices)
+    ordered.extend(sorted(name for name in extra if name not in known))
+    return ordered
+
+
+def _relaxed_nest_constraints(
+    nest: LoopNest, indices: List[str], params: List[str]
+) -> List[Constraint]:
+    """Iteration-space inequalities over ``(indices | params)``.
+
+    Unlike :func:`repro.core.transform.nest_constraints` this tolerates
+    strided/aligned loops: dropping the congruence constraint only
+    *enlarges* the region, which keeps the in-bounds proof sound.
+    """
+    names = indices + params
+    constraints: List[Constraint] = []
+    for level, loop in enumerate(nest.loops):
+        for lower in loop.lower:
+            coeffs = [-c for c in lower.coefficient_vector(names)]
+            coeffs[level] += 1
+            constraints.append(Constraint(tuple(coeffs), -lower.const))
+        for upper in loop.upper:
+            coeffs = list(upper.coefficient_vector(names))
+            coeffs[level] -= 1
+            constraints.append(Constraint(tuple(coeffs), upper.const))
+    return constraints
+
+
+def _assumption_constraints(
+    assumptions: Sequence[str], indices: List[str], params: List[str]
+) -> List[Constraint]:
+    constraints: List[Constraint] = []
+    for fact in assumptions:
+        try:
+            constraints.append(parse_assumption(fact, indices, params))
+        except ReproError:
+            continue  # a malformed assumption never blocks analysis
+    return constraints
+
+
+def _fold_row(
+    row: Sequence[Fraction], names: List[str], bound: Dict[str, int]
+) -> List[Fraction]:
+    """Project a ``coeffs + [const]`` row onto the unbound names, folding
+    bound-parameter contributions into the constant term."""
+    const = row[-1]
+    kept: List[Fraction] = []
+    for name, coefficient in zip(names, row[:-1]):
+        if name in bound:
+            const += coefficient * bound[name]
+        else:
+            kept.append(coefficient)
+    return kept + [const]
+
+
+def _fold_constraints(
+    constraints: Sequence[Constraint], names: List[str], bound: Dict[str, int]
+) -> List[Constraint]:
+    folded: List[Constraint] = []
+    for constraint in constraints:
+        row = _fold_row(list(constraint.coeffs) + [constraint.const], names, bound)
+        folded.append(Constraint(tuple(row[:-1]), row[-1]))
+    return folded
+
+
+def _statement_refs(nest: LoopNest) -> List[Tuple[int, ArrayRef, bool]]:
+    """``(statement_index, ref, is_write)`` in body order."""
+    result: List[Tuple[int, ArrayRef, bool]] = []
+    for statement_index, statement in enumerate(nest.body):
+        for ref, is_write in statement.array_refs():
+            result.append((statement_index, ref, is_write))
+    return result
+
+
+def _find_witness(
+    program: Program,
+    indices: List[str],
+    subscript: AffineExpr,
+    extent: AffineExpr,
+) -> Tuple[
+    Optional[Tuple[Fraction, Dict[str, int]]],
+    Optional[Tuple[Fraction, Dict[str, int]]],
+]:
+    """Search for a concrete out-of-bounds (or non-integral) iteration.
+
+    Returns ``(violation, non_integral)``; each is ``(value, env)`` or
+    ``None``.  Enumeration needs every symbol bound by the program's
+    default parameters and is capped at :data:`MAX_WITNESS_ITERATIONS`.
+    """
+    params = program.bound_params()
+    needed = set(program.nest.free_variables()) | set(extent.variables())
+    if any(name not in params for name in needed):
+        return None, None
+    try:
+        limit = extent.evaluate_int(params)
+    except (ValueError, KeyError):
+        return None, None
+    non_integral: Optional[Tuple[Fraction, Dict[str, int]]] = None
+    count = 0
+    try:
+        for env in program.nest.iterate(params):
+            count += 1
+            if count > MAX_WITNESS_ITERATIONS:
+                break
+            value = subscript.evaluate(env)
+            if value.denominator != 1:
+                if non_integral is None:
+                    non_integral = (value, {k: env[k] for k in indices if k in env})
+                continue
+            if value < 0 or value > limit - 1:
+                return (value, {k: env[k] for k in indices if k in env}), None
+    except (ValueError, KeyError, ReproError):
+        return None, non_integral
+    return None, non_integral

@@ -1,0 +1,144 @@
+"""``repro analyze`` — the static-analysis CLI subcommand.
+
+Accepts any mix of DSL source files (``*.an``) and fuzz-corpus entries
+(``*.json``, either a bare :class:`repro.fuzz.spec.ProgramSpec` dict or
+the corpus wrapper with a ``"spec"`` key).  For each input it runs the
+compile pipeline and every analysis pass, prints a per-file report (text
+or ``--json``), and exits non-zero when any unsuppressed diagnostic
+reaches the ``--fail-on`` threshold.
+
+Suppressions:
+
+* DSL files — ``# analyze: ignore[CODE, ...]`` comments anywhere in the
+  source (the DSL parser strips comments, so these are analysis-only);
+* corpus entries — an ``"analyze": {"ignore": [...]}`` object next to
+  ``"spec"``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.analysis.diagnostics import (
+    AnalysisReport,
+    Severity,
+    collect_suppressions,
+    normalize_suppressions,
+)
+from repro.analysis.manager import analyze_program
+from repro.ir.program import Program
+from repro.lang import parse_program
+
+
+def _load_input(path: str) -> Tuple[Program, FrozenSet[str]]:
+    """Parse one input file into ``(program, suppressions)``."""
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    if path.endswith(".json"):
+        from repro.fuzz.spec import ProgramSpec
+
+        data: Any = json.loads(text)
+        spec_data = data.get("spec", data) if isinstance(data, dict) else data
+        program = ProgramSpec.from_dict(spec_data).build(check_bounds=False)
+        ignore: Sequence[str] = ()
+        if isinstance(data, dict):
+            ignore = data.get("analyze", {}).get("ignore", ())
+        return program, normalize_suppressions(ignore)
+    program = parse_program(text, name=path)
+    return program, collect_suppressions(text)
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    threshold = Severity.from_label(args.fail_on)
+    priority = args.priority.split(",") if args.priority else None
+    reports: List[AnalysisReport] = []
+    for path in args.files:
+        program, suppressions = _load_input(path)
+        report = analyze_program(
+            program,
+            priority=priority,
+            assumptions=(
+                (tuple(program.assumptions) + tuple(args.assume)) or None
+            ),
+            schedule=args.schedule,
+            sync=args.assume_sync,
+            suppressions=suppressions,
+        )
+        reports.append(report)
+
+    failed = sum(1 for report in reports if report.at_or_above(threshold))
+    if args.json:
+        payload = {
+            "tool": "repro-analyze",
+            "fail_on": threshold.label,
+            "inputs": len(reports),
+            "failed": failed,
+            "reports": [report.to_dict() for report in reports],
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for report in reports:
+            print(report.render_text())
+        noun = "input" if len(reports) == 1 else "inputs"
+        print(
+            f"analyzed {len(reports)} {noun}: "
+            f"{len(reports) - failed} clean at {threshold.label}+, "
+            f"{failed} flagged",
+            file=sys.stderr,
+        )
+    return 1 if failed else 0
+
+
+def add_analyze_parser(
+    sub: "argparse._SubParsersAction[argparse.ArgumentParser]",
+    parents: Optional[Sequence[argparse.ArgumentParser]] = None,
+) -> argparse.ArgumentParser:
+    parser = sub.add_parser(
+        "analyze",
+        parents=list(parents or ()),
+        help="statically check legality, bounds, races, and lint findings",
+    )
+    parser.add_argument(
+        "files",
+        nargs="+",
+        metavar="FILE",
+        help="DSL source (*.an) or fuzz-corpus entry (*.json)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit a machine-readable report"
+    )
+    parser.add_argument(
+        "--fail-on",
+        choices=["info", "warning", "error"],
+        default="error",
+        help="exit non-zero when an unsuppressed diagnostic reaches this "
+        "severity (default: error)",
+    )
+    parser.add_argument(
+        "--priority",
+        help="comma-separated subscript expressions pinning access-matrix "
+        "row order (as for 'repro compile')",
+    )
+    parser.add_argument(
+        "--assume",
+        action="append",
+        default=[],
+        metavar="FACT",
+        help="extra parameter fact like 'N >= 2*b' (repeatable)",
+    )
+    parser.add_argument(
+        "--schedule", choices=["wrapped", "blocked"], default="wrapped"
+    )
+    parser.add_argument(
+        "--assume-sync",
+        action="store_true",
+        help="analyze as if one synchronization event per carried "
+        "dependence is inserted (the fuzz oracle's execution model); "
+        "carried dependences then report as RACE004 info instead of "
+        "race errors",
+    )
+    parser.set_defaults(func=cmd_analyze)
+    return parser

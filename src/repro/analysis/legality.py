@@ -1,0 +1,233 @@
+"""Legality verifier (codes ``LEG001``-``LEG004``).
+
+Independently re-proves what :func:`repro.core.access_normalize` claims:
+
+* ``LEG001`` — the transformation matrix ``T`` is integral, invertible,
+  and its stored inverse really is ``T^{-1}``;
+* ``LEG002`` — every transformed dependence distance ``T @ d`` is
+  lexicographically positive (Section 6 of the paper);
+* ``LEG003`` — the transformed loops' strides and alignment expressions
+  agree with a *recomputed* column Hermite normal form of ``T`` (the
+  image-lattice argument of Section 3), rather than trusting the ones
+  the code generator derived;
+* ``LEG004`` — direction-vector (non-uniform) dependences are provably
+  preserved under ``T`` by interval arithmetic; a warning, because the
+  check is conservative.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+from repro.analysis.diagnostics import Diagnostic, Severity, Span
+from repro.core.directions import row_direction_interval
+from repro.dependence.distance import is_lex_positive
+from repro.ir.affine import AffineExpr
+from repro.linalg.fraction_matrix import Matrix
+from repro.linalg.lattice import IntegerLattice
+
+if TYPE_CHECKING:
+    from repro.analysis.manager import AnalysisContext
+    from repro.core.normalize import NormalizationResult
+
+
+class LegalityPass:
+    """Recheck the legality claims of a normalization result."""
+
+    name = "legality"
+
+    def run(self, context: "AnalysisContext") -> List[Diagnostic]:
+        result = context.result
+        if result is None:
+            return []
+        diagnostics: List[Diagnostic] = []
+        program_name = result.transformed.name
+        matrix = result.matrix
+        span = Span(program=program_name)
+
+        invertible = self._check_matrix(matrix, result, span, diagnostics)
+        self._check_distances(matrix, result, program_name, diagnostics)
+        self._check_directions(matrix, result, span, diagnostics)
+        if invertible:
+            self._check_lattice(matrix, result, program_name, diagnostics)
+        return diagnostics
+
+    # ------------------------------------------------------------------
+    def _check_matrix(
+        self,
+        matrix: Matrix,
+        result: "NormalizationResult",
+        span: Span,
+        diagnostics: List[Diagnostic],
+    ) -> bool:
+        if not matrix.is_integer():
+            diagnostics.append(
+                Diagnostic(
+                    "LEG001",
+                    Severity.ERROR,
+                    f"transformation matrix {matrix!r} has non-integer entries",
+                    span,
+                )
+            )
+            return False
+        if matrix.det() == 0:
+            diagnostics.append(
+                Diagnostic(
+                    "LEG001",
+                    Severity.ERROR,
+                    f"transformation matrix {matrix!r} is singular",
+                    span,
+                )
+            )
+            return False
+        if matrix @ result.transformation.inverse != Matrix.identity(matrix.nrows):
+            diagnostics.append(
+                Diagnostic(
+                    "LEG001",
+                    Severity.ERROR,
+                    "stored inverse is not the inverse of the transformation matrix",
+                    span,
+                )
+            )
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    def _check_distances(
+        self,
+        matrix: Matrix,
+        result: "NormalizationResult",
+        program_name: str,
+        diagnostics: List[Diagnostic],
+    ) -> None:
+        for dependence in result.dependences:
+            if dependence.distance is None:
+                continue
+            image = matrix.apply(list(dependence.distance))
+            if not is_lex_positive(image):
+                rendered = tuple(
+                    int(v) if v.denominator == 1 else v for v in image
+                )
+                diagnostics.append(
+                    Diagnostic(
+                        "LEG002",
+                        Severity.ERROR,
+                        f"{dependence.kind.value} dependence on "
+                        f"{dependence.array!r} with distance "
+                        f"{tuple(dependence.distance)} maps to {rendered}, "
+                        "which is not lexicographically positive",
+                        Span(program=program_name, reference=dependence.array),
+                    )
+                )
+
+    # ------------------------------------------------------------------
+    def _check_directions(
+        self,
+        matrix: Matrix,
+        result: "NormalizationResult",
+        span: Span,
+        diagnostics: List[Diagnostic],
+    ) -> None:
+        directions = result.direction_dependences
+        if not directions or matrix == Matrix.identity(matrix.nrows):
+            return
+        for direction in directions:
+            if all(cls == "=" for cls in direction):
+                continue
+            if not self._direction_preserved(matrix, direction):
+                diagnostics.append(
+                    Diagnostic(
+                        "LEG004",
+                        Severity.WARNING,
+                        f"direction-vector dependence {tuple(direction)} is "
+                        "not provably preserved by the transformation "
+                        "(conservative interval check)",
+                        span,
+                    )
+                )
+
+    @staticmethod
+    def _direction_preserved(matrix: Matrix, direction: Sequence[str]) -> bool:
+        for i in range(matrix.nrows):
+            interval = row_direction_interval(matrix.row_at(i), tuple(direction))
+            if interval.strictly_positive:
+                return True
+            if not interval.non_negative:
+                return False
+        return False
+
+    # ------------------------------------------------------------------
+    def _check_lattice(
+        self,
+        matrix: Matrix,
+        result: "NormalizationResult",
+        program_name: str,
+        diagnostics: List[Diagnostic],
+    ) -> None:
+        """Recompute the column HNF of ``T`` and compare loop strides and
+        alignments against what the code generator emitted."""
+        new_names = tuple(result.transformation.new_indices)
+        loops = result.transformed.nest.loops
+        lattice = IntegerLattice(matrix)
+        hermite = lattice.hermite
+
+        # Alignment expressions, re-derived from the HNF: level k admits
+        # values congruent to sum_{j<k} H[k,j]*z_j modulo H[k,k], with
+        # z_j = (u_j - offset_j) / H[j,j] affine in the outer indices.
+        z_exprs: List[AffineExpr] = []
+        for k in range(lattice.dimension):
+            offset = AffineExpr.constant(0)
+            for j in range(k):
+                coefficient = hermite[k, j]
+                if coefficient:
+                    offset = offset + z_exprs[j] * coefficient
+            stride = lattice.stride(k)
+            if k < len(loops):
+                loop = loops[k]
+                if loop.step != stride:
+                    diagnostics.append(
+                        Diagnostic(
+                            "LEG003",
+                            Severity.ERROR,
+                            f"loop {loop.index!r} steps by {loop.step} but the "
+                            f"image lattice requires stride {stride}",
+                            Span(program=program_name, loop=loop.index),
+                        )
+                    )
+                expected: Optional[AffineExpr] = offset if stride != 1 else None
+                if not _alignments_equivalent(loop.align, expected, stride):
+                    diagnostics.append(
+                        Diagnostic(
+                            "LEG003",
+                            Severity.ERROR,
+                            f"loop {loop.index!r} alignment "
+                            f"{_render_alignment(loop.align)} disagrees with "
+                            f"the image-lattice offset "
+                            f"{_render_alignment(expected)} (mod {stride})",
+                            Span(program=program_name, loop=loop.index),
+                        )
+                    )
+            z_exprs.append((AffineExpr.var(new_names[k]) - offset) / stride)
+
+
+def _render_alignment(align: Optional[AffineExpr]) -> str:
+    return str(align) if align is not None else "0"
+
+
+def _alignments_equivalent(
+    actual: Optional[AffineExpr], expected: Optional[AffineExpr], stride: int
+) -> bool:
+    """Alignments are interchangeable when they differ by a multiple of the
+    stride in every coefficient (congruences mod ``stride`` coincide)."""
+    if stride == 1:
+        return True
+    left = actual if actual is not None else AffineExpr.constant(0)
+    right = expected if expected is not None else AffineExpr.constant(0)
+    difference = left - right
+    values = list(difference.coeffs.values()) + [difference.const]
+    for value in values:
+        if value.denominator != 1:
+            return False
+        if int(value) % stride != 0:
+            return False
+    return True

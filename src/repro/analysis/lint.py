@@ -1,0 +1,260 @@
+"""Lint pass (codes ``LINT001``-``LINT004``).
+
+Surfaces findings that are not correctness bugs but usually indicate a
+program (or pass pipeline) not doing what its author expects:
+
+* ``LINT001`` — an access-matrix row that never made it into the
+  transformation: a warning when Algorithm LegalBasis dropped it because
+  it conflicts with the dependences (padding never repairs such rows —
+  the subscript stays non-normal), an info when it was merely linearly
+  dependent on higher-ranked rows;
+* ``LINT002`` — a loop index no subscript, bound, guard or stored index
+  value ever uses;
+* ``LINT003`` — a guard condition that is provably always true or always
+  false;
+* ``LINT004`` — a distribution-dimension subscript that survived
+  normalization non-normal (classified ``CHECK`` in the locality plan),
+  so accesses resolve owner-by-owner at run time.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Set
+
+from repro.analysis.diagnostics import Diagnostic, Severity, Span
+from repro.codegen.locality import RefClass
+from repro.core.basis import basis_matrix
+from repro.ir.affine import AffineExpr
+from repro.ir.loop import LoopNest
+from repro.ir.scalar import BinOp, IndexValue, Load, ScalarExpr
+from repro.ir.stmt import Assign, BlockRead, IfThen, ModEq, Statement
+from repro.linalg.fraction_matrix import Matrix
+
+if TYPE_CHECKING:
+    from repro.analysis.manager import AnalysisContext
+
+
+class LintPass:
+    """Style / surprise findings over the program and the pipeline."""
+
+    name = "lint"
+
+    def run(self, context: "AnalysisContext") -> List[Diagnostic]:
+        diagnostics: List[Diagnostic] = []
+        self._check_dropped_rows(context, diagnostics)
+        self._check_unused_indices(context, diagnostics)
+        self._check_constant_guards(context, diagnostics)
+        self._check_non_normal_subscripts(context, diagnostics)
+        return diagnostics
+
+    # ------------------------------------------------------------------
+    def _check_dropped_rows(
+        self, context: "AnalysisContext", diagnostics: List[Diagnostic]
+    ) -> None:
+        result = context.result
+        if result is None or not result.access.rows:
+            return
+        program_name = context.program.name
+        provenance = {source for source, _negated in result.normalized_rows}
+        if not provenance and result.matrix == Matrix.identity(result.matrix.nrows):
+            diagnostics.append(
+                Diagnostic(
+                    "LINT001",
+                    Severity.INFO,
+                    "normalization fell back to the identity transformation; "
+                    "no access-matrix row was normalized",
+                    Span(program=program_name),
+                )
+            )
+            return
+        kept = set(basis_matrix(result.access.matrix).kept_rows)
+        for position, row in enumerate(result.access.rows):
+            if position in provenance:
+                continue
+            arrays = ", ".join(
+                sorted({source.array for source in row.sources})
+            )
+            if position in kept:
+                diagnostics.append(
+                    Diagnostic(
+                        "LINT001",
+                        Severity.WARNING,
+                        f"access-matrix row {row.expr} (arrays: {arrays}) was "
+                        "dropped by LegalBasis — it conflicts with the "
+                        "dependences and padding never repaired it, so the "
+                        "subscript stays non-normal",
+                        Span(program=program_name, reference=str(row.expr)),
+                    )
+                )
+            else:
+                diagnostics.append(
+                    Diagnostic(
+                        "LINT001",
+                        Severity.INFO,
+                        f"access-matrix row {row.expr} (arrays: {arrays}) is "
+                        "linearly dependent on higher-ranked rows and was not "
+                        "normalized",
+                        Span(program=program_name, reference=str(row.expr)),
+                    )
+                )
+
+    # ------------------------------------------------------------------
+    def _check_unused_indices(
+        self, context: "AnalysisContext", diagnostics: List[Diagnostic]
+    ) -> None:
+        nest = context.program.nest
+        used: Set[str] = set()
+        for loop in nest.loops:
+            for expr in loop.lower + loop.upper:
+                used.update(expr.variables())
+            if loop.align is not None:
+                used.update(loop.align.variables())
+            for statement in loop.prologue:
+                _statement_variables(statement, used)
+        for statement in nest.body:
+            _statement_variables(statement, used)
+        for loop in nest.loops:
+            if loop.index not in used:
+                diagnostics.append(
+                    Diagnostic(
+                        "LINT002",
+                        Severity.WARNING,
+                        f"loop index {loop.index!r} is never used by a "
+                        "subscript, bound, guard or stored value",
+                        Span(program=context.program.name, loop=loop.index),
+                    )
+                )
+
+    # ------------------------------------------------------------------
+    def _check_constant_guards(
+        self, context: "AnalysisContext", diagnostics: List[Diagnostic]
+    ) -> None:
+        nest = context.program.nest
+        for statement_index, statement in enumerate(nest.body):
+            for condition in _guard_conditions(statement):
+                verdict = _constant_guard_verdict(condition)
+                if verdict is None:
+                    continue
+                diagnostics.append(
+                    Diagnostic(
+                        "LINT003",
+                        Severity.WARNING,
+                        f"guard {condition} is provably always "
+                        f"{'true' if verdict else 'false'}"
+                        + ("" if verdict else "; the guarded statement is dead"),
+                        Span(
+                            program=context.program.name,
+                            statement=statement_index,
+                            reference=str(condition),
+                        ),
+                    )
+                )
+
+    # ------------------------------------------------------------------
+    def _check_non_normal_subscripts(
+        self, context: "AnalysisContext", diagnostics: List[Diagnostic]
+    ) -> None:
+        node = context.node
+        if node is None or context.result is None:
+            return
+        if node.schedule != "wrapped":
+            return  # value-based locality reasoning needs a wrapped schedule
+        nest = node.nest
+        if not nest.loops or nest.loops[0].step != 1 or nest.loops[0].align is not None:
+            return  # strided outer loop: the LOCAL shortcut never applies
+        outer = nest.indices[0]
+        seen: Set[str] = set()
+        for info in node.plan.refs:
+            if info.ref_class is not RefClass.CHECK:
+                continue
+            distribution = node.program.distributions.get(info.ref.array)
+            if distribution is None:
+                continue
+            dims = tuple(distribution.distribution_dims())
+            if len(dims) != 1 or dims[0] >= info.ref.rank:
+                continue
+            subscript = info.ref.subscripts[dims[0]]
+            key = f"{info.ref.array}:{subscript}"
+            if key in seen:
+                continue
+            seen.add(key)
+            diagnostics.append(
+                Diagnostic(
+                    "LINT004",
+                    Severity.WARNING,
+                    f"distribution-dimension subscript {subscript} of "
+                    f"{info.ref} is not normal with respect to the "
+                    f"distributed loop {outer!r}; locality resolves access "
+                    "by access at run time",
+                    Span(
+                        program=node.program.name,
+                        loop=outer,
+                        reference=str(info.ref),
+                    ),
+                )
+            )
+
+
+# ----------------------------------------------------------------------
+def _statement_variables(statement: Statement, used: Set[str]) -> None:
+    """Collect every variable a statement's expressions mention."""
+    if isinstance(statement, Assign):
+        for subscript in statement.lhs.subscripts:
+            used.update(subscript.variables())
+        _scalar_variables(statement.rhs, used)
+    elif isinstance(statement, IfThen):
+        for condition in statement.conditions:
+            used.update(condition.expr.variables())
+            used.update(condition.modulus.variables())
+            used.update(condition.target.variables())
+        _statement_variables(statement.body, used)
+    elif isinstance(statement, BlockRead):
+        for pattern in statement.pattern:
+            if pattern is not None:
+                used.update(pattern.variables())
+
+
+def _scalar_variables(expr: ScalarExpr, used: Set[str]) -> None:
+    if isinstance(expr, Load):
+        for subscript in expr.ref.subscripts:
+            used.update(subscript.variables())
+    elif isinstance(expr, IndexValue):
+        used.update(expr.expr.variables())
+    elif isinstance(expr, BinOp):
+        _scalar_variables(expr.left, used)
+        _scalar_variables(expr.right, used)
+
+
+def _guard_conditions(statement: Statement) -> List[ModEq]:
+    if not isinstance(statement, IfThen):
+        return []
+    conditions = list(statement.conditions)
+    conditions.extend(_guard_conditions(statement.body))
+    return conditions
+
+
+def _constant_guard_verdict(condition: ModEq) -> Optional[bool]:
+    """``True``/``False`` when the guard is provably constant, else ``None``.
+
+    ``expr mod m == target`` is decidable when ``expr - target`` reduces to
+    a constant modulo a constant ``m``: either it is literally constant, or
+    every variable coefficient is an integer multiple of ``m`` (integer
+    variables then never change the residue).
+    """
+    difference = condition.expr - condition.target
+    if difference == AffineExpr.constant(0):
+        return True
+    if not condition.modulus.is_constant():
+        return None
+    modulus = condition.modulus.const
+    if modulus.denominator != 1 or modulus == 0:
+        return None
+    m = abs(int(modulus))
+    if m == 1:
+        return True
+    for value in difference.coeffs.values():
+        if value.denominator != 1 or int(value) % m != 0:
+            return None
+    if difference.const.denominator != 1:
+        return False  # a non-integral constant difference can never be == 0 (mod m)
+    return int(difference.const) % m == 0

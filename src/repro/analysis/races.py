@@ -1,0 +1,248 @@
+"""SPMD race / communication checker (codes ``RACE001``-``RACE004``).
+
+Analyzes a :class:`repro.codegen.spmd.NodeProgram` for cross-processor
+conflicts on the distributed (outermost) loop:
+
+* a dependence *carried* by the distributed loop relates iterations that
+  run on different processors.  If the node program inserts no
+  per-iteration synchronization, a carried **output** dependence is a
+  write-write race (``RACE001``) and a carried **flow/anti** dependence is
+  a read-write race (``RACE002``) — unless every write of the array is
+  wrapped in an ownership guard (``(expr) mod P == p``), which serializes
+  writers per element and excuses write-write conflicts;
+* a block transfer (``read A[...]``) of an array involved in a carried
+  dependence gathers values that another processor may still be producing
+  (``RACE003``, warning);
+* carried dependences that *are* covered by the node program's declared
+  per-iteration synchronization are reported as ``RACE004`` info, so the
+  cost shows up in review without failing the gate.
+
+Carried-ness comes from the normalization result when available (columns
+of ``T @ D`` with a positive leading entry, direction vectors via interval
+arithmetic); for a standalone node program with unit steps the pass runs
+the dependence analyzer directly on the node's nest.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Set, Tuple
+
+from repro.analysis.diagnostics import Diagnostic, Severity, Span
+from repro.codegen.locality import RefClass
+from repro.codegen.spmd import NodeProgram
+from repro.core.directions import row_direction_interval
+from repro.dependence.analysis import analyze_dependences
+from repro.dependence.distance import Dependence, DependenceKind
+from repro.errors import ReproError
+from repro.ir.affine import AffineExpr
+from repro.ir.stmt import Assign, IfThen, ModEq, Statement
+
+if TYPE_CHECKING:
+    from repro.analysis.manager import AnalysisContext
+
+
+class RacePass:
+    """Detect cross-processor conflicts in the SPMD node program."""
+
+    name = "races"
+
+    def run(self, context: "AnalysisContext") -> List[Diagnostic]:
+        node = context.node
+        if node is None:
+            return []
+        program = node.program
+        carried = _carried_dependences(context)
+        if carried is None:
+            return []  # dependence information unavailable (strided nest)
+
+        diagnostics: List[Diagnostic] = []
+        outer = node.nest.indices[0] if node.nest.depth else None
+        synchronized = node.sync_per_outer_iteration > 0
+        guarded = _ownership_guarded_arrays(node)
+
+        for dependence in carried:
+            span = Span(
+                program=program.name, loop=outer, reference=dependence.array
+            )
+            vector = (
+                tuple(dependence.distance)
+                if dependence.distance is not None
+                else tuple(dependence.direction or ())
+            )
+            if synchronized:
+                diagnostics.append(
+                    Diagnostic(
+                        "RACE004",
+                        Severity.INFO,
+                        f"{dependence.kind.value} dependence {vector} on "
+                        f"{dependence.array!r} is carried by the distributed "
+                        "loop but covered by per-iteration synchronization",
+                        span,
+                    )
+                )
+                continue
+            if dependence.kind is DependenceKind.OUTPUT:
+                if dependence.array in guarded:
+                    continue  # owner-exclusive writes cannot conflict
+                diagnostics.append(
+                    Diagnostic(
+                        "RACE001",
+                        Severity.ERROR,
+                        f"write-write conflict: output dependence {vector} on "
+                        f"{dependence.array!r} is carried by the distributed "
+                        "loop with no synchronization",
+                        span,
+                    )
+                )
+            else:
+                diagnostics.append(
+                    Diagnostic(
+                        "RACE002",
+                        Severity.ERROR,
+                        f"read-write conflict: {dependence.kind.value} "
+                        f"dependence {vector} on {dependence.array!r} is "
+                        "carried by the distributed loop with no "
+                        "synchronization",
+                        span,
+                    )
+                )
+
+        carried_arrays = {dependence.array for dependence in carried}
+        for level, read in node.plan.block_reads:
+            if read.array in carried_arrays:
+                loop_index = (
+                    node.nest.indices[level]
+                    if level < node.nest.depth
+                    else outer
+                )
+                diagnostics.append(
+                    Diagnostic(
+                        "RACE003",
+                        Severity.WARNING,
+                        f"block transfer {read} gathers {read.array!r}, whose "
+                        "distributed loop carries a dependence; the copy can "
+                        "go stale across processors",
+                        Span(
+                            program=program.name,
+                            loop=loop_index,
+                            reference=str(read),
+                        ),
+                    )
+                )
+        _check_plan_consistency(node, diagnostics)
+        return diagnostics
+
+
+# ----------------------------------------------------------------------
+def _distribution_dims(distribution: object) -> Tuple[int, ...]:
+    dims = getattr(distribution, "distribution_dims", None)
+    if dims is None:
+        return ()
+    return tuple(dims())
+
+
+def _carried_dependences(
+    context: "AnalysisContext",
+) -> Optional[List[Dependence]]:
+    """Dependences carried by the distributed (outermost) loop.
+
+    ``None`` means "could not be determined" (no normalization result and
+    the node nest is not analyzable directly) — the pass stays silent
+    rather than guessing.
+    """
+    node = context.node
+    result = context.result
+    if node is None:
+        return None
+    carried: List[Dependence] = []
+    if result is not None:
+        matrix = result.matrix
+        row = matrix.row_at(0) if matrix.nrows else ()
+        for dependence in result.dependences:
+            if dependence.distance is not None:
+                image = matrix.apply(list(dependence.distance))
+                if image and image[0] > 0:
+                    carried.append(dependence)
+            elif dependence.direction is not None and row:
+                interval = row_direction_interval(row, tuple(dependence.direction))
+                if not interval.is_zero:
+                    carried.append(dependence)
+        return carried
+    nest = node.nest
+    if any(loop.step != 1 or loop.align is not None for loop in nest.loops):
+        return None
+    try:
+        dependences = analyze_dependences(
+            nest, node.program.bound_params() or None
+        )
+    except ReproError:
+        return None
+    for dependence in dependences:
+        if dependence.distance is not None:
+            if dependence.distance[0] > 0:
+                carried.append(dependence)
+        elif dependence.direction is not None:
+            if dependence.direction[0] in ("<", "*"):
+                carried.append(dependence)
+    return carried
+
+
+def _ownership_guarded_arrays(node: NodeProgram) -> Set[str]:
+    """Arrays whose *every* write is wrapped in an ownership guard.
+
+    An ownership guard is a ``ModEq`` whose modulus is the processor-count
+    parameter and whose target is the processor-number parameter — the
+    shape :func:`repro.codegen.ownership.generate_ownership` emits.
+    """
+    procs = AffineExpr.var(node.procs_param)
+    proc = AffineExpr.var(node.proc_param)
+
+    def is_ownership_guard(condition: ModEq) -> bool:
+        return condition.modulus == procs and condition.target == proc
+
+    guarded: Set[str] = set()
+    unguarded: Set[str] = set()
+
+    def visit(statement: Statement, under_guard: bool) -> None:
+        if isinstance(statement, IfThen):
+            owns = any(is_ownership_guard(c) for c in statement.conditions)
+            if statement.disjunctive:
+                owns = all(is_ownership_guard(c) for c in statement.conditions)
+            visit(statement.body, under_guard or owns)
+            return
+        if isinstance(statement, Assign):
+            target = guarded if under_guard else unguarded
+            target.add(statement.lhs.array)
+
+    for statement in node.nest.body:
+        visit(statement, False)
+    for loop in node.nest.loops:
+        for statement in loop.prologue:
+            visit(statement, False)
+    return guarded - unguarded
+
+
+def _check_plan_consistency(
+    node: NodeProgram, diagnostics: List[Diagnostic]
+) -> None:
+    """A LOCAL-classified *write* under a blocked schedule of a cyclic
+    distribution would be a plan bug; surface it as a race error since the
+    write would land on a non-owner."""
+    if node.schedule == "wrapped":
+        return
+    for info in node.plan.refs:
+        if not info.is_write or info.ref_class is not RefClass.LOCAL:
+            continue
+        distribution = node.program.distributions.get(info.ref.array)
+        if distribution is None or not _distribution_dims(distribution):
+            continue
+        diagnostics.append(
+            Diagnostic(
+                "RACE001",
+                Severity.ERROR,
+                f"write {info.ref} is classified LOCAL under the "
+                f"{node.schedule!r} schedule, but value-based locality only "
+                "holds for wrapped schedules",
+                Span(program=node.program.name, reference=str(info.ref)),
+            )
+        )

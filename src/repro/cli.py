@@ -1,9 +1,12 @@
 """Command-line driver: the 'compiler binary' of this reproduction.
 
-Four subcommands:
+Five subcommands:
 
 * ``compile FILE``  — run access normalization and print the requested
   artifacts (report, transformed IR, node program, generated Python);
+* ``analyze FILE...`` — statically check legality, bounds, SPMD races,
+  and lint findings with stable diagnostic codes (see
+  :mod:`repro.analysis`);
 * ``simulate FILE`` — compile and sweep processor counts on a simulated
   NUMA machine, printing a speedup table;
 * ``autodist FILE`` — search for a good data distribution (the Section 9
@@ -257,8 +260,10 @@ def build_parser() -> argparse.ArgumentParser:
     autodist_cmd.add_argument("--max-candidates", type=int, default=None)
     autodist_cmd.set_defaults(func=cmd_autodist)
 
+    from repro.analysis.cli import add_analyze_parser
     from repro.fuzz.cli import add_fuzz_parser
 
+    add_analyze_parser(sub)
     add_fuzz_parser(sub, parents=[runtime])
     return parser
 

@@ -100,16 +100,25 @@ def summarize(
     serial and a parallel run byte for byte.
     """
     by_status: Dict[str, int] = {}
+    by_static: Dict[str, int] = {}
     checks = 0
     for record in records:
         by_status[record.status] = by_status.get(record.status, 0) + 1
         checks += record.checks
+        static = record.static or "(none)"
+        if static.startswith("flagged:"):
+            static = "flagged"  # bucket by kind, not by exact code set
+        elif static.startswith("analyzer-crash"):
+            static = "analyzer-crash"
+        by_static[static] = by_static.get(static, 0) + 1
     return {
         "tool": "repro-fuzz",
         "seed": seed,
         "cases": len(records),
         "checks": checks,
         "status": dict(sorted(by_status.items())),
+        "static": dict(sorted(by_static.items())),
+        "static_consistent": by_status.get("inconsistent", 0) == 0,
         "ok": by_status.get("ok", 0) == len(records),
         "failures": list(failures),
     }

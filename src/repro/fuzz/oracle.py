@@ -21,6 +21,12 @@ For one program spec, runs the full pipeline (``core.access_normalize`` →
 Arrays are seeded with small integers (``init="smallint"``), and the
 generator only multiplies read-only values, so float64 arithmetic is exact
 and ``ok`` really means *equal*, not *close*.
+
+The oracle also cross-checks the :mod:`repro.analysis` static analyzer:
+every case records the analyzer's verdict over the same artifacts
+(``static``), and a dynamic mismatch on a case the analyzer called clean
+is reported with status ``"inconsistent"`` instead of ``"mismatch"`` —
+the invariant CI enforces is *analyzer clean ⇒ oracle match*.
 """
 
 from __future__ import annotations
@@ -53,12 +59,13 @@ class CheckResult:
     """The oracle's verdict on one program."""
 
     ok: bool
-    status: str  # "ok" | "mismatch" | "crash" | "invalid"
+    status: str  # "ok" | "mismatch" | "inconsistent" | "crash" | "invalid"
     stage: str = ""
     detail: str = ""
     checks: int = 0  # individual assertions that ran
     program_name: str = ""
     notes: Tuple[str, ...] = ()
+    static: str = ""  # "clean" | "flagged:CODE,..." | "analyzer-crash: ..."
 
 
 @dataclass
@@ -76,6 +83,7 @@ class FuzzRecord:
     detail: str = ""
     checks: int = 0
     spec: Optional[Dict] = None  # spec dict, kept only for failures
+    static: str = ""  # static-analyzer verdict for the same artifacts
 
     @property
     def ok(self) -> bool:
@@ -120,15 +128,35 @@ def _per_iteration_accesses(node: NodeProgram) -> int:
     return total
 
 
+def _static_verdict(program: Program, result, node) -> str:
+    """The static analyzer's verdict over already-produced artifacts."""
+    from repro.analysis.manager import analyze_artifacts
+
+    try:
+        report = analyze_artifacts(program, result=result, node=node)
+    except Exception as error:  # noqa: BLE001 - analyzer bugs are findings too
+        return f"analyzer-crash: {type(error).__name__}: {error}"
+    if report.has_errors:
+        return "flagged:" + ",".join(report.error_codes)
+    return "clean"
+
+
 def check_program(
     program: Program,
     *,
     procs: Tuple[int, ...] = DEFAULT_PROCS,
     schedules: Tuple[str, ...] = DEFAULT_SCHEDULES,
 ) -> CheckResult:
-    """Run every oracle check on one (already validated) program."""
+    """Run every oracle check on one (already validated) program.
+
+    A dynamic mismatch on a program the static analyzer calls clean comes
+    back with status ``"inconsistent"`` — one of the two is wrong, and the
+    disagreement itself is the finding.
+    """
     checks = 0
     notes: List[str] = []
+    result = None
+    first_node = None
     try:
         # -- sequential ground truth --------------------------------------
         baseline = _fresh_arrays(program)
@@ -226,20 +254,24 @@ def check_program(
                         )
                     checks += 2
     except _Mismatch as mismatch:
+        static = _static_verdict(program, result, first_node)
         return CheckResult(
-            ok=False, status="mismatch", stage=mismatch.stage,
+            ok=False,
+            status="inconsistent" if static == "clean" else "mismatch",
+            stage=mismatch.stage,
             detail=mismatch.detail, checks=checks,
-            program_name=program.name, notes=tuple(notes),
+            program_name=program.name, notes=tuple(notes), static=static,
         )
     except Exception as error:  # noqa: BLE001 - a fuzzer records every crash
         return CheckResult(
             ok=False, status="crash", stage=type(error).__name__,
             detail=_summarize_exception(error), checks=checks,
             program_name=program.name, notes=tuple(notes),
+            static=_static_verdict(program, result, first_node),
         )
     return CheckResult(
         ok=True, status="ok", checks=checks, program_name=program.name,
-        notes=tuple(notes),
+        notes=tuple(notes), static=_static_verdict(program, result, first_node),
     )
 
 
@@ -294,6 +326,7 @@ def fuzz_task(task: FuzzTask) -> FuzzRecord:
     record = FuzzRecord(
         index=index, seed=case_seed, status=outcome.status,
         stage=outcome.stage, detail=outcome.detail, checks=outcome.checks,
+        static=outcome.static,
     )
     if not outcome.ok:
         record.spec = spec.to_dict()

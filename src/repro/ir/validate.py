@@ -2,73 +2,98 @@
 
 from __future__ import annotations
 
-from typing import List, Set
+from typing import FrozenSet, List, Set
 
 from repro.errors import IRError
 from repro.ir.loop import LoopNest
 from repro.ir.program import Program
 
 
-def validate_nest(nest: LoopNest, params: Set[str] = frozenset()) -> None:
+def validate_nest(
+    nest: LoopNest,
+    params: Set[str] = frozenset(),
+    *,
+    foreign_indices: FrozenSet[str] = frozenset(),
+) -> None:
     """Check the structural invariants of a loop nest.
 
-    * index names are distinct;
-    * each bound references only outer indices and parameters;
-    * every subscript references only indices and parameters.
+    * index names are distinct (and disjoint from ``foreign_indices``);
+    * each bound and alignment references only outer indices and
+      parameters — never the loop's own index, an inner index, or an
+      index of another nest;
+    * every subscript references only this nest's indices and parameters.
 
-    Raises :class:`IRError` with a descriptive message on the first failure.
-    Unknown free symbols are allowed when ``params`` is empty (they are
-    treated as implicit parameters); when ``params`` is non-empty they are
-    errors.
+    Raises :class:`IRError` with a descriptive message on the first
+    failure.  Unknown free symbols are allowed when ``params`` is empty
+    (they are treated as implicit parameters); when ``params`` is
+    non-empty they are errors.  ``foreign_indices`` names loop indices of
+    *other* nests in the same compilation: referencing one from a bound,
+    alignment, or subscript is always an error, regardless of ``params``
+    (an implicit parameter must not capture another nest's iterator).
     """
+    index_set = set(nest.indices)
     seen: List[str] = []
     for loop in nest.loops:
         if loop.index in seen:
             raise IRError(f"duplicate loop index {loop.index!r}")
+        if loop.index in foreign_indices:
+            raise IRError(
+                f"loop index {loop.index!r} collides with a loop index of "
+                "another nest"
+            )
         allowed = set(seen) | set(params)
-        for expr in loop.lower + loop.upper:
-            for name in expr.variables():
-                if name in seen:
-                    continue
-                if params and name not in params:
-                    raise IRError(
-                        f"bound of loop {loop.index!r} references unknown symbol {name!r}"
-                    )
-                if name == loop.index or name in _inner_indices(nest, loop.index):
-                    raise IRError(
-                        f"bound of loop {loop.index!r} references non-outer index {name!r}"
-                    )
-        if loop.align is not None:
-            for name in loop.align.variables():
-                if name == loop.index or name in _inner_indices(nest, loop.index):
-                    raise IRError(
-                        f"alignment of loop {loop.index!r} references non-outer index {name!r}"
-                    )
-        del allowed
+        for kind, exprs in (
+            ("bound", loop.lower + loop.upper),
+            ("alignment", (loop.align,) if loop.align is not None else ()),
+        ):
+            for expr in exprs:
+                for name in expr.variables():
+                    if name in allowed:
+                        continue
+                    if name == loop.index or name in index_set:
+                        raise IRError(
+                            f"{kind} of loop {loop.index!r} references "
+                            f"non-outer index {name!r}"
+                        )
+                    if name in foreign_indices:
+                        raise IRError(
+                            f"{kind} of loop {loop.index!r} references index "
+                            f"{name!r} of another nest"
+                        )
+                    if params:
+                        raise IRError(
+                            f"{kind} of loop {loop.index!r} references "
+                            f"unknown symbol {name!r}"
+                        )
         seen.append(loop.index)
 
-    index_set = set(seen)
     for ref, _ in nest.array_refs():
         for sub in ref.subscripts:
             for name in sub.variables():
                 if name in index_set:
                     continue
+                if name in foreign_indices:
+                    raise IRError(
+                        f"subscript of {ref.array!r} references index "
+                        f"{name!r} of another nest"
+                    )
                 if params and name not in params:
                     raise IRError(
-                        f"subscript of {ref.array!r} references unknown symbol {name!r}"
+                        f"subscript of {ref.array!r} references unknown "
+                        f"symbol {name!r}"
                     )
 
 
-def _inner_indices(nest: LoopNest, index: str) -> Set[str]:
-    names = list(nest.indices)
-    position = names.index(index)
-    return set(names[position + 1 :])
-
-
-def validate_program(program: Program) -> None:
+def validate_program(
+    program: Program, *, foreign_indices: FrozenSet[str] = frozenset()
+) -> None:
     """Validate a whole program: nest structure, declarations, ranks."""
     params = set(program.params)
-    validate_nest(program.nest, params if params else frozenset())
+    validate_nest(
+        program.nest,
+        params if params else frozenset(),
+        foreign_indices=foreign_indices,
+    )
     for ref, _ in program.nest.array_refs():
         if not program.has_array(ref.array):
             raise IRError(f"array {ref.array!r} used but not declared")

@@ -1,0 +1,148 @@
+"""Tests for the ``repro analyze`` subcommand."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+EXAMPLES = os.path.join(REPO_ROOT, "examples", "programs")
+CORPUS = os.path.join(REPO_ROOT, "tests", "corpus")
+
+CLEAN_SOURCE = """\
+program clean
+param N = 8
+real A(N) distribute (wrapped)
+
+for i = 0, N-1
+    A[i] = A[i] + 1
+"""
+
+UNUSED_INDEX_SOURCE = """\
+program unused
+param N = 8
+real A(N) distribute (wrapped)
+
+for i = 0, N-1
+    for j = 0, N-1
+        A[i] = A[i] + 1
+"""
+
+
+def write(tmp_path, name, text):
+    path = tmp_path / name
+    path.write_text(text, encoding="utf-8")
+    return str(path)
+
+
+class TestAnalyzeExamples:
+    def test_examples_are_clean_at_error(self, capsys):
+        files = sorted(
+            os.path.join(EXAMPLES, name)
+            for name in os.listdir(EXAMPLES)
+            if name.endswith(".an")
+        )
+        assert files
+        assert main(["analyze", *files]) == 0
+        out = capsys.readouterr().out
+        assert "figure1: clean" in out
+
+    def test_corpus_entries_are_clean_at_error(self):
+        files = sorted(
+            os.path.join(CORPUS, name)
+            for name in os.listdir(CORPUS)
+            if name.endswith(".json")
+        )
+        assert files
+        assert main(["analyze", *files]) == 0
+
+    def test_json_output_is_stable_and_structured(self, capsys):
+        path = os.path.join(EXAMPLES, "figure1.an")
+        assert main(["analyze", "--json", path]) == 0
+        first = capsys.readouterr().out
+        payload = json.loads(first)
+        assert payload["tool"] == "repro-analyze"
+        assert payload["fail_on"] == "error"
+        assert payload["failed"] == 0
+        (report,) = payload["reports"]
+        assert report["program"] == "figure1"
+        assert report["diagnostics"] == []
+        assert set(report["counts"]) == {"info", "warning", "error"}
+        assert main(["analyze", "--json", path]) == 0
+        assert capsys.readouterr().out == first
+
+
+class TestFailOnGating:
+    def test_error_threshold_passes_warnings(self, tmp_path, capsys):
+        path = write(tmp_path, "unused.an", UNUSED_INDEX_SOURCE)
+        assert main(["analyze", path]) == 0
+        assert "[LINT002]" in capsys.readouterr().out
+
+    def test_warning_threshold_fails_warnings(self, tmp_path):
+        path = write(tmp_path, "unused.an", UNUSED_INDEX_SOURCE)
+        assert main(["analyze", "--fail-on", "warning", path]) == 1
+
+    def test_info_threshold_is_strictest(self, tmp_path):
+        clean = write(tmp_path, "clean.an", CLEAN_SOURCE)
+        assert main(["analyze", "--fail-on", "info", clean]) == 0
+
+
+class TestSuppressions:
+    def test_dsl_comment_suppresses_a_code(self, tmp_path, capsys):
+        source = UNUSED_INDEX_SOURCE + "# analyze: ignore[LINT002]\n"
+        path = write(tmp_path, "suppressed.an", source)
+        assert main(["analyze", "--fail-on", "warning", path]) == 0
+        out = capsys.readouterr().out
+        assert "clean (1 suppressed)" in out
+
+    def test_corpus_json_ignore_field(self, tmp_path, capsys):
+        entry = {
+            "analyze": {"ignore": ["LINT002"]},
+            "spec": {
+                "name": "json-suppressed",
+                "loops": [["i", "0", "N-1", 1], ["j", "0", "N-1", 1]],
+                "statements": ["A[i] = A[i] + 1"],
+                "arrays": {"A": [8]},
+                "distributions": {"A": {"kind": "wrapped", "dim": 0}},
+                "params": {"N": 8},
+            },
+        }
+        path = write(tmp_path, "entry.json", json.dumps(entry))
+        assert main(["analyze", "--fail-on", "warning", path]) == 0
+        assert "suppressed" in capsys.readouterr().out
+
+    def test_unknown_suppression_code_is_an_error(self, tmp_path):
+        source = CLEAN_SOURCE + "# analyze: ignore[NOPE01]\n"
+        path = write(tmp_path, "bad.an", source)
+        with pytest.raises(ValueError, match="unknown diagnostic code"):
+            main(["analyze", path])
+
+
+class TestPipelineFailures:
+    def test_unparseable_file_exits_1(self, tmp_path, capsys):
+        path = write(tmp_path, "garbage.an", "this is not a program\n")
+        assert main(["analyze", path]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_file_exits_2(self):
+        assert main(["analyze", "/nonexistent/nowhere.an"]) == 2
+
+    def test_race_errors_fail_without_sync_and_pass_with(self, tmp_path, capsys):
+        source = (
+            "program carried\n"
+            "param N = 6\n"
+            "real A(11) distribute (wrapped)\n"
+            "real C(N, N)\n"
+            "\n"
+            "for i = 0, N-1\n"
+            "    for j = 0, N-1\n"
+            "        C[j, j] = C[j, j] + A[i + j]\n"
+        )
+        path = write(tmp_path, "carried.an", source)
+        assert main(["analyze", path]) == 1
+        out = capsys.readouterr().out
+        assert "[RACE001]" in out or "[RACE002]" in out
+        assert main(["analyze", "--assume-sync", path]) == 0
+        assert "[RACE004]" in capsys.readouterr().out

@@ -1,0 +1,125 @@
+"""Tests for the diagnostics framework: codes, spans, reports, suppressions."""
+
+import pytest
+
+from repro.analysis import (
+    CODES,
+    AnalysisReport,
+    Diagnostic,
+    Severity,
+    Span,
+    collect_suppressions,
+    normalize_suppressions,
+)
+
+
+def diag(code="LEG001", severity=Severity.ERROR, message="m", **span):
+    return Diagnostic(code, severity, message, Span(**span))
+
+
+class TestSeverity:
+    def test_ordering(self):
+        assert Severity.INFO < Severity.WARNING < Severity.ERROR
+
+    def test_labels_round_trip(self):
+        for severity in Severity:
+            assert Severity.from_label(severity.label) is severity
+
+    def test_unknown_label_raises(self):
+        with pytest.raises(ValueError):
+            Severity.from_label("fatal")
+
+
+class TestDiagnostic:
+    def test_unknown_code_rejected(self):
+        with pytest.raises(ValueError, match="unknown diagnostic code"):
+            Diagnostic("NOPE01", Severity.ERROR, "message")
+
+    def test_every_catalogue_code_constructs(self):
+        for code in CODES:
+            assert Diagnostic(code, Severity.INFO, "x").code == code
+
+    def test_format_includes_code_severity_and_span(self):
+        d = diag(program="gemm", loop="u", statement=0, reference="B[k, j]")
+        text = d.format()
+        assert text.startswith("[LEG001] error: m")
+        assert "gemm: loop u, statement 0, B[k, j]" in text
+
+    def test_to_dict_omits_unset_span_fields(self):
+        d = diag(program="p")
+        data = d.to_dict()
+        assert data["span"] == {"program": "p"}
+        assert data["severity"] == "error"
+
+
+class TestAnalysisReport:
+    def make_report(self):
+        return AnalysisReport(
+            program_name="p",
+            diagnostics=(
+                diag("LEG002", Severity.ERROR),
+                diag("BND002", Severity.WARNING),
+                diag("LINT001", Severity.INFO),
+            ),
+        )
+
+    def test_counts_and_error_codes(self):
+        report = self.make_report()
+        assert report.count(Severity.ERROR) == 1
+        assert report.count(Severity.WARNING) == 1
+        assert report.has_errors
+        assert report.error_codes == ("LEG002",)
+
+    def test_at_or_above_threshold(self):
+        report = self.make_report()
+        assert len(report.at_or_above(Severity.INFO)) == 3
+        assert len(report.at_or_above(Severity.WARNING)) == 2
+        assert len(report.at_or_above(Severity.ERROR)) == 1
+
+    def test_apply_suppressions_moves_not_drops(self):
+        report = self.make_report().apply_suppressions(frozenset({"LEG002"}))
+        assert not report.has_errors
+        assert [d.code for d in report.suppressed] == ["LEG002"]
+        assert len(report.diagnostics) == 2
+
+    def test_render_text_clean_and_dirty(self):
+        clean = AnalysisReport(program_name="p")
+        assert clean.render_text() == "p: clean"
+        suppressed = self.make_report().apply_suppressions(
+            frozenset({"LEG002", "BND002", "LINT001"})
+        )
+        assert suppressed.render_text() == "p: clean (3 suppressed)"
+        dirty = self.make_report()
+        lines = dirty.render_text().splitlines()
+        assert lines[0] == "p: 3 diagnostic(s)"
+        assert len(lines) == 4
+
+    def test_to_dict_counts(self):
+        data = self.make_report().to_dict()
+        assert data["counts"] == {"info": 1, "warning": 1, "error": 1}
+        assert len(data["diagnostics"]) == 3
+
+
+class TestSuppressions:
+    def test_collect_from_source_comments(self):
+        source = (
+            "program p\n"
+            "# analyze: ignore[LINT002]\n"
+            "for i = 0, 5   # analyze: ignore[RACE001, RACE002]\n"
+            "    A[i] = A[i] + 1\n"
+        )
+        assert collect_suppressions(source) == frozenset(
+            {"LINT002", "RACE001", "RACE002"}
+        )
+
+    def test_no_markers_means_empty(self):
+        assert collect_suppressions("program p\nfor i = 0, 5\n") == frozenset()
+
+    def test_unknown_code_in_marker_raises(self):
+        with pytest.raises(ValueError, match="unknown diagnostic code"):
+            collect_suppressions("# analyze: ignore[BOGUS9]")
+
+    def test_normalize_uppercases_and_validates(self):
+        assert normalize_suppressions(["lint001"]) == frozenset({"LINT001"})
+        with pytest.raises(ValueError):
+            normalize_suppressions(["XYZ123"])

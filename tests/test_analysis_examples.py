@@ -1,0 +1,84 @@
+"""End-to-end guarantees: examples and corpus analyze clean, and the
+static analyzer never calls a dynamically-failing case clean."""
+
+import json
+import os
+
+from repro.analysis import Severity, analyze_program, normalize_suppressions
+from repro.analysis.cli import _load_input
+from repro.fuzz.oracle import fuzz_task
+from repro.lang import parse_program
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+EXAMPLES = os.path.join(REPO_ROOT, "examples", "programs")
+CORPUS = os.path.join(REPO_ROOT, "tests", "corpus")
+
+
+def all_inputs():
+    files = [
+        os.path.join(EXAMPLES, name)
+        for name in sorted(os.listdir(EXAMPLES))
+        if name.endswith(".an")
+    ]
+    files.extend(
+        os.path.join(CORPUS, name)
+        for name in sorted(os.listdir(CORPUS))
+        if name.endswith(".json")
+    )
+    return files
+
+
+class TestShippedInputsAnalyzeClean:
+    def test_every_example_and_corpus_entry_is_error_free(self):
+        inputs = all_inputs()
+        assert len(inputs) >= 6  # 3 examples + 3 corpus entries
+        for path in inputs:
+            program, suppressions = _load_input(path)
+            report = analyze_program(
+                program,
+                assumptions=tuple(program.assumptions) or None,
+                suppressions=suppressions,
+            )
+            flagged = report.at_or_above(Severity.ERROR)
+            assert not flagged, (
+                f"{path} not clean: "
+                + "; ".join(d.format() for d in flagged)
+            )
+
+    def test_corpus_suppressions_name_known_codes(self):
+        for name in sorted(os.listdir(CORPUS)):
+            if not name.endswith(".json"):
+                continue
+            with open(os.path.join(CORPUS, name), encoding="utf-8") as handle:
+                data = json.load(handle)
+            ignore = data.get("analyze", {}).get("ignore", ())
+            normalize_suppressions(ignore)  # raises on an unknown code
+
+    def test_syr2k_needs_its_assumptions(self):
+        """The shipped assume facts are load-bearing for the bounds proof —
+        without them the checker degrades to warnings, never errors."""
+        path = os.path.join(EXAMPLES, "syr2k.an")
+        with open(path, encoding="utf-8") as handle:
+            program = parse_program(handle.read(), name=path)
+        assert program.assumptions
+        report = analyze_program(program, assumptions=())
+        assert not report.at_or_above(Severity.ERROR)
+
+
+class TestStaticDynamicConsistency:
+    def test_seeded_fuzz_batch_has_no_inconsistencies(self):
+        """Analyzer clean must imply oracle match: a record whose dynamic
+        verdict is a mismatch while the static verdict is clean comes back
+        with status 'inconsistent' — there must be none."""
+        records = [fuzz_task((index, 0)) for index in range(40)]
+        assert len(records) == 40
+        statuses = {record.status for record in records}
+        assert "inconsistent" not in statuses
+        # Every completed pipeline records a static verdict.
+        for record in records:
+            if record.status in ("ok", "mismatch", "inconsistent"):
+                assert record.static, f"case {record.index} has no static verdict"
+            if record.status == "ok":
+                assert record.static == "clean" or record.static.startswith(
+                    "flagged:"
+                )

@@ -1,0 +1,281 @@
+"""Tests for the four analysis passes over real and injected artifacts."""
+
+from dataclasses import replace
+from fractions import Fraction
+
+from repro.analysis import (
+    BoundsPass,
+    LegalityPass,
+    LintPass,
+    RacePass,
+    analyze_artifacts,
+    analyze_program,
+    build_context,
+    run_passes,
+)
+from repro.core import access_normalize
+from repro.distributions import Wrapped
+from repro.ir import AffineExpr, IfThen, ModEq, make_program, parse_assignment
+from repro.linalg.fraction_matrix import Matrix
+
+
+def codes(diagnostics):
+    return sorted(d.code for d in diagnostics)
+
+
+def flow_dep_program():
+    """A nest with a flow dependence of distance (1, 0) on A."""
+    return make_program(
+        loops=[("i", 1, 9), ("j", 0, 9)],
+        body=["A[i, j] = A[i-1, j] + 1"],
+        arrays=[("A", 10, 10)],
+        name="flowdep",
+    )
+
+
+def dep_free_program():
+    return make_program(
+        loops=[("i", 0, 9), ("j", 0, 9)],
+        body=["A[i, j] = B[i, j] * 2"],
+        arrays=[("A", 10, 10), ("B", 10, 10)],
+        name="depfree",
+    )
+
+
+def inject_matrix(result, matrix, inverse):
+    """Swap the transformation matrix of a normalization result."""
+    transformation = replace(result.transformation, matrix=matrix, inverse=inverse)
+    return replace(result, transformation=transformation)
+
+
+class TestLegalityPass:
+    def test_clean_result_has_no_findings(self):
+        program = flow_dep_program()
+        result = access_normalize(program)
+        report = analyze_artifacts(program, result=result, passes=[LegalityPass()])
+        assert report.diagnostics == ()
+
+    def test_injected_negated_distance_is_leg002(self):
+        """An illegal transformation (loop reversal against a flow
+        dependence) must be caught with LEG002."""
+        program = flow_dep_program()
+        result = access_normalize(program)
+        reversal = Matrix([[-1, 0], [0, 1]])
+        bad = inject_matrix(result, reversal, reversal)
+        report = analyze_artifacts(program, result=bad, passes=[LegalityPass()])
+        assert "LEG002" in codes(report.diagnostics)
+        finding = next(d for d in report.diagnostics if d.code == "LEG002")
+        assert finding.severity.label == "error"
+        assert "A" in finding.message
+        assert "(1, 0)" in finding.message
+
+    def test_singular_matrix_is_leg001(self):
+        program = dep_free_program()
+        result = access_normalize(program)
+        singular = Matrix([[1, 0], [1, 0]])
+        bad = inject_matrix(result, singular, singular)
+        report = analyze_artifacts(program, result=bad, passes=[LegalityPass()])
+        assert codes(report.diagnostics) == ["LEG001"]
+
+    def test_non_integer_matrix_is_leg001(self):
+        program = dep_free_program()
+        result = access_normalize(program)
+        fractional = Matrix([[Fraction(1, 2), 0], [0, 1]])
+        bad = inject_matrix(result, fractional, Matrix([[2, 0], [0, 1]]))
+        report = analyze_artifacts(program, result=bad, passes=[LegalityPass()])
+        assert codes(report.diagnostics) == ["LEG001"]
+
+    def test_wrong_inverse_is_leg001(self):
+        program = dep_free_program()
+        result = access_normalize(program)
+        bad = inject_matrix(result, Matrix.identity(2), Matrix([[1, 1], [0, 1]]))
+        report = analyze_artifacts(program, result=bad, passes=[LegalityPass()])
+        assert codes(report.diagnostics) == ["LEG001"]
+
+    def test_stride_mismatch_is_leg003(self):
+        """A non-unimodular T whose emitted loops kept step 1 violates the
+        image-lattice stride requirement."""
+        program = dep_free_program()
+        result = access_normalize(program)
+        scaled = Matrix([[2, 0], [0, 1]])
+        bad = inject_matrix(
+            result, scaled, Matrix([[Fraction(1, 2), 0], [0, 1]])
+        )
+        report = analyze_artifacts(program, result=bad, passes=[LegalityPass()])
+        assert "LEG003" in codes(report.diagnostics)
+
+
+class TestBoundsPass:
+    def test_in_bounds_program_is_clean(self):
+        report = analyze_artifacts(
+            dep_free_program(), passes=[BoundsPass()]
+        )
+        assert report.diagnostics == ()
+
+    def test_out_of_bounds_subscript_is_bnd001_with_witness(self):
+        program = make_program(
+            loops=[("i", 0, 9)],
+            body=["A[i + 2] = A[i + 2] + 1"],
+            arrays=[("A", 10)],
+            name="oob",
+        )
+        report = analyze_artifacts(program, passes=[BoundsPass()])
+        assert "BND001" in codes(report.diagnostics)
+        finding = next(d for d in report.diagnostics if d.code == "BND001")
+        assert finding.severity.label == "error"
+        # The first violating iteration is i = 8 (subscript value 10).
+        assert "i=8" in finding.message
+        assert "10" in finding.message
+
+    def test_symbolic_proof_uses_assumptions(self):
+        program = make_program(
+            loops=[("i", 0, "N-1")],
+            body=["A[i] = A[i] + 1"],
+            arrays=[("A", "M")],
+            name="symbolic",
+        )
+        clean = analyze_artifacts(
+            program, assumptions=("M >= N",), passes=[BoundsPass()]
+        )
+        assert clean.diagnostics == ()
+        unknown = analyze_artifacts(program, passes=[BoundsPass()])
+        # Without the fact (and without bound params) the upper side is
+        # unprovable — and unfalsifiable, so it is a warning, not an error.
+        assert codes(unknown.diagnostics) == ["BND002"]
+        assert all(d.severity.label == "warning" for d in unknown.diagnostics)
+
+    def test_concrete_params_fold_into_the_proof(self):
+        program = make_program(
+            loops=[("i", 0, "N-1")],
+            body=["A[i] = A[i] + 1"],
+            arrays=[("A", 6)],
+            params={"N": 6},
+            name="folded",
+        )
+        report = analyze_artifacts(program, passes=[BoundsPass()])
+        assert report.diagnostics == ()
+
+
+class TestRacePass:
+    def racey_program(self):
+        """C[j, j] accumulates across i: flow/anti/output all carried by
+        the outer (distributed) loop after normalization."""
+        return make_program(
+            loops=[("i", 0, 5), ("j", 0, 5)],
+            body=["C[j, j] = C[j, j] + A[i + j]"],
+            arrays=[("A", 11), ("C", 6, 6)],
+            distributions={"A": Wrapped(0)},
+            name="racey",
+        )
+
+    def test_unsynchronized_carried_dependence_is_an_error(self):
+        report = analyze_program(self.racey_program(), passes=[RacePass()])
+        found = codes(report.diagnostics)
+        assert "RACE001" in found
+        assert "RACE002" in found
+
+    def test_synchronized_carried_dependence_is_race004_info(self):
+        report = analyze_program(
+            self.racey_program(), sync=True, passes=[RacePass()]
+        )
+        found = codes(report.diagnostics)
+        assert "RACE001" not in found
+        assert "RACE002" not in found
+        assert "RACE004" in found
+        assert all(d.severity.label == "info" for d in report.diagnostics)
+
+    def test_independent_loop_has_no_findings(self):
+        report = analyze_program(dep_free_program(), passes=[RacePass()])
+        assert report.diagnostics == ()
+
+
+class TestLintPass:
+    def test_unused_index_is_lint002(self):
+        program = make_program(
+            loops=[("i", 0, 5), ("j", 0, 5)],
+            body=["A[i] = A[i] + 1"],
+            arrays=[("A", 6)],
+            name="unused",
+        )
+        report = analyze_artifacts(program, passes=[LintPass()])
+        assert "LINT002" in codes(report.diagnostics)
+        finding = next(d for d in report.diagnostics if d.code == "LINT002")
+        assert finding.span.loop == "j"
+
+    def test_constant_guard_is_lint003(self):
+        indices = ["i"]
+        guarded = IfThen(
+            conditions=(
+                ModEq(
+                    AffineExpr.parse("2*i"),
+                    AffineExpr.constant(2),
+                    AffineExpr.constant(1),
+                ),
+            ),
+            body=parse_assignment("A[i] = A[i] + 1", indices),
+        )
+        program = make_program(
+            loops=[("i", 0, 5)],
+            body=[guarded],
+            arrays=[("A", 6)],
+            name="deadguard",
+        )
+        report = analyze_artifacts(program, passes=[LintPass()])
+        assert "LINT003" in codes(report.diagnostics)
+        finding = next(d for d in report.diagnostics if d.code == "LINT003")
+        assert "always false" in finding.message
+        assert "dead" in finding.message
+
+    def test_always_true_guard_is_lint003(self):
+        indices = ["i"]
+        guarded = IfThen(
+            conditions=(
+                ModEq(
+                    AffineExpr.parse("2*i"),
+                    AffineExpr.constant(2),
+                    AffineExpr.constant(0),
+                ),
+            ),
+            body=parse_assignment("A[i] = A[i] + 1", indices),
+        )
+        program = make_program(
+            loops=[("i", 0, 5)],
+            body=[guarded],
+            arrays=[("A", 6)],
+            name="trueguard",
+        )
+        report = analyze_artifacts(program, passes=[LintPass()])
+        finding = next(d for d in report.diagnostics if d.code == "LINT003")
+        assert "always true" in finding.message
+
+
+class TestManager:
+    def test_pipeline_failure_is_ana001(self):
+        # An undeclared array makes validation (and the pipeline) fail.
+        program = make_program(
+            loops=[("i", 0, 5)],
+            body=["A[i] = B[i] + 1"],
+            arrays=[("A", 6)],
+            name="broken",
+        )
+        report = analyze_program(program)
+        assert "ANA001" in codes(report.diagnostics)
+        assert report.has_errors
+
+    def test_crashing_pass_is_ana002_and_does_not_stop_others(self):
+        class Exploding:
+            name = "exploding"
+
+            def run(self, context):
+                raise RuntimeError("boom")
+
+        program = dep_free_program()
+        context = build_context(program)
+        report = run_passes(context, passes=[Exploding(), LintPass()])
+        assert "ANA002" in codes(report.diagnostics)
+        finding = next(d for d in report.diagnostics if d.code == "ANA002")
+        assert "boom" in finding.message
+
+    def test_full_pipeline_on_clean_program(self):
+        report = analyze_program(dep_free_program())
+        assert not report.has_errors

@@ -1,0 +1,163 @@
+"""Edge-case tests for nest/program validation (`repro.ir.validate`)."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir import Loop, make_nest, make_program, validate_nest, validate_program
+
+
+class TestBoundSymbols:
+    def test_implicit_parameters_allowed_without_params(self):
+        nest = make_nest(
+            loops=[("i", 0, "N-1"), ("j", "i", "i+b-1")],
+            body=["A[i, j] = A[i, j] + 1"],
+        )
+        validate_nest(nest)  # N and b are implicit parameters
+
+    def test_unknown_bound_symbol_rejected_with_params(self):
+        nest = make_nest(
+            loops=[("i", 0, "N-1"), ("j", 0, "M-1")],
+            body=["A[i, j] = A[i, j] + 1"],
+        )
+        validate_nest(nest, {"N", "M"})
+        with pytest.raises(IRError, match="unknown symbol 'M'"):
+            validate_nest(nest, {"N"})
+
+    def test_own_index_in_bound_rejected(self):
+        nest = make_nest(
+            loops=[("i", 0, "i+1")], body=["A[i] = A[i] + 1"]
+        )
+        with pytest.raises(IRError, match="non-outer index 'i'"):
+            validate_nest(nest)
+
+    def test_own_index_in_bound_rejected_even_with_params(self):
+        # The non-outer-index diagnosis must win over "unknown symbol".
+        nest = make_nest(
+            loops=[("i", 0, "i+1")], body=["A[i] = A[i] + 1"]
+        )
+        with pytest.raises(IRError, match="non-outer index 'i'"):
+            validate_nest(nest, {"N"})
+
+    def test_inner_index_in_outer_bound_rejected(self):
+        nest = make_nest(
+            loops=[("i", 0, "j"), ("j", 0, 5)],
+            body=["A[i, j] = A[i, j] + 1"],
+        )
+        with pytest.raises(IRError, match="non-outer index 'j'"):
+            validate_nest(nest)
+
+    def test_outer_index_in_inner_bound_allowed(self):
+        nest = make_nest(
+            loops=[("i", 0, 5), ("j", "i", "i+3")],
+            body=["A[i, j] = A[i, j] + 1"],
+        )
+        validate_nest(nest)
+
+
+class TestAlignmentExpressions:
+    def make_aligned(self, align):
+        return make_nest(
+            loops=[("i", 0, 11), Loop.make("j", 0, 11, step=2, align=align)],
+            body=["A[i, j] = A[i, j] + 1"],
+        )
+
+    def test_alignment_in_outer_index_allowed(self):
+        validate_nest(self.make_aligned("i"))
+
+    def test_alignment_in_parameter_allowed(self):
+        validate_nest(self.make_aligned("c"), {"c"})
+
+    def test_alignment_referencing_own_index_rejected(self):
+        with pytest.raises(IRError, match="alignment of loop 'j'.*'j'"):
+            validate_nest(self.make_aligned("j"))
+
+    def test_alignment_with_unknown_symbol_rejected_with_params(self):
+        # Before the rewrite, alignments skipped the unknown-symbol check.
+        with pytest.raises(IRError, match="alignment of loop 'j'.*unknown symbol 'q'"):
+            validate_nest(self.make_aligned("q"), {"N"})
+
+
+class TestSubscripts:
+    def test_subscript_unknown_symbol_rejected_with_params(self):
+        nest = make_nest(
+            loops=[("i", 0, 5)], body=["A[i + z] = A[i + z] + 1"]
+        )
+        validate_nest(nest)  # implicit-parameter mode
+        with pytest.raises(IRError, match="subscript of 'A'.*unknown symbol 'z'"):
+            validate_nest(nest, {"N"})
+
+
+class TestForeignIndices:
+    """Indices of *other* nests in the same compilation must not leak in."""
+
+    def plain(self):
+        return make_nest(
+            loops=[("i", 0, 5), ("j", 0, 5)],
+            body=["A[i, j] = A[i, j] + 1"],
+        )
+
+    def test_duplicate_index_across_nests_rejected(self):
+        with pytest.raises(IRError, match="collides with a loop index"):
+            validate_nest(self.plain(), foreign_indices=frozenset({"i"}))
+
+    def test_foreign_index_in_bound_rejected(self):
+        nest = make_nest(
+            loops=[("i", 0, "k-1")], body=["A[i] = A[i] + 1"]
+        )
+        with pytest.raises(IRError, match="bound of loop 'i'.*index 'k' of another nest"):
+            validate_nest(nest, foreign_indices=frozenset({"k"}))
+
+    def test_foreign_index_in_subscript_rejected(self):
+        nest = make_nest(
+            loops=[("i", 0, 5)], body=["A[i + k] = A[i + k] + 1"]
+        )
+        # Without the marker, k is an implicit parameter; with it, an error.
+        validate_nest(nest)
+        with pytest.raises(IRError, match="subscript of 'A'.*index 'k' of another nest"):
+            validate_nest(nest, foreign_indices=frozenset({"k"}))
+
+    def test_foreign_index_beats_params_whitelist(self):
+        # Even a params entry does not legitimize another nest's iterator.
+        nest = make_nest(
+            loops=[("i", 0, "k-1")], body=["A[i] = A[i] + 1"]
+        )
+        with pytest.raises(IRError, match="index 'k' of another nest"):
+            validate_nest(nest, {"N"}, foreign_indices=frozenset({"k"}))
+
+    def test_validate_program_passthrough(self):
+        program = make_program(
+            loops=[("i", 0, 5)],
+            body=["A[i] = A[i] + 1"],
+            arrays=[("A", 6)],
+        )
+        validate_program(program)
+        with pytest.raises(IRError, match="collides with a loop index"):
+            validate_program(program, foreign_indices=frozenset({"i"}))
+
+
+class TestProgramLevel:
+    def test_duplicate_loop_index_rejected(self):
+        nest = make_nest(
+            loops=[("i", 0, 5), ("i", 0, 5)],
+            body=["A[i] = A[i] + 1"],
+        )
+        with pytest.raises(IRError, match="duplicate loop index"):
+            validate_nest(nest)
+
+    def test_undeclared_array_rejected(self):
+        program = make_program(
+            loops=[("i", 0, 5)],
+            body=["A[i] = B[i] + 1"],
+            arrays=[("A", 6)],
+        )
+        with pytest.raises(IRError, match="'B' used but not declared"):
+            validate_program(program)
+
+    def test_rank_mismatch_rejected(self):
+        program = make_program(
+            loops=[("i", 0, 5)],
+            body=["A[i] = A[i] + 1"],
+            arrays=[("A", 6, 6)],
+        )
+        with pytest.raises(IRError, match="declared rank 2"):
+            validate_program(program)
