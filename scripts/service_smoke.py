@@ -1,0 +1,258 @@
+#!/usr/bin/env python
+"""End-to-end smoke of the compilation service against a real daemon.
+
+Starts ``repro serve`` as a subprocess, then:
+
+1. drives ``repro submit`` compile/analyze/simulate round-trips and
+   checks the output is byte-identical to the direct CLI for every
+   shipped example (including ``compile --json``);
+2. fires a burst of concurrent mixed compile/simulate requests (with
+   deliberate duplicates), asserts every admitted request is answered,
+   and that duplicate simulate requests collapsed to a single execution
+   (``/metricsz`` dedup/hit counters);
+3. sends SIGTERM mid-traffic and asserts a zero-drop graceful drain and
+   a clean exit code.
+
+Run from the repo root: ``python scripts/service_smoke.py [--burst 120]``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(ROOT, "src")
+
+
+def _env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return env
+
+
+def free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def run_cli(*args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True, text=True, env=_env(), cwd=ROOT, timeout=300,
+    )
+
+
+def wait_healthy(client, timeout: float = 30.0) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            if client.health()["status"] == "ok":
+                return
+        except Exception:
+            time.sleep(0.1)
+    raise SystemExit("service never became healthy")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--burst", type=int, default=120,
+                        help="concurrent mixed requests to fire")
+    parser.add_argument("--jobs", type=int, default=2)
+    args = parser.parse_args()
+
+    sys.path.insert(0, SRC)
+    from repro.service.client import ServiceClient
+
+    examples = sorted(glob.glob(os.path.join(ROOT, "examples/programs/*.an")))
+    assert examples, "no shipped examples found"
+    port = free_port()
+    # Server logs go to a file, not a pipe: an unread pipe would fill and
+    # block the daemon's stderr writes under heavy traffic.
+    log_path = os.path.join(ROOT, ".service-smoke.log")
+    log_file = open(log_path, "w", encoding="utf-8")
+    serve = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--port", str(port), "--jobs", str(args.jobs),
+            "--queue-limit", str(max(256, 2 * args.burst)),
+        ],
+        env=_env(), cwd=ROOT,
+        stdout=subprocess.DEVNULL, stderr=log_file, text=True,
+    )
+    client = ServiceClient("127.0.0.1", port, timeout=120.0)
+    failures = []
+    try:
+        wait_healthy(client)
+
+        # --- 1. byte-identical submit vs direct CLI --------------------
+        for path in examples:
+            rel = os.path.relpath(path, ROOT)
+            for extra in ([], ["--json"]):
+                direct = run_cli("compile", rel, *extra)
+                served = run_cli(
+                    "submit", "compile", "--port", str(port), rel, *extra
+                )
+                if direct.returncode != 0 or served.returncode != 0:
+                    failures.append(f"compile {rel} {extra}: nonzero exit")
+                elif direct.stdout != served.stdout:
+                    failures.append(f"compile {rel} {extra}: output drift")
+            direct = run_cli("analyze", rel, "--json")
+            served = run_cli(
+                "submit", "analyze", "--port", str(port), rel, "--json"
+            )
+            if direct.stdout != served.stdout:
+                failures.append(f"analyze {rel}: output drift")
+        rel = os.path.relpath(examples[0], ROOT)
+        direct = run_cli("simulate", rel, "-P", "1,4")
+        served = run_cli(
+            "submit", "simulate", "--port", str(port), rel, "-P", "1,4"
+        )
+        if direct.stdout != served.stdout:
+            failures.append("simulate: output drift")
+        print(f"byte-identity: {len(examples)} examples checked")
+
+        # --- 2. concurrent mixed burst with duplicates -----------------
+        source = open(examples[0], encoding="utf-8").read()
+        before = client.metrics()["metrics"]["counters"]
+        answered = []
+        errors = []
+
+        def fire(index: int) -> None:
+            local = ServiceClient("127.0.0.1", port, timeout=120.0)
+            try:
+                if index % 2 == 0:
+                    # Half the burst: only four distinct simulate cells.
+                    response = local.simulate(
+                        {"source": source, "processors": 2 + (index % 8) // 2}
+                    )
+                else:
+                    response = local.compile(
+                        {"source": source, "emit": "report"}
+                    )
+                answered.append(response["ok"])
+            except Exception as error:  # noqa: BLE001
+                errors.append(repr(error))
+
+        threads = [
+            threading.Thread(target=fire, args=(i,))
+            for i in range(args.burst)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=300)
+        if errors:
+            failures.append(f"burst errors: {errors[:5]} (+{len(errors)-5 if len(errors) > 5 else 0} more)")
+        if len(answered) != args.burst or not all(answered):
+            failures.append(
+                f"burst: {len(answered)}/{args.burst} answered ok"
+            )
+        after = client.metrics()["metrics"]["counters"]
+        sim_requests = args.burst - args.burst // 2
+        new_calls = after.get("simulate_calls", 0) - before.get("simulate_calls", 0)
+        joined = sum(
+            after.get(name, 0) - before.get(name, 0)
+            for name in ("service.dedup_inflight", "dedup_hits", "cache_hits")
+        )
+        print(
+            f"burst: {args.burst} requests, {new_calls} simulate executions, "
+            f"{joined} deduplicated joins"
+        )
+        if new_calls > 4:
+            failures.append(
+                f"dedup failed: {new_calls} executions for 4 distinct cells"
+            )
+        if joined < sim_requests - 4:
+            failures.append(
+                f"dedup counters too low: {joined} < {sim_requests - 4}"
+            )
+
+        # --- 3. second identical request hits the cache ----------------
+        client.simulate({"source": source, "processors": 27})
+        warm_before = client.metrics()["metrics"]["counters"]
+        client.simulate({"source": source, "processors": 27})
+        warm_after = client.metrics()["metrics"]["counters"]
+        warm_joins = sum(
+            warm_after.get(n, 0) - warm_before.get(n, 0)
+            for n in ("cache_hits", "dedup_hits", "service.dedup_inflight")
+        )
+        if warm_joins < 1:
+            failures.append("second identical request did not hit the cache")
+        print(f"warm repeat: {warm_joins} cache/dedup join(s)")
+
+        # --- 4. graceful drain under in-flight traffic -----------------
+        drain_results = []
+
+        def slow_request() -> None:
+            local = ServiceClient("127.0.0.1", port, timeout=120.0)
+            response = local.compile({"source": source, "delay_ms": 1000})
+            drain_results.append(response["ok"])
+
+        slow = threading.Thread(target=slow_request)
+        slow.start()
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline:
+            if client.health()["queue_depth"] >= 1:
+                break
+            time.sleep(0.02)
+        serve.send_signal(signal.SIGTERM)
+        slow.join(timeout=60)
+        if drain_results != [True]:
+            failures.append(
+                f"drain dropped the in-flight request: {drain_results}"
+            )
+        else:
+            print("drain: in-flight request completed during SIGTERM drain")
+    finally:
+        try:
+            serve.send_signal(signal.SIGTERM)
+        except ProcessLookupError:
+            pass
+        try:
+            serve.wait(timeout=60)
+        except subprocess.TimeoutExpired:
+            serve.kill()
+            serve.wait()
+            failures.append("server did not exit after SIGTERM")
+        log_file.close()
+        err = open(log_path, encoding="utf-8").read()
+
+    if serve.returncode not in (0, -signal.SIGTERM):
+        failures.append(f"server exit code {serve.returncode}")
+    drained = [
+        json.loads(line)
+        for line in err.splitlines()
+        if line.startswith("{") and '"event"' in line
+    ]
+    events = [record["event"] for record in drained]
+    if "drain_complete" not in events:
+        failures.append(f"no drain_complete log event (saw {set(events)})")
+    else:
+        final = [r for r in drained if r["event"] == "drain_complete"][-1]
+        if final.get("dropped"):
+            failures.append(f"drain dropped {final['dropped']} request(s)")
+        print(f"server exit {serve.returncode}, drain_complete dropped=0")
+
+    if failures:
+        print("\nFAILURES:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("service smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -33,11 +33,14 @@ from repro.ir.program import Program
 from repro.lang import parse_program
 
 
-def _load_input(path: str) -> Tuple[Program, FrozenSet[str]]:
-    """Parse one input file into ``(program, suppressions)``."""
-    with open(path, "r", encoding="utf-8") as handle:
-        text = handle.read()
-    if path.endswith(".json"):
+def load_analysis_input(name: str, text: str) -> Tuple[Program, FrozenSet[str]]:
+    """Parse one input (by name suffix) into ``(program, suppressions)``.
+
+    ``name`` selects the format: ``*.json`` is a fuzz-corpus entry, anything
+    else is DSL source.  Shared by the CLI (which reads files) and the
+    compilation service (which receives the text over the wire).
+    """
+    if name.endswith(".json"):
         from repro.fuzz.spec import ProgramSpec
 
         data: Any = json.loads(text)
@@ -47,30 +50,53 @@ def _load_input(path: str) -> Tuple[Program, FrozenSet[str]]:
         if isinstance(data, dict):
             ignore = data.get("analyze", {}).get("ignore", ())
         return program, normalize_suppressions(ignore)
-    program = parse_program(text, name=path)
+    program = parse_program(text, name=name)
     return program, collect_suppressions(text)
 
 
-def cmd_analyze(args: argparse.Namespace) -> int:
-    threshold = Severity.from_label(args.fail_on)
-    priority = args.priority.split(",") if args.priority else None
+def _load_input(path: str) -> Tuple[Program, FrozenSet[str]]:
+    """Parse one input file into ``(program, suppressions)``."""
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    return load_analysis_input(path, text)
+
+
+def analyze_texts(
+    inputs: Sequence[Tuple[str, str]],
+    *,
+    fail_on: str = "error",
+    priority: Optional[Sequence[str]] = None,
+    assume: Sequence[str] = (),
+    schedule: str = "wrapped",
+    assume_sync: bool = False,
+    as_json: bool = False,
+) -> Tuple[str, str, int]:
+    """Analyze ``(name, text)`` inputs and render the CLI report.
+
+    Returns ``(stdout, stderr, exit_code)`` exactly as ``repro analyze``
+    would print them — the compilation service reuses this so its
+    ``analyze`` endpoint is byte-identical to the direct CLI path.
+    """
+    threshold = Severity.from_label(fail_on)
     reports: List[AnalysisReport] = []
-    for path in args.files:
-        program, suppressions = _load_input(path)
+    for name, text in inputs:
+        program, suppressions = load_analysis_input(name, text)
         report = analyze_program(
             program,
-            priority=priority,
+            priority=list(priority) if priority else None,
             assumptions=(
-                (tuple(program.assumptions) + tuple(args.assume)) or None
+                (tuple(program.assumptions) + tuple(assume)) or None
             ),
-            schedule=args.schedule,
-            sync=args.assume_sync,
+            schedule=schedule,
+            sync=assume_sync,
             suppressions=suppressions,
         )
         reports.append(report)
 
     failed = sum(1 for report in reports if report.at_or_above(threshold))
-    if args.json:
+    out_lines: List[str] = []
+    err_lines: List[str] = []
+    if as_json:
         payload = {
             "tool": "repro-analyze",
             "fail_on": threshold.label,
@@ -78,18 +104,38 @@ def cmd_analyze(args: argparse.Namespace) -> int:
             "failed": failed,
             "reports": [report.to_dict() for report in reports],
         }
-        print(json.dumps(payload, indent=2, sort_keys=True))
+        out_lines.append(json.dumps(payload, indent=2, sort_keys=True))
     else:
         for report in reports:
-            print(report.render_text())
+            out_lines.append(report.render_text())
         noun = "input" if len(reports) == 1 else "inputs"
-        print(
+        err_lines.append(
             f"analyzed {len(reports)} {noun}: "
             f"{len(reports) - failed} clean at {threshold.label}+, "
-            f"{failed} flagged",
-            file=sys.stderr,
+            f"{failed} flagged"
         )
-    return 1 if failed else 0
+    return "\n".join(out_lines), "\n".join(err_lines), 1 if failed else 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    inputs: List[Tuple[str, str]] = []
+    for path in args.files:
+        with open(path, "r", encoding="utf-8") as handle:
+            inputs.append((path, handle.read()))
+    stdout, stderr, code = analyze_texts(
+        inputs,
+        fail_on=args.fail_on,
+        priority=args.priority.split(",") if args.priority else None,
+        assume=tuple(args.assume),
+        schedule=args.schedule,
+        assume_sync=args.assume_sync,
+        as_json=args.json,
+    )
+    if stdout:
+        print(stdout)
+    if stderr:
+        print(stderr, file=sys.stderr)
+    return code
 
 
 def add_analyze_parser(
@@ -101,6 +147,13 @@ def add_analyze_parser(
         parents=list(parents or ()),
         help="statically check legality, bounds, races, and lint findings",
     )
+    add_analyze_options(parser)
+    parser.set_defaults(func=cmd_analyze)
+    return parser
+
+
+def add_analyze_options(parser: argparse.ArgumentParser) -> None:
+    """The ``analyze`` arguments, shared with ``repro submit analyze``."""
     parser.add_argument(
         "files",
         nargs="+",
@@ -140,5 +193,3 @@ def add_analyze_parser(
         "carried dependences then report as RACE004 info instead of "
         "race errors",
     )
-    parser.set_defaults(func=cmd_analyze)
-    return parser

@@ -1,6 +1,6 @@
 """Command-line driver: the 'compiler binary' of this reproduction.
 
-Five subcommands:
+Subcommands:
 
 * ``compile FILE``  — run access normalization and print the requested
   artifacts (report, transformed IR, node program, generated Python);
@@ -12,7 +12,14 @@ Five subcommands:
 * ``autodist FILE`` — search for a good data distribution (the Section 9
   "use our techniques in reverse" speculation);
 * ``fuzz``          — differential fuzzing of the whole pipeline against
-  the reference interpreter (see :mod:`repro.fuzz`).
+  the reference interpreter (see :mod:`repro.fuzz`);
+* ``serve``         — run the long-lived compilation service daemon;
+* ``submit``        — run compile/analyze/simulate through a daemon with
+  byte-identical output (see :mod:`repro.service`).
+
+``compile``/``analyze``/``simulate`` execute through the same job layer
+as the service (:mod:`repro.service.jobs`), so the direct and served
+paths cannot drift apart.
 
 Programs are written in the FORTRAN-D-style DSL (see ``repro.lang``);
 sample programs live in ``examples/programs/``.
@@ -24,25 +31,18 @@ import argparse
 import sys
 from typing import List, Optional, Sequence
 
-from repro.bench.harness import format_table, run_speedup_sweep, speedup_table
-from repro.codegen import (
-    emit_python,
-    generate_ownership,
-    generate_spmd,
-    render_node_program,
-)
-from repro.core import access_normalize
+from repro.bench.harness import format_table
 from repro.errors import ReproError
-from repro.ir import render_nest
 from repro.lang import parse_program
-from repro.numa import butterfly_gp1000, ipsc860, simulate, uniform_memory
 from repro.runtime import Metrics
-
-_MACHINES = {
-    "butterfly": butterfly_gp1000,
-    "ipsc860": ipsc860,
-    "uniform": uniform_memory,
-}
+from repro.service.jobs import (
+    MACHINES as _MACHINES,
+    compile_payload,
+    machine_from_payload,
+    run_compile,
+    run_sweep,
+    sweep_payload,
+)
 
 
 def _load(path: str):
@@ -51,15 +51,15 @@ def _load(path: str):
 
 
 def _machine(args):
-    factory = _MACHINES[args.machine]
-    overrides = {}
-    if args.contention is not None:
-        overrides["contention_coefficient"] = args.contention
-    return factory(**overrides)
+    return machine_from_payload(
+        {"machine": args.machine, "contention": args.contention}
+    )
 
 
 def _parse_procs(text: str) -> List[int]:
-    """Argparse type for ``--processors``: a non-empty list of positive ints."""
+    """Argparse type for ``--processors``: positive ints, deduplicated and
+    sorted (``4,4,1`` would otherwise produce duplicate/unordered sweep
+    cells and skew cache statistics)."""
     try:
         procs = [int(part) for part in text.split(",") if part.strip()]
     except ValueError:
@@ -76,74 +76,22 @@ def _parse_procs(text: str) -> List[int]:
         raise argparse.ArgumentTypeError(
             f"processor counts must be positive, got {text!r}"
         )
-    return procs
+    return sorted(set(procs))
 
 
 def cmd_compile(args) -> int:
-    program = _load(args.file)
-    priority = args.priority.split(",") if args.priority else None
-    result = access_normalize(
-        program, priority=priority,
-        assumptions=(tuple(program.assumptions) + tuple(args.assume)) or None,
-    )
-    emit = args.emit
-    out = []
-    if emit in ("report", "all"):
-        out.append("=== access normalization report ===")
-        out.append(result.report())
-    if emit in ("ir", "all"):
-        out.append("=== transformed loop nest ===")
-        out.append(render_nest(result.transformed.nest))
-    node = generate_spmd(
-        result.transformed,
-        schedule=args.schedule,
-        block_transfers=not args.no_block_transfers,
-    )
-    if emit in ("node", "all"):
-        out.append("=== SPMD node program ===")
-        out.append(render_node_program(node))
-    if emit in ("python", "all"):
-        out.append("=== generated Python ===")
-        out.append(emit_python(node.program))
-    print("\n".join(out))
+    print(run_compile(compile_payload(args)))
     return 0
 
 
 def cmd_simulate(args) -> int:
     metrics = Metrics()
-    with metrics.stage("parse"):
-        program = _load(args.file)
-    priority = args.priority.split(",") if args.priority else None
-    with metrics.stage("normalize"):
-        result = access_normalize(
-            program, priority=priority,
-            assumptions=(tuple(program.assumptions) + tuple(args.assume)) or None,
-        )
-    machine = _machine(args)
-    with metrics.stage("codegen"):
-        nodes = {
-            "naive": generate_spmd(program, block_transfers=False),
-            "normalized": generate_spmd(result.transformed, block_transfers=False),
-            "normalized+bt": generate_spmd(result.transformed),
-        }
-        if args.ownership:
-            try:
-                nodes["ownership"] = generate_ownership(program)
-            except ReproError as error:
-                print(f"(skipping ownership baseline: {error})", file=sys.stderr)
-    procs = args.processors
-    series = run_speedup_sweep(
-        nodes, procs, machine=machine, baseline="normalized+bt",
-        jobs=args.jobs, metrics=metrics,
+    stdout, stderr = run_sweep(
+        sweep_payload(args), jobs=args.jobs, metrics=metrics
     )
-    print(f"machine: {machine.name}")
-    print(speedup_table(procs, series))
-    if args.detail:
-        outcome = simulate(
-            nodes["normalized+bt"], processors=procs[-1], machine=machine
-        )
-        print(f"\nper-processor breakdown (normalized+bt, P={procs[-1]}):")
-        print(outcome.table())
+    if stderr:
+        print(stderr, file=sys.stderr)
+    print(stdout)
     if args.profile:
         print(metrics.report(), file=sys.stderr)
     return 0
@@ -175,6 +123,39 @@ def cmd_autodist(args) -> int:
     if args.profile:
         print(metrics.report(), file=sys.stderr)
     return 0
+
+
+def add_compile_options(parser: argparse.ArgumentParser) -> None:
+    """The ``compile`` arguments, shared with ``repro submit compile``."""
+    parser.add_argument(
+        "--emit",
+        choices=["report", "ir", "node", "python", "all"],
+        default="all",
+    )
+    parser.add_argument(
+        "--schedule", choices=["wrapped", "blocked"], default="wrapped"
+    )
+    parser.add_argument("--no-block-transfers", action="store_true")
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit the selected artifacts as one JSON document",
+    )
+
+
+def add_simulate_options(parser: argparse.ArgumentParser) -> None:
+    """The ``simulate`` arguments, shared with ``repro submit simulate``."""
+    parser.add_argument(
+        "-P", "--processors", default=[1, 4, 8, 16, 28], type=_parse_procs,
+        help="comma-separated processor counts",
+    )
+    parser.add_argument(
+        "--ownership", action="store_true",
+        help="include the ownership-rule baseline",
+    )
+    parser.add_argument(
+        "--detail", action="store_true",
+        help="print a per-processor breakdown at the largest P",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -222,33 +203,14 @@ def build_parser() -> argparse.ArgumentParser:
     compile_cmd = sub.add_parser(
         "compile", parents=[common], help="run the pass and print artifacts"
     )
-    compile_cmd.add_argument(
-        "--emit",
-        choices=["report", "ir", "node", "python", "all"],
-        default="all",
-    )
-    compile_cmd.add_argument(
-        "--schedule", choices=["wrapped", "blocked"], default="wrapped"
-    )
-    compile_cmd.add_argument("--no-block-transfers", action="store_true")
+    add_compile_options(compile_cmd)
     compile_cmd.set_defaults(func=cmd_compile)
 
     simulate_cmd = sub.add_parser(
         "simulate", parents=[common, machine, runtime],
         help="sweep processor counts and print speedups",
     )
-    simulate_cmd.add_argument(
-        "-P", "--processors", default=[1, 4, 8, 16, 28], type=_parse_procs,
-        help="comma-separated processor counts",
-    )
-    simulate_cmd.add_argument(
-        "--ownership", action="store_true",
-        help="include the ownership-rule baseline",
-    )
-    simulate_cmd.add_argument(
-        "--detail", action="store_true",
-        help="print a per-processor breakdown at the largest P",
-    )
+    add_simulate_options(simulate_cmd)
     simulate_cmd.set_defaults(func=cmd_simulate)
 
     autodist_cmd = sub.add_parser(
@@ -262,9 +224,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     from repro.analysis.cli import add_analyze_parser
     from repro.fuzz.cli import add_fuzz_parser
+    from repro.service.cli import add_serve_parser, add_submit_parser
 
     add_analyze_parser(sub)
     add_fuzz_parser(sub, parents=[runtime])
+    add_serve_parser(sub)
+    add_submit_parser(sub, common=common, machine=machine)
     return parser
 
 

@@ -112,6 +112,40 @@ class SimulationResult:
         """Speedup relative to a sequential (1-processor) time."""
         return sequential_time_us / self.total_time_us
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready summary (the compilation service's wire format)."""
+        totals = self.totals
+        return {
+            "node": self.node_name,
+            "processors": self.processors,
+            "machine": self.machine.name,
+            "total_time_us": self.total_time_us,
+            "remote_multiplier": self.remote_multiplier,
+            "totals": {
+                "local": totals.local,
+                "remote": totals.remote,
+                "block_transfers": totals.block_transfers,
+                "block_bytes": totals.block_bytes,
+                "guards": totals.guards,
+                "statements": totals.statements,
+                "iterations": totals.iterations,
+                "syncs": totals.syncs,
+            },
+            "per_proc": [
+                {
+                    "proc": result.proc,
+                    "time_us": result.time_us,
+                    "iterations": result.counts.iterations,
+                    "local": result.counts.local,
+                    "remote": result.counts.remote,
+                    "block_transfers": result.counts.block_transfers,
+                    "block_bytes": result.counts.block_bytes,
+                    "syncs": result.counts.syncs,
+                }
+                for result in self.per_proc
+            ],
+        }
+
     def summary(self) -> str:
         """One-line human-readable summary."""
         totals = self.totals

@@ -5,6 +5,7 @@ from repro.runtime.cache import (
     cell_key,
     node_fingerprint,
     reset_shared_cache,
+    set_shared_cache,
     shared_cache,
 )
 from repro.runtime.executor import SweepCell, resolve_jobs, run_grid, run_tasks
@@ -26,5 +27,6 @@ __all__ = [
     "resolve_jobs",
     "run_grid",
     "run_tasks",
+    "set_shared_cache",
     "shared_cache",
 ]

@@ -27,6 +27,7 @@ from repro.codegen.spmd import NodeProgram
 from repro.ir.printer import render_nest
 from repro.numa.machine import MachineConfig
 from repro.numa.simulator import SimulationResult
+from repro.runtime.metrics import global_metrics
 
 
 def node_fingerprint(node: NodeProgram) -> str:
@@ -94,22 +95,35 @@ class SimulationCache:
     ``max_entries`` bounds the in-memory layer (0 disables it).  When
     ``store_dir`` is given, results are also pickled to
     ``<store_dir>/<key>.pkl`` so a fresh process (a re-run of the CLI or of
-    the report generator) starts warm.
+    the report generator) starts warm.  ``disk_max_entries`` caps the disk
+    store for long-lived processes (the compilation daemon): when a put
+    pushes the store over the cap, the oldest entries by mtime are evicted.
+
+    A corrupted or truncated disk entry (partial write, interrupted
+    process, unpicklable payload) is treated as a miss: the entry is
+    deleted, a ``cache.disk_corrupt`` counter is recorded on the global
+    metrics sink, and the simulation simply re-runs.
     """
 
     def __init__(
         self,
         max_entries: int = 4096,
         store_dir: Optional[str] = None,
+        disk_max_entries: Optional[int] = None,
     ) -> None:
         self.max_entries = max_entries
         self.store_dir = store_dir
+        self.disk_max_entries = disk_max_entries
         self._memory: "OrderedDict[str, SimulationResult]" = OrderedDict()
         if store_dir:
             os.makedirs(store_dir, exist_ok=True)
 
     def __len__(self) -> int:
         return len(self._memory)
+
+    def disk_entries(self) -> int:
+        """Number of entries currently in the disk store (0 when disabled)."""
+        return len(self._disk_paths())
 
     def get(self, key: str) -> Optional[SimulationResult]:
         """The cached result for ``key``, or None."""
@@ -121,7 +135,23 @@ class SimulationCache:
             try:
                 with open(path, "rb") as handle:
                     result = pickle.load(handle)
-            except (OSError, pickle.UnpicklingError, EOFError):
+            except OSError:
+                return None  # plain miss: entry was never written
+            except Exception:
+                # Truncated pickle, garbage bytes, or an entry written by an
+                # incompatible version: drop it and re-simulate.
+                global_metrics().count("cache.disk_corrupt")
+                try:
+                    os.remove(path)
+                except OSError:
+                    pass
+                return None
+            if not isinstance(result, SimulationResult):
+                global_metrics().count("cache.disk_corrupt")
+                try:
+                    os.remove(path)
+                except OSError:
+                    pass
                 return None
             self._remember(key, result)
             return result
@@ -139,6 +169,42 @@ class SimulationCache:
                 os.replace(tmp, path)
             except OSError:
                 pass  # best-effort persistence; the memory layer still holds it
+            else:
+                self._evict_disk()
+
+    def _disk_paths(self) -> list:
+        """All ``.pkl`` entry paths in the store (empty when disabled)."""
+        if not self.store_dir:
+            return []
+        try:
+            names = os.listdir(self.store_dir)
+        except OSError:
+            return []
+        return [
+            os.path.join(self.store_dir, name)
+            for name in names
+            if name.endswith(".pkl")
+        ]
+
+    def _evict_disk(self) -> None:
+        """Keep the disk store at or under ``disk_max_entries`` (oldest out)."""
+        if not self.disk_max_entries or self.disk_max_entries <= 0:
+            return
+        paths = self._disk_paths()
+        excess = len(paths) - self.disk_max_entries
+        if excess <= 0:
+            return
+        def _mtime(path: str) -> float:
+            try:
+                return os.path.getmtime(path)
+            except OSError:
+                return 0.0
+        for path in sorted(paths, key=_mtime)[:excess]:
+            try:
+                os.remove(path)
+                global_metrics().count("cache.disk_evictions")
+            except OSError:
+                pass
 
     def clear(self) -> None:
         """Drop the in-memory layer (disk entries are kept)."""
@@ -160,11 +226,34 @@ def shared_cache() -> SimulationCache:
     """The process-wide default cache used when callers pass ``cache=None``.
 
     Honors the ``REPRO_CACHE_DIR`` environment variable (set at first use)
-    for an on-disk store shared across processes.
+    for an on-disk store shared across processes, and
+    ``REPRO_CACHE_MAX_ENTRIES`` for the disk-store cap applied by
+    long-lived processes such as the compilation daemon.
     """
     global _SHARED
     if _SHARED is None:
-        _SHARED = SimulationCache(store_dir=os.environ.get("REPRO_CACHE_DIR"))
+        cap_text = os.environ.get("REPRO_CACHE_MAX_ENTRIES")
+        try:
+            cap = int(cap_text) if cap_text else None
+        except ValueError:
+            cap = None
+        _SHARED = SimulationCache(
+            store_dir=os.environ.get("REPRO_CACHE_DIR"),
+            disk_max_entries=cap,
+        )
+    return _SHARED
+
+
+def set_shared_cache(cache: Optional[SimulationCache]) -> SimulationCache:
+    """Install ``cache`` as the process-wide default and return it.
+
+    The compilation service uses this so every execution path in the
+    daemon (batched simulate cells, sweeps running inside pool workers
+    forked from the warm parent) converges on one cache object.
+    ``None`` installs a fresh default-configured cache.
+    """
+    global _SHARED
+    _SHARED = cache if cache is not None else SimulationCache()
     return _SHARED
 
 

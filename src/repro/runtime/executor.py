@@ -22,6 +22,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import pickle
+import signal
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence
 
@@ -150,7 +151,9 @@ def run_tasks(
         processes = min(jobs, len(items))
         try:
             context = _pool_context()
-            with context.Pool(processes=processes) as pool:
+            with context.Pool(
+                processes=processes, initializer=_pool_worker_init
+            ) as pool:
                 outcomes = pool.map(function, items, chunksize=1)
             if metrics is not None:
                 metrics.count("parallel_batches")
@@ -164,6 +167,23 @@ def run_tasks(
 def _execute(tasks, *, jobs: int, metrics: Metrics):
     """Run simulation tasks, parallel when possible, serial otherwise."""
     return run_tasks(_guarded_simulate_task, tasks, jobs=jobs, metrics=metrics)
+
+
+def _pool_worker_init():
+    """Detach a forked worker from the parent's signal plumbing.
+
+    A fork inherits ``signal.set_wakeup_fd``'s file descriptor — under an
+    asyncio parent (the compilation service) that fd is one end of the
+    socketpair the event loop watches, so a signal delivered to a *worker*
+    (e.g. the pool's own SIGTERM on teardown) would be reported to the
+    parent's loop as if the daemon itself had been told to shut down.
+    """
+    try:
+        signal.set_wakeup_fd(-1)
+    except (ValueError, OSError):  # pragma: no cover - non-main thread
+        pass
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
 
 
 def _pool_context():

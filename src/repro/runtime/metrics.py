@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import time
 from contextlib import contextmanager
-from typing import Dict, Iterator, Optional
+from typing import Dict, Iterator, Mapping, Optional, Union
 
 #: Canonical stage names, in pipeline order (used to order the report).
 PIPELINE_STAGES = ("parse", "normalize", "codegen", "simulate")
@@ -44,12 +44,25 @@ class Metrics:
         finally:
             self.add_time(name, time.perf_counter() - start)
 
-    def merge(self, other: "Metrics") -> None:
-        """Fold another metrics object into this one."""
-        for name, value in other.counters.items():
-            self.count(name, value)
-        for name, value in other.timers.items():
-            self.add_time(name, value)
+    def merge(self, other: Union["Metrics", Mapping[str, object]]) -> None:
+        """Fold another metrics object (or a snapshot dict) into this one.
+
+        Accepts either a live :class:`Metrics` or the plain-dict snapshot
+        shape produced by :meth:`to_dict`.  The dict form is what worker
+        processes ship back to the compilation service's event loop: a
+        snapshot is picklable and detached, so merging it on the single
+        event-loop thread never races a worker still mutating the source.
+        """
+        if isinstance(other, Metrics):
+            counters: Mapping[str, object] = other.counters
+            timers: Mapping[str, object] = other.timers
+        else:
+            counters = other.get("counters", {})  # type: ignore[assignment]
+            timers = other.get("timers", {})  # type: ignore[assignment]
+        for name, value in counters.items():
+            self.count(name, int(value))  # type: ignore[call-overload]
+        for name, value in timers.items():
+            self.add_time(name, float(value))  # type: ignore[arg-type]
 
     def reset(self) -> None:
         """Clear all counters and timers."""
@@ -62,6 +75,18 @@ class Metrics:
     def counter(self, name: str) -> int:
         """Current value of counter ``name`` (0 when never incremented)."""
         return self.counters.get(name, 0)
+
+    def to_dict(self) -> Dict[str, Dict[str, float]]:
+        """Stable JSON-ready snapshot: ``{"counters": ..., "timers": ...}``.
+
+        Keys are sorted so serialized snapshots are deterministic; this is
+        the shape ``/metricsz`` serves and the shape :meth:`merge` accepts
+        back from worker processes.
+        """
+        return {
+            "counters": {k: self.counters[k] for k in sorted(self.counters)},
+            "timers": {k: self.timers[k] for k in sorted(self.timers)},
+        }
 
     def report(self) -> str:
         """Human-readable profile: stage timings first, then counters."""

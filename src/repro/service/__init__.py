@@ -1,0 +1,26 @@
+"""The compilation service: a long-lived daemon over the compile pipeline.
+
+Every CLI entry point (``repro compile/analyze/simulate``) is a cold
+start: it re-imports the package, re-parses the program and re-derives
+the transformation pipeline per invocation.  The paper's block-transfer
+argument (Section 1: amortize the 70 us iPSC message startup over many
+elements) applies to the toolchain itself — this package amortizes the
+per-request startup over a process lifetime by serving the pipeline from
+a warm asyncio daemon with shared caches.
+
+Layers:
+
+* :mod:`repro.service.protocol` — wire shapes, config, error taxonomy;
+* :mod:`repro.service.jobs` — pure job execution shared with the direct
+  CLI (which is what makes served output byte-identical to ``repro``);
+* :mod:`repro.service.queueing` — bounded admission with backpressure;
+* :mod:`repro.service.batching` — micro-batching + in-flight dedup;
+* :mod:`repro.service.server` — the asyncio JSON-over-HTTP daemon;
+* :mod:`repro.service.client` — a thin synchronous client;
+* :mod:`repro.service.cli` — ``repro serve`` and ``repro submit``.
+"""
+
+from repro.service.client import ServiceClient
+from repro.service.protocol import ServiceConfig, ServiceError
+
+__all__ = ["ServiceClient", "ServiceConfig", "ServiceError"]

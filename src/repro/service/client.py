@@ -1,0 +1,137 @@
+"""A thin synchronous client for the compilation service.
+
+Stdlib ``http.client`` only; one connection per request (the server
+closes connections after answering).  Failures surface as
+:class:`~repro.service.protocol.ServiceError` carrying the server's
+error code and, for 429, the ``Retry-After`` hint.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import socket
+from typing import Any, Dict, Mapping, Optional
+
+from repro.service.protocol import DEFAULT_PORT, OPS, ServiceError
+
+#: Environment overrides consulted for defaults (so ``repro submit`` in a
+#: shell session does not need ``--host/--port`` every time).
+HOST_ENV = "REPRO_SERVICE_HOST"
+PORT_ENV = "REPRO_SERVICE_PORT"
+
+
+def default_host() -> str:
+    return os.environ.get(HOST_ENV, "127.0.0.1")
+
+
+def default_port() -> int:
+    raw = os.environ.get(PORT_ENV)
+    try:
+        return int(raw) if raw else DEFAULT_PORT
+    except ValueError:
+        return DEFAULT_PORT
+
+
+class ServiceClient:
+    """Round-trip JSON requests to a running ``repro serve`` daemon."""
+
+    def __init__(
+        self,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
+        *,
+        timeout: float = 120.0,
+    ) -> None:
+        self.host = host if host is not None else default_host()
+        self.port = port if port is not None else default_port()
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+    def _roundtrip(
+        self, method: str, path: str, body: Optional[Mapping[str, Any]] = None
+    ) -> Dict[str, Any]:
+        payload = None
+        headers = {"Accept": "application/json", "Connection": "close"}
+        if body is not None:
+            payload = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            connection.request(method, path, body=payload, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+            status = response.status
+            retry_after = response.getheader("Retry-After")
+        except (ConnectionError, socket.timeout, OSError) as error:
+            raise ServiceError(
+                f"cannot reach compilation service at "
+                f"{self.host}:{self.port}: {error}",
+                code="unreachable",
+                status=0,
+            )
+        finally:
+            connection.close()
+        try:
+            document = json.loads(raw.decode("utf-8")) if raw else {}
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            raise ServiceError(
+                f"service returned non-JSON response (HTTP {status})",
+                code="bad_response",
+                status=status,
+            )
+        if status != 200:
+            error_info = (
+                document.get("error", {}) if isinstance(document, dict) else {}
+            )
+            raise ServiceError(
+                str(error_info.get("message", f"HTTP {status}")),
+                code=str(error_info.get("code", "internal")),
+                status=status,
+                retry_after=float(retry_after) if retry_after else None,
+            )
+        if not isinstance(document, dict):
+            raise ServiceError(
+                "service returned a non-object JSON response",
+                code="bad_response",
+                status=status,
+            )
+        return document
+
+    # ------------------------------------------------------------------
+    # endpoints
+    # ------------------------------------------------------------------
+    def health(self) -> Dict[str, Any]:
+        """``GET /healthz``."""
+        return self._roundtrip("GET", "/healthz")
+
+    def metrics(self) -> Dict[str, Any]:
+        """``GET /metricsz``."""
+        return self._roundtrip("GET", "/metricsz")
+
+    def submit(self, op: str, payload: Mapping[str, Any]) -> Dict[str, Any]:
+        """``POST /v1/<op>`` and return the full response document."""
+        if op not in OPS:
+            raise ServiceError(
+                f"unknown op {op!r}: expected one of {list(OPS)}",
+                code="bad_request",
+            )
+        return self._roundtrip("POST", f"/v1/{op}", payload)
+
+    # Convenience wrappers mirroring the endpoint names.
+    def compile(self, payload: Mapping[str, Any]) -> Dict[str, Any]:
+        return self.submit("compile", payload)
+
+    def analyze(self, payload: Mapping[str, Any]) -> Dict[str, Any]:
+        return self.submit("analyze", payload)
+
+    def simulate(self, payload: Mapping[str, Any]) -> Dict[str, Any]:
+        return self.submit("simulate", payload)
+
+    def sweep(self, payload: Mapping[str, Any]) -> Dict[str, Any]:
+        return self.submit("sweep", payload)

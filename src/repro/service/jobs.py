@@ -1,0 +1,458 @@
+"""Pure job execution shared by the direct CLI and the compilation service.
+
+Every endpoint of the daemon and the corresponding ``repro`` subcommand
+call the *same* function in this module over the *same* payload dict, so
+served output is byte-identical to the direct path by construction —
+``repro submit compile --json`` and ``repro compile --json`` cannot
+drift apart because there is only one implementation.
+
+Payloads are plain JSON-compatible dicts (they cross both the HTTP wire
+and the ``multiprocessing`` pickle boundary); :func:`execute_job` is the
+top-level importable worker entry point the runtime's
+:func:`~repro.runtime.executor.run_tasks` fans batches out with, and
+:func:`execute_batch` is the blocking batch runner the daemon calls on
+its executor thread.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.analysis.cli import analyze_texts
+from repro.bench.harness import run_speedup_sweep, speedup_table
+from repro.codegen import (
+    emit_python,
+    generate_ownership,
+    generate_spmd,
+    render_node_program,
+)
+from repro.core import access_normalize
+from repro.errors import ReproError
+from repro.ir import render_nest
+from repro.ir.program import Program
+from repro.lang import parse_program
+from repro.numa import butterfly_gp1000, ipsc860, simulate, uniform_memory
+from repro.numa.machine import MachineConfig
+from repro.runtime import (
+    Metrics,
+    SimulationCache,
+    SweepCell,
+    run_grid,
+    run_tasks,
+)
+
+#: Machine factories shared with the CLI's ``--machine`` choice.
+MACHINES = {
+    "butterfly": butterfly_gp1000,
+    "ipsc860": ipsc860,
+    "uniform": uniform_memory,
+}
+
+#: Simulation variants accepted by the ``simulate`` op.
+VARIANTS = ("naive", "normalized", "normalized+bt")
+
+_EMIT_CHOICES = ("report", "ir", "node", "python", "all")
+
+
+# ----------------------------------------------------------------------
+# payload construction (used by both `repro <cmd>` and `repro submit`)
+# ----------------------------------------------------------------------
+def _read_file(path: str) -> str:
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def compile_payload(args) -> Dict[str, object]:
+    """The ``compile`` payload for parsed CLI args (reads the source file)."""
+    return {
+        "source": _read_file(args.file),
+        "name": args.file,
+        "priority": args.priority,
+        "assume": list(args.assume),
+        "emit": args.emit,
+        "schedule": args.schedule,
+        "block_transfers": not args.no_block_transfers,
+        "json": bool(getattr(args, "json", False)),
+    }
+
+
+def analyze_payload(args) -> Dict[str, object]:
+    """The ``analyze`` payload for parsed CLI args (reads every input)."""
+    return {
+        "inputs": [
+            {"name": path, "text": _read_file(path)} for path in args.files
+        ],
+        "json": bool(args.json),
+        "fail_on": args.fail_on,
+        "priority": args.priority,
+        "assume": list(args.assume),
+        "schedule": args.schedule,
+        "assume_sync": bool(args.assume_sync),
+    }
+
+
+def sweep_payload(args) -> Dict[str, object]:
+    """The ``sweep`` payload for parsed ``repro simulate`` args."""
+    return {
+        "source": _read_file(args.file),
+        "name": args.file,
+        "priority": args.priority,
+        "assume": list(args.assume),
+        "machine": args.machine,
+        "contention": args.contention,
+        "processors": list(args.processors),
+        "ownership": bool(args.ownership),
+        "detail": bool(args.detail),
+    }
+
+
+# ----------------------------------------------------------------------
+# payload interpretation
+# ----------------------------------------------------------------------
+def machine_from_payload(payload: Mapping[str, object]) -> MachineConfig:
+    """Build the target machine named by ``payload``."""
+    name = payload.get("machine", "butterfly")
+    factory = MACHINES.get(str(name))
+    if factory is None:
+        raise ReproError(
+            f"unknown machine {name!r}: expected one of {sorted(MACHINES)}"
+        )
+    contention = payload.get("contention")
+    if contention is not None:
+        return factory(contention_coefficient=float(contention))  # type: ignore[arg-type]
+    return factory()
+
+
+def _parse_source(payload: Mapping[str, object], metrics: Metrics) -> Program:
+    source = payload.get("source")
+    if not isinstance(source, str) or not source.strip():
+        raise ReproError("request needs a non-empty 'source' string")
+    name = str(payload.get("name") or "<request>")
+    with metrics.stage("parse"):
+        return parse_program(source, name=name)
+
+
+def _normalize(payload: Mapping[str, object], program: Program, metrics: Metrics):
+    priority_text = payload.get("priority")
+    priority = str(priority_text).split(",") if priority_text else None
+    assume = tuple(str(fact) for fact in (payload.get("assume") or ()))
+    with metrics.stage("normalize"):
+        return access_normalize(
+            program,
+            priority=priority,
+            assumptions=(tuple(program.assumptions) + assume) or None,
+        )
+
+
+def _normalize_processors(raw: object) -> List[int]:
+    """Validate a processor-count list: positive ints, deduplicated, sorted."""
+    if raw is None:
+        raw = [1, 4, 8, 16, 28]
+    if not isinstance(raw, (list, tuple)) or not raw:
+        raise ReproError(
+            "'processors' must be a non-empty list of positive integers"
+        )
+    procs = []
+    for item in raw:
+        try:
+            value = int(item)
+        except (TypeError, ValueError):
+            raise ReproError(f"invalid processor count {item!r}")
+        if value <= 0:
+            raise ReproError(f"processor counts must be positive, got {item!r}")
+        procs.append(value)
+    return sorted(set(procs))
+
+
+def _test_delay(payload: Mapping[str, object]) -> None:
+    """Honor the ``delay_ms`` testing aid (used to exercise timeouts,
+    queue backpressure and drain ordering deterministically)."""
+    delay = payload.get("delay_ms")
+    if delay:
+        time.sleep(float(delay) / 1000.0)  # type: ignore[arg-type]
+
+
+# ----------------------------------------------------------------------
+# the jobs themselves
+# ----------------------------------------------------------------------
+def run_compile(
+    payload: Mapping[str, object], *, metrics: Optional[Metrics] = None
+) -> str:
+    """``repro compile``'s stdout (sans trailing newline) for ``payload``."""
+    metrics = metrics if metrics is not None else Metrics()
+    program = _parse_source(payload, metrics)
+    result = _normalize(payload, program, metrics)
+    emit = str(payload.get("emit", "all"))
+    if emit not in _EMIT_CHOICES:
+        raise ReproError(
+            f"unknown emit kind {emit!r}: expected one of {_EMIT_CHOICES}"
+        )
+    schedule = str(payload.get("schedule", "wrapped"))
+    block_transfers = bool(payload.get("block_transfers", True))
+    with metrics.stage("codegen"):
+        node = generate_spmd(
+            result.transformed,
+            schedule=schedule,
+            block_transfers=block_transfers,
+        )
+    sections: List[Tuple[str, str, str]] = []
+    if emit in ("report", "all"):
+        sections.append(
+            ("report", "access normalization report", result.report())
+        )
+    if emit in ("ir", "all"):
+        sections.append(
+            ("ir", "transformed loop nest", render_nest(result.transformed.nest))
+        )
+    if emit in ("node", "all"):
+        sections.append(("node", "SPMD node program", render_node_program(node)))
+    if emit in ("python", "all"):
+        sections.append(("python", "generated Python", emit_python(node.program)))
+    if payload.get("json"):
+        document = {
+            "tool": "repro-compile",
+            "program": program.name,
+            "schedule": schedule,
+            "block_transfers": block_transfers,
+            "artifacts": {key: text for key, _, text in sections},
+        }
+        return json.dumps(document, indent=2, sort_keys=True)
+    return "\n".join(
+        f"=== {title} ===\n{text}" for _, title, text in sections
+    )
+
+
+def run_analyze(
+    payload: Mapping[str, object], *, metrics: Optional[Metrics] = None
+) -> Tuple[str, str, int]:
+    """``repro analyze``'s ``(stdout, stderr, exit_code)`` for ``payload``."""
+    metrics = metrics if metrics is not None else Metrics()
+    raw_inputs = payload.get("inputs")
+    if not isinstance(raw_inputs, (list, tuple)) or not raw_inputs:
+        raise ReproError("analyze request needs a non-empty 'inputs' list")
+    inputs: List[Tuple[str, str]] = []
+    for item in raw_inputs:
+        if not isinstance(item, Mapping) or "text" not in item:
+            raise ReproError(
+                "each analyze input must be an object with 'name' and 'text'"
+            )
+        inputs.append((str(item.get("name", "<request>")), str(item["text"])))
+    priority_text = payload.get("priority")
+    with metrics.stage("analyze"):
+        return analyze_texts(
+            inputs,
+            fail_on=str(payload.get("fail_on", "error")),
+            priority=str(priority_text).split(",") if priority_text else None,
+            assume=tuple(str(f) for f in (payload.get("assume") or ())),
+            schedule=str(payload.get("schedule", "wrapped")),
+            assume_sync=bool(payload.get("assume_sync", False)),
+            as_json=bool(payload.get("json", False)),
+        )
+
+
+def run_sweep(
+    payload: Mapping[str, object],
+    *,
+    jobs: int = 1,
+    cache: Optional[SimulationCache] = None,
+    metrics: Optional[Metrics] = None,
+) -> Tuple[str, str]:
+    """``repro simulate``'s ``(stdout, stderr)`` for ``payload``."""
+    metrics = metrics if metrics is not None else Metrics()
+    program = _parse_source(payload, metrics)
+    result = _normalize(payload, program, metrics)
+    machine = machine_from_payload(payload)
+    err_lines: List[str] = []
+    with metrics.stage("codegen"):
+        nodes = {
+            "naive": generate_spmd(program, block_transfers=False),
+            "normalized": generate_spmd(result.transformed, block_transfers=False),
+            "normalized+bt": generate_spmd(result.transformed),
+        }
+        if payload.get("ownership"):
+            try:
+                nodes["ownership"] = generate_ownership(program)
+            except ReproError as error:
+                err_lines.append(f"(skipping ownership baseline: {error})")
+    procs = _normalize_processors(payload.get("processors"))
+    series = run_speedup_sweep(
+        nodes, procs, machine=machine, baseline="normalized+bt",
+        jobs=jobs, cache=cache, metrics=metrics,
+    )
+    lines = [f"machine: {machine.name}", speedup_table(procs, series)]
+    if payload.get("detail"):
+        outcome = simulate(
+            nodes["normalized+bt"], processors=procs[-1], machine=machine
+        )
+        lines.append(f"\nper-processor breakdown (normalized+bt, P={procs[-1]}):")
+        lines.append(outcome.table())
+    return "\n".join(lines), "\n".join(err_lines)
+
+
+def build_simulation_cell(
+    payload: Mapping[str, object], metrics: Optional[Metrics] = None
+) -> SweepCell:
+    """Compile a ``simulate`` payload down to one sweep-grid cell.
+
+    The cell is what the daemon's micro-batcher hands to
+    :func:`~repro.runtime.executor.run_grid`, whose fingerprint keys
+    (:func:`~repro.runtime.cache.cell_key`) then deduplicate identical
+    cells within the batch and against the shared cache.
+    """
+    metrics = metrics if metrics is not None else Metrics()
+    _test_delay(payload)
+    program = _parse_source(payload, metrics)
+    variant = str(payload.get("variant", "normalized+bt"))
+    if variant not in VARIANTS:
+        raise ReproError(
+            f"unknown variant {variant!r}: expected one of {VARIANTS}"
+        )
+    try:
+        processors = int(payload.get("processors", 1))  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        raise ReproError(
+            f"invalid processor count {payload.get('processors')!r}"
+        )
+    if processors <= 0:
+        raise ReproError(f"processor count must be positive, got {processors}")
+    machine = machine_from_payload(payload)
+    schedule = str(payload.get("schedule", "wrapped"))
+    if variant == "naive":
+        with metrics.stage("codegen"):
+            node = generate_spmd(program, block_transfers=False)
+    else:
+        result = _normalize(payload, program, metrics)
+        with metrics.stage("codegen"):
+            node = generate_spmd(
+                result.transformed,
+                schedule=schedule,
+                block_transfers=(variant == "normalized+bt"),
+            )
+    raw_params = payload.get("params") or None
+    params = None
+    if raw_params is not None:
+        if not isinstance(raw_params, Mapping):
+            raise ReproError("'params' must be an object of integer bindings")
+        params = {str(k): int(v) for k, v in raw_params.items()}  # type: ignore[arg-type]
+    return SweepCell(
+        name=f"{program.name}@{variant}",
+        node=node,
+        processors=processors,
+        params=params,
+        machine=machine,
+    )
+
+
+# ----------------------------------------------------------------------
+# worker + batch entry points
+# ----------------------------------------------------------------------
+def _ok(result: Mapping[str, object], exit_code: int = 0) -> Dict[str, object]:
+    return {"ok": True, "result": dict(result), "exit_code": exit_code}
+
+
+def _failed(code: str, message: str) -> Dict[str, object]:
+    return {
+        "ok": False,
+        "error": {"code": code, "message": message},
+        "exit_code": 1,
+    }
+
+
+def execute_job(item: Tuple[str, Mapping[str, object]]) -> Dict[str, object]:
+    """Run one non-simulate job; top-level and picklable for ``run_tasks``.
+
+    Returns a response dict with a ``metrics`` snapshot attached: worker
+    processes cannot mutate the daemon's :class:`Metrics`, so they ship a
+    detached :meth:`Metrics.to_dict` snapshot back for the event loop to
+    merge.
+    """
+    op, payload = item
+    metrics = Metrics()
+    try:
+        _test_delay(payload)
+        if op == "compile":
+            stdout = run_compile(payload, metrics=metrics)
+            response = _ok({"stdout": stdout, "stderr": ""})
+        elif op == "analyze":
+            stdout, stderr, code = run_analyze(payload, metrics=metrics)
+            response = _ok({"stdout": stdout, "stderr": stderr}, exit_code=code)
+        elif op == "sweep":
+            stdout, stderr = run_sweep(payload, metrics=metrics)
+            response = _ok({"stdout": stdout, "stderr": stderr})
+        else:
+            response = _failed("bad_request", f"unknown op {op!r}")
+    except ReproError as error:
+        response = _failed("compile_error", str(error))
+    except Exception as error:  # noqa: BLE001 - workers must not crash batches
+        response = _failed("internal", f"{type(error).__name__}: {error}")
+    response["metrics"] = metrics.to_dict()
+    return response
+
+
+def execute_batch(
+    items: Sequence[Tuple[str, Mapping[str, object]]],
+    *,
+    jobs: int = 1,
+    cache: Optional[SimulationCache] = None,
+) -> Tuple[List[Dict[str, object]], Dict[str, Dict[str, float]]]:
+    """Run one micro-batch of mixed requests; blocking, executor-thread side.
+
+    ``simulate`` items are compiled to sweep cells and pushed through one
+    :func:`run_grid` call, so identical cells inside the batch collapse to
+    a single execution (``dedup_hits``) and cells seen before come from
+    the shared cache (``cache_hits``).  Everything else fans out over
+    :func:`run_tasks` with :func:`execute_job`.  Returns per-item response
+    dicts in input order plus one merged metrics snapshot.
+    """
+    metrics = Metrics()
+    results: List[Optional[Dict[str, object]]] = [None] * len(items)
+
+    cells: List[SweepCell] = []
+    cell_slots: List[int] = []
+    other_slots: List[int] = []
+    for index, (op, payload) in enumerate(items):
+        if op != "simulate":
+            other_slots.append(index)
+            continue
+        try:
+            cells.append(build_simulation_cell(payload, metrics))
+            cell_slots.append(index)
+        except ReproError as error:
+            results[index] = _failed("compile_error", str(error))
+        except Exception as error:  # noqa: BLE001
+            results[index] = _failed(
+                "internal", f"{type(error).__name__}: {error}"
+            )
+
+    if cells:
+        outcomes = run_grid(
+            cells, jobs=jobs, cache=cache, metrics=metrics, on_error="keep"
+        )
+        for slot, outcome in zip(cell_slots, outcomes):
+            if isinstance(outcome, ReproError):
+                results[slot] = _failed("compile_error", str(outcome))
+            else:
+                results[slot] = _ok({"simulation": outcome.to_dict()})
+
+    if other_slots:
+        outcomes = run_tasks(
+            execute_job,
+            [items[slot] for slot in other_slots],
+            jobs=jobs,
+            metrics=metrics,
+        )
+        for slot, outcome in zip(other_slots, outcomes):
+            snapshot = outcome.pop("metrics", None)
+            if snapshot:
+                metrics.merge(snapshot)
+            results[slot] = outcome
+
+    finished = [
+        result
+        if result is not None
+        else _failed("internal", "batch produced no result")
+        for result in results
+    ]
+    return finished, metrics.to_dict()

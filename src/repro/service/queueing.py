@@ -1,0 +1,72 @@
+"""Bounded admission with backpressure for the compilation service.
+
+The daemon admits at most ``capacity`` requests at a time; beyond that
+it sheds load immediately (HTTP 429 + ``Retry-After``) instead of
+queueing unboundedly — a full queue that keeps accepting work only turns
+overload into timeouts.  :meth:`AdmissionQueue.join` is what graceful
+drain waits on: it resolves when every admitted request has been
+answered.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Optional
+
+
+class AdmissionQueue:
+    """A counting admission gate for the single event-loop thread.
+
+    All methods must be called from the event loop; there is no locking
+    because there is no cross-thread access (workers never touch this).
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError(f"queue capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.admitted_total = 0
+        self.rejected_total = 0
+        self._active = 0
+        self._idle: Optional[asyncio.Event] = None
+
+    @property
+    def depth(self) -> int:
+        """Requests currently admitted and not yet answered."""
+        return self._active
+
+    def _idle_event(self) -> asyncio.Event:
+        # Created lazily so the queue can be constructed off-loop.
+        if self._idle is None:
+            self._idle = asyncio.Event()
+            if self._active == 0:
+                self._idle.set()
+        return self._idle
+
+    def try_acquire(self) -> bool:
+        """Admit one request, or refuse (caller answers 429)."""
+        if self._active >= self.capacity:
+            self.rejected_total += 1
+            return False
+        self._active += 1
+        self.admitted_total += 1
+        self._idle_event().clear()
+        return True
+
+    def release(self) -> None:
+        """A previously admitted request has been answered."""
+        if self._active <= 0:  # pragma: no cover - defensive
+            raise RuntimeError("release() without a matching try_acquire()")
+        self._active -= 1
+        if self._active == 0:
+            self._idle_event().set()
+
+    def retry_after_s(self) -> int:
+        """The backoff hint sent with 429 responses."""
+        return 1
+
+    async def join(self) -> None:
+        """Wait until no admitted request remains in flight."""
+        if self._active == 0:
+            return
+        await self._idle_event().wait()

@@ -135,6 +135,87 @@ class TestSimulationCache:
         assert warm_metrics.counter("simulate_calls") == 0
         assert warm_metrics.counter("cache_hits") == 1
 
+    def test_corrupt_disk_entry_is_a_counted_miss(self, gemm_node, tmp_path):
+        from repro.runtime.metrics import global_metrics
+
+        cache = SimulationCache(store_dir=str(tmp_path))
+        cache.put("key", simulate(gemm_node, processors=2))
+        path = tmp_path / "key.pkl"
+        path.write_bytes(b"\x80\x04 truncated garbage")
+        fresh = SimulationCache(store_dir=str(tmp_path))
+        before = global_metrics().counter("cache.disk_corrupt")
+        assert fresh.get("key") is None
+        assert global_metrics().counter("cache.disk_corrupt") == before + 1
+        assert not path.exists()  # corrupted entry was deleted
+
+    def test_non_result_disk_entry_is_rejected(self, gemm_node, tmp_path):
+        import pickle
+
+        cache = SimulationCache(store_dir=str(tmp_path))
+        (tmp_path / "key.pkl").write_bytes(pickle.dumps({"not": "a result"}))
+        assert cache.get("key") is None
+        assert not (tmp_path / "key.pkl").exists()
+
+    def test_disk_cap_evicts_oldest_by_mtime(self, gemm_node, tmp_path):
+        import os
+
+        result = simulate(gemm_node, processors=2)
+        cache = SimulationCache(store_dir=str(tmp_path), disk_max_entries=2)
+        for index, key in enumerate(["old", "mid", "new"]):
+            cache.put(key, result)
+            # Force distinct mtimes without sleeping.
+            stamp = 1_000_000 + index
+            os.utime(tmp_path / f"{key}.pkl", (stamp, stamp))
+            cache._evict_disk()
+        assert cache.disk_entries() == 2
+        assert not (tmp_path / "old.pkl").exists()
+        assert (tmp_path / "new.pkl").exists()
+
+    def test_disk_entries_counts_store(self, gemm_node, tmp_path):
+        cache = SimulationCache(store_dir=str(tmp_path))
+        assert cache.disk_entries() == 0
+        cache.put("a", simulate(gemm_node, processors=2))
+        assert cache.disk_entries() == 1
+        assert SimulationCache().disk_entries() == 0  # no store configured
+
+
+class TestMetricsSnapshots:
+    def test_to_dict_shape_and_sorting(self):
+        metrics = Metrics()
+        metrics.count("zeta")
+        metrics.count("alpha", 2)
+        metrics.add_time("simulate", 0.5)
+        snapshot = metrics.to_dict()
+        assert snapshot == {
+            "counters": {"alpha": 2, "zeta": 1},
+            "timers": {"simulate": 0.5},
+        }
+        assert list(snapshot["counters"]) == ["alpha", "zeta"]
+
+    def test_merge_accepts_snapshot_dicts(self):
+        metrics = Metrics()
+        metrics.count("cells", 1)
+        metrics.merge(
+            {"counters": {"cells": 4}, "timers": {"simulate": 0.25}}
+        )
+        assert metrics.counter("cells") == 5
+        assert metrics.timers["simulate"] == pytest.approx(0.25)
+
+    def test_merge_snapshot_roundtrip(self):
+        source = Metrics()
+        source.count("hits", 3)
+        source.add_time("parse", 0.1)
+        sink = Metrics()
+        sink.merge(source.to_dict())
+        assert sink.to_dict() == source.to_dict()
+
+    def test_report_format_unchanged_by_snapshot_merge(self):
+        metrics = Metrics()
+        metrics.merge({"counters": {"cache_hits": 7}, "timers": {}})
+        text = metrics.report()
+        assert "cache_hits" in text
+        assert text.startswith("pipeline profile")
+
 
 class TestSimulateTask:
     def test_matches_direct_simulate(self, gemm_node):

@@ -1,0 +1,383 @@
+"""Tests for the compilation service: daemon, batching, client, submit CLI."""
+
+import glob
+import json
+import threading
+import time
+
+import pytest
+
+from repro.cli import _parse_procs, main
+from repro.runtime import SimulationCache, reset_shared_cache, set_shared_cache
+from repro.service.client import ServiceClient
+from repro.service.jobs import execute_batch, execute_job, run_compile
+from repro.service.protocol import ServiceConfig, ServiceError
+from repro.service.queueing import AdmissionQueue
+from repro.service.server import ServerThread
+
+EXAMPLES = sorted(glob.glob("examples/programs/*.an"))
+
+GEMM_SOURCE = """
+program gemm
+param N = 8
+real C(N, N) distribute (*, wrapped)
+real A(N, N) distribute (*, wrapped)
+real B(N, N) distribute (*, wrapped)
+
+for i = 0, N-1
+    for j = 0, N-1
+        for k = 0, N-1
+            C[i, j] = C[i, j] + A[i, k] * B[k, j]
+"""
+
+
+@pytest.fixture
+def isolated_cache():
+    """Give each server test a private shared cache; restore after."""
+    cache = set_shared_cache(SimulationCache())
+    yield cache
+    reset_shared_cache()
+
+
+@pytest.fixture
+def server(isolated_cache):
+    config = ServiceConfig(
+        port=0, jobs=1, log_requests=False, batch_window_s=0.005,
+        queue_limit=32, timeout_s=30.0,
+    )
+    with ServerThread(config) as handle:
+        yield handle
+
+
+@pytest.fixture
+def client(server):
+    return ServiceClient("127.0.0.1", server.port, timeout=30.0)
+
+
+def wait_until(predicate, timeout=10.0, interval=0.01):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+class TestEndpoints:
+    def test_healthz(self, client):
+        health = client.health()
+        assert health["status"] == "ok"
+        assert health["version"] == 1
+        assert health["uptime_s"] >= 0.0
+
+    def test_metricsz_shape(self, client):
+        client.compile({"source": GEMM_SOURCE, "emit": "report"})
+        snapshot = client.metrics()
+        assert snapshot["service"]["queue"]["capacity"] == 32
+        assert snapshot["service"]["queue"]["depth"] == 0
+        assert snapshot["metrics"]["counters"]["service.requests"] >= 1
+        assert "timers" in snapshot["metrics"]
+        assert "memory_entries" in snapshot["cache"]
+
+    def test_compile_roundtrip(self, client):
+        response = client.compile({"source": GEMM_SOURCE})
+        assert response["ok"] is True
+        assert response["exit_code"] == 0
+        stdout = response["result"]["stdout"]
+        assert "access normalization report" in stdout
+        assert "generated Python" in stdout
+
+    def test_analyze_roundtrip(self, client):
+        response = client.analyze(
+            {"inputs": [{"name": "gemm.an", "text": GEMM_SOURCE}]}
+        )
+        assert response["ok"] is True
+        assert response["exit_code"] == 0
+        assert "gemm" in response["result"]["stdout"]
+
+    def test_simulate_roundtrip(self, client):
+        response = client.simulate({"source": GEMM_SOURCE, "processors": 4})
+        simulation = response["result"]["simulation"]
+        assert simulation["processors"] == 4
+        assert simulation["total_time_us"] > 0
+        assert len(simulation["per_proc"]) == 4
+
+    def test_sweep_roundtrip(self, client):
+        response = client.sweep({"source": GEMM_SOURCE, "processors": [1, 4]})
+        stdout = response["result"]["stdout"]
+        assert stdout.startswith("machine: ")
+        assert "normalized+bt" in stdout
+
+    def test_compile_error_maps_to_422(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.compile({"source": "this is not a program"})
+        assert excinfo.value.status == 422
+        assert excinfo.value.code == "compile_error"
+
+    def test_missing_source_is_compile_error(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.simulate({"processors": 2})
+        assert excinfo.value.status == 422
+
+    def test_unknown_op_is_404(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client._roundtrip("POST", "/v1/transmogrify", {})
+        assert excinfo.value.status == 404
+
+    def test_bad_json_body_is_400(self, server):
+        import http.client
+
+        connection = http.client.HTTPConnection(
+            "127.0.0.1", server.port, timeout=10
+        )
+        connection.request(
+            "POST", "/v1/compile", body=b"{not json",
+            headers={"Content-Type": "application/json"},
+        )
+        response = connection.getresponse()
+        assert response.status == 400
+        connection.close()
+
+
+class TestDeduplication:
+    def test_concurrent_identical_simulations_run_once(self, server):
+        payload = {"source": GEMM_SOURCE, "processors": 8}
+        results = []
+
+        def worker():
+            local = ServiceClient("127.0.0.1", server.port, timeout=30.0)
+            results.append(local.simulate(payload))
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(results) == 8
+        payloads = {
+            json.dumps(r["result"]["simulation"], sort_keys=True)
+            for r in results
+        }
+        assert len(payloads) == 1
+        counters = ServiceClient("127.0.0.1", server.port).metrics()[
+            "metrics"
+        ]["counters"]
+        # One real execution; the other seven joined an in-flight future,
+        # a within-batch grid slot, or the warm cache.
+        assert counters["simulate_calls"] == 1
+        joined = (
+            counters.get("service.dedup_inflight", 0)
+            + counters.get("dedup_hits", 0)
+            + counters.get("cache_hits", 0)
+        )
+        assert joined == 7
+
+    def test_repeat_request_hits_cache(self, client):
+        payload = {"source": GEMM_SOURCE, "processors": 4}
+        client.simulate(payload)
+        client.simulate(payload)
+        counters = client.metrics()["metrics"]["counters"]
+        assert counters["simulate_calls"] == 1
+        assert counters.get("cache_hits", 0) >= 1
+
+
+class TestBackpressure:
+    def test_queue_full_answers_429(self, isolated_cache):
+        config = ServiceConfig(
+            port=0, jobs=1, log_requests=False, queue_limit=1,
+            batch_window_s=0.0, timeout_s=30.0,
+        )
+        with ServerThread(config) as handle:
+            client = ServiceClient("127.0.0.1", handle.port, timeout=30.0)
+            outcome = {}
+
+            def slow():
+                outcome["response"] = client.compile(
+                    {"source": GEMM_SOURCE, "delay_ms": 1500}
+                )
+
+            thread = threading.Thread(target=slow)
+            thread.start()
+            assert wait_until(
+                lambda: client.health()["queue_depth"] == 1
+            ), "slow request never admitted"
+            with pytest.raises(ServiceError) as excinfo:
+                client.compile({"source": GEMM_SOURCE})
+            assert excinfo.value.status == 429
+            assert excinfo.value.code == "queue_full"
+            assert excinfo.value.retry_after is not None
+            thread.join(timeout=30)
+            assert outcome["response"]["ok"] is True
+            counters = client.metrics()["metrics"]["counters"]
+            assert counters["service.rejected"] >= 1
+
+    def test_timeout_answers_504(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.compile(
+                {"source": GEMM_SOURCE, "delay_ms": 3000, "timeout_s": 0.2}
+            )
+        assert excinfo.value.status == 504
+        assert excinfo.value.code == "timeout"
+        counters = client.metrics()["metrics"]["counters"]
+        assert counters["service.timeouts"] >= 1
+
+    def test_timeout_does_not_cancel_other_waiters(self, server):
+        """A timed-out waiter must not tear down the shared computation."""
+        payload = {"source": GEMM_SOURCE, "processors": 2, "delay_ms": 600}
+        outcome = {}
+
+        def patient():
+            local = ServiceClient("127.0.0.1", server.port, timeout=30.0)
+            outcome["response"] = local.simulate(payload)
+
+        thread = threading.Thread(target=patient)
+        thread.start()
+        time.sleep(0.1)
+        impatient = ServiceClient("127.0.0.1", server.port, timeout=30.0)
+        with pytest.raises(ServiceError):
+            impatient.simulate({**payload, "timeout_s": 0.1})
+        thread.join(timeout=30)
+        assert outcome["response"]["ok"] is True
+
+
+class TestGracefulDrain:
+    def test_drain_completes_in_flight_requests(self, isolated_cache):
+        config = ServiceConfig(
+            port=0, jobs=1, log_requests=False, batch_window_s=0.0,
+            timeout_s=30.0,
+        )
+        handle = ServerThread(config).start()
+        client = ServiceClient("127.0.0.1", handle.port, timeout=30.0)
+        outcome = {}
+
+        def slow():
+            outcome["response"] = client.compile(
+                {"source": GEMM_SOURCE, "delay_ms": 800}
+            )
+
+        thread = threading.Thread(target=slow)
+        thread.start()
+        assert wait_until(lambda: client.health()["queue_depth"] == 1)
+        handle.stop(timeout=30)  # initiates drain and joins the loop thread
+        thread.join(timeout=30)
+        assert outcome["response"]["ok"] is True
+        assert "access normalization report" in (
+            outcome["response"]["result"]["stdout"]
+        )
+        with pytest.raises(ServiceError):
+            client.health()  # listener is gone after drain
+
+
+class TestByteIdenticalWithDirectCLI:
+    @pytest.mark.parametrize("path", EXAMPLES)
+    def test_compile_json_matches(self, path, server, capsys):
+        assert main(["compile", path, "--json"]) == 0
+        direct = capsys.readouterr().out
+        assert main([
+            "submit", "compile", "--host", "127.0.0.1",
+            "--port", str(server.port), path, "--json",
+        ]) == 0
+        served = capsys.readouterr().out
+        assert served == direct
+
+    @pytest.mark.parametrize("path", EXAMPLES)
+    def test_compile_text_matches(self, path, server, capsys):
+        assert main(["compile", path]) == 0
+        direct = capsys.readouterr().out
+        assert main([
+            "submit", "compile", "--host", "127.0.0.1",
+            "--port", str(server.port), path,
+        ]) == 0
+        served = capsys.readouterr().out
+        assert served == direct
+
+    def test_analyze_matches(self, server, capsys):
+        path = EXAMPLES[0]
+        assert main(["analyze", path, "--json"]) == 0
+        direct = capsys.readouterr().out
+        assert main([
+            "submit", "analyze", "--host", "127.0.0.1",
+            "--port", str(server.port), path, "--json",
+        ]) == 0
+        served = capsys.readouterr().out
+        assert served == direct
+
+    def test_simulate_matches(self, server, capsys):
+        path = EXAMPLES[0]
+        assert main(["simulate", path, "-P", "1,4"]) == 0
+        direct = capsys.readouterr().out
+        assert main([
+            "submit", "simulate", "--host", "127.0.0.1",
+            "--port", str(server.port), path, "-P", "1,4",
+        ]) == 0
+        served = capsys.readouterr().out
+        assert served == direct
+
+
+class TestJobLayer:
+    def test_execute_job_reports_errors_as_values(self):
+        response = execute_job(("compile", {"source": "garbage input"}))
+        assert response["ok"] is False
+        assert response["error"]["code"] == "compile_error"
+        assert response["exit_code"] == 1
+        assert "metrics" in response
+
+    def test_execute_job_unknown_op(self):
+        response = execute_job(("minify", {"source": GEMM_SOURCE}))
+        assert response["ok"] is False
+        assert response["error"]["code"] == "bad_request"
+
+    def test_execute_batch_mixed_ops(self):
+        cache = SimulationCache()
+        items = [
+            ("compile", {"source": GEMM_SOURCE, "emit": "report"}),
+            ("simulate", {"source": GEMM_SOURCE, "processors": 2}),
+            ("simulate", {"source": GEMM_SOURCE, "processors": 2}),
+            ("simulate", {"source": "broken", "processors": 2}),
+        ]
+        results, snapshot = execute_batch(items, jobs=1, cache=cache)
+        assert results[0]["ok"] and "stdout" in results[0]["result"]
+        assert results[1]["ok"] and results[2]["ok"]
+        assert results[1]["result"] == results[2]["result"]
+        assert results[3]["ok"] is False
+        # The two identical cells collapsed inside one run_grid call.
+        assert snapshot["counters"]["simulate_calls"] == 1
+        assert snapshot["counters"]["dedup_hits"] == 1
+
+    def test_run_compile_json_is_deterministic(self):
+        payload = {"source": GEMM_SOURCE, "json": True}
+        assert run_compile(payload) == run_compile(payload)
+        document = json.loads(run_compile(payload))
+        assert document["tool"] == "repro-compile"
+        assert set(document["artifacts"]) == {"report", "ir", "node", "python"}
+
+
+class TestAdmissionQueue:
+    def test_capacity_enforced(self):
+        queue = AdmissionQueue(2)
+        assert queue.try_acquire() and queue.try_acquire()
+        assert not queue.try_acquire()
+        assert queue.rejected_total == 1
+        queue.release()
+        assert queue.try_acquire()
+        assert queue.admitted_total == 3
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            AdmissionQueue(0)
+
+
+class TestParseProcs:
+    def test_deduplicates_and_sorts(self):
+        assert _parse_procs("4,4,1") == [1, 4]
+        assert _parse_procs("8,2,2,8,1") == [1, 2, 8]
+
+    def test_rejects_junk(self):
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_procs("4,x")
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_procs("")
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_procs("0,4")
