@@ -1,0 +1,213 @@
+#!/usr/bin/env python
+"""Benchmark the accounting-tier trajectory on the paper's kernels.
+
+Times the account-mode sweeps behind Figure 4 (GEMM) and Figure 5 (banded
+SYR2K) twice — once with the interpreter walk forced (tier 3) and once
+with automatic tier selection — and writes ``BENCH_simulator.json`` with
+per-config wall-clock, the tier histogram of the auto run, and a checksum
+over every per-processor count.  The two runs must produce identical
+checksums (the tiers are bit-identical by construction; this script hard
+fails otherwise), so the recorded speedup is purely an engine effect.
+
+Everything simulated here is deterministic — there is no randomness to
+seed — and the JSON carries no wall-clock timestamps beyond the optional
+``SOURCE_DATE_EPOCH`` stamp, so regenerating at the same scale changes
+only the timing fields.
+
+Usage (from the repo root):
+
+    PYTHONPATH=src python scripts/bench_trajectory.py           # paper scale
+    PYTHONPATH=src python scripts/bench_trajectory.py --smoke   # CI scale
+    PYTHONPATH=src python scripts/bench_trajectory.py --smoke --check
+
+``--check`` re-measures tier-1 coverage (at whatever scale is selected)
+and fails if it drops below the value recorded in the JSON — the CI
+``perf-smoke`` job runs this so a change that silently demotes the paper
+kernels off the closed-form engine cannot land.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import sys
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from repro.bench import PAPER_PROCS, gemm_variants, syr2k_variants
+from repro.bench.figures import figure_machine
+from repro.runtime.cache import SimulationCache
+from repro.runtime.executor import SweepCell, run_grid
+from repro.runtime.metrics import Metrics
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_OUTPUT = os.path.join(REPO_ROOT, "BENCH_simulator.json")
+
+#: The measured configurations: the account-mode sweeps behind the
+#: paper's two results figures, at paper scale and at a CI smoke scale.
+SCALES = {
+    "paper": {
+        "fig4-gemm": {"kind": "gemm", "n": 400, "procs": list(PAPER_PROCS)},
+        "fig5-syr2k": {
+            "kind": "syr2k", "n": 400, "b": 48, "procs": list(PAPER_PROCS)
+        },
+    },
+    "smoke": {
+        "fig4-gemm": {"kind": "gemm", "n": 64, "procs": [1, 4, 8]},
+        "fig5-syr2k": {
+            "kind": "syr2k", "n": 80, "b": 10, "procs": [1, 4, 8]
+        },
+    },
+}
+
+
+def _variants(config):
+    if config["kind"] == "gemm":
+        return gemm_variants(config["n"])
+    return syr2k_variants(config["n"], config["b"])
+
+
+def _cells(nodes, procs, machine, engine):
+    cells = []
+    for processors in procs:
+        for name, node in nodes.items():
+            cells.append(
+                SweepCell(name, node, processors, None, machine, engine=engine)
+            )
+    return cells
+
+
+def _checksum(results):
+    digest = hashlib.sha256()
+    for result in results:
+        for proc in result.per_proc:
+            counts = proc.counts
+            digest.update(
+                json.dumps(
+                    [
+                        counts.local, counts.remote, counts.block_transfers,
+                        counts.block_bytes, counts.guards, counts.statements,
+                        counts.iterations, counts.syncs,
+                    ]
+                ).encode("ascii")
+            )
+    return digest.hexdigest()
+
+
+def _measure(config, engine, jobs):
+    """One timed sweep with an isolated cache (no cross-engine hits)."""
+    nodes = _variants(config)
+    machine = figure_machine()
+    cells = _cells(nodes, config["procs"], machine, engine)
+    metrics = Metrics()
+    start = time.perf_counter()
+    results = run_grid(
+        cells, jobs=jobs, cache=SimulationCache(), metrics=metrics
+    )
+    wall = time.perf_counter() - start
+    tiers = {
+        name[len("sim.tier."):]: value
+        for name, value in metrics.counters.items()
+        if name.startswith("sim.tier.")
+    }
+    return {
+        "wall_s": round(wall, 4),
+        "tiers": tiers,
+        "cells": len(cells),
+        "checksum": _checksum(results),
+    }
+
+
+def run_benchmark(scale, jobs):
+    document = {
+        "schema": 1,
+        "scale": scale,
+        "source_date_epoch": int(os.environ.get("SOURCE_DATE_EPOCH", "0")),
+        "configs": {},
+    }
+    for name, config in SCALES[scale].items():
+        walk = _measure(config, "walk", jobs)
+        auto = _measure(config, "auto", jobs)
+        if walk["checksum"] != auto["checksum"]:
+            raise SystemExit(
+                f"{name}: tier results diverge from the walk engine "
+                f"({auto['checksum']} vs {walk['checksum']})"
+            )
+        closed = auto["tiers"].get("closed_form", 0)
+        coverage = closed / auto["cells"] if auto["cells"] else 0.0
+        speedup = walk["wall_s"] / auto["wall_s"] if auto["wall_s"] else 0.0
+        document["configs"][name] = {
+            "params": {k: v for k, v in config.items() if k != "kind"},
+            "counts_checksum": auto["checksum"],
+            "engines": {
+                "walk": {"wall_s": walk["wall_s"], "tiers": walk["tiers"]},
+                "auto": {"wall_s": auto["wall_s"], "tiers": auto["tiers"]},
+            },
+            "speedup_vs_walk": round(speedup, 2),
+            "tier1_coverage": round(coverage, 4),
+        }
+        print(
+            f"{name}: walk {walk['wall_s']:.3f}s -> auto {auto['wall_s']:.3f}s "
+            f"({speedup:.1f}x), tier-1 coverage {coverage:.0%}"
+        )
+    return document
+
+
+def check_coverage(document, recorded_path):
+    """Fail if tier-1 coverage dropped below the recorded values."""
+    with open(recorded_path, "r", encoding="utf-8") as handle:
+        recorded = json.load(handle)
+    failures = []
+    for name, fresh in document["configs"].items():
+        baseline = recorded.get("configs", {}).get(name)
+        if baseline is None:
+            continue
+        if fresh["tier1_coverage"] < baseline["tier1_coverage"]:
+            failures.append(
+                f"{name}: tier-1 coverage {fresh['tier1_coverage']:.0%} "
+                f"dropped below recorded {baseline['tier1_coverage']:.0%}"
+            )
+    return failures
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="reduced scale for CI (does not overwrite the recorded JSON)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="compare tier-1 coverage against the recorded JSON and fail "
+        "on regression instead of rewriting it",
+    )
+    parser.add_argument("--jobs", type=int, default=1)
+    parser.add_argument("--output", default=DEFAULT_OUTPUT)
+    args = parser.parse_args(argv)
+
+    scale = "smoke" if args.smoke else "paper"
+    document = run_benchmark(scale, args.jobs)
+
+    if args.check:
+        failures = check_coverage(document, args.output)
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print(f"tier-1 coverage holds against {args.output}")
+        return 0
+
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

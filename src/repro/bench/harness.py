@@ -54,6 +54,7 @@ def run_speedup_sweep(
     jobs: int = 1,
     cache: Optional[SimulationCache] = None,
     metrics: Optional[Metrics] = None,
+    engine: str = "auto",
 ) -> Dict[str, List[float]]:
     """Simulate every variant at every processor count and return speedups.
 
@@ -67,14 +68,22 @@ def run_speedup_sweep(
     grid order, so output is identical to a serial run), ``cache``
     memoizes cells across sweeps (``None`` uses the process-wide shared
     cache) and ``metrics`` collects stage timings and hit/miss counters.
+    ``engine`` forces an accounting tier for every cell (all tiers are
+    bit-identical; the perf benchmarks force ``walk`` for baselines).
     """
     machine = machine or butterfly_gp1000()
     names = list(nodes)
     base_name = baseline or names[0]
-    cells = [SweepCell(base_name, nodes[base_name], 1, params, machine)]
+    cells = [
+        SweepCell(base_name, nodes[base_name], 1, params, machine,
+                  engine=engine)
+    ]
     for processors in procs:
         for name in names:
-            cells.append(SweepCell(name, nodes[name], processors, params, machine))
+            cells.append(
+                SweepCell(name, nodes[name], processors, params, machine,
+                          engine=engine)
+            )
     results = run_grid(cells, jobs=jobs, cache=cache, metrics=metrics)
     sequential = results[0].total_time_us
     series: Dict[str, List[float]] = {name: [] for name in names}

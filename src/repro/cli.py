@@ -156,6 +156,15 @@ def add_simulate_options(parser: argparse.ArgumentParser) -> None:
         "--detail", action="store_true",
         help="print a per-processor breakdown at the largest P",
     )
+    parser.add_argument(
+        "--engine",
+        choices=["auto", "closed-form", "compiled", "walk"],
+        default="auto",
+        help="accounting engine tier: auto picks the fastest tier that "
+        "handles the nest (all tiers are bit-identical); forcing "
+        "closed-form or compiled fails with a clear error when the tier "
+        "cannot handle the nest (see docs/performance.md)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:

@@ -16,7 +16,12 @@ For one program spec, runs the full pipeline (``core.access_normalize`` →
    simulator's counters are non-negative, ``local + remote`` equals the
    per-iteration access count times the iteration count (every access is
    charged exactly once), iteration/statement totals match the sequential
-   interpreter, and a single processor sees no remote traffic at all.
+   interpreter, and a single processor sees no remote traffic at all;
+5. **Tier equivalence** — the closed-form and compiled accounting engines,
+   wherever they accept the nest, reproduce the interpreter walk's
+   per-processor :class:`AccessCounts` bit for bit.  A disagreement is
+   reported with its own status, ``"tier-mismatch"``, because it is an
+   engine bug rather than a semantics bug.
 
 Arrays are seeded with small integers (``init="smallint"``), and the
 generator only multiplies read-only values, so float64 arithmetic is exact
@@ -99,8 +104,27 @@ class _Mismatch(Exception):
         self.detail = detail
 
 
+class _TierMismatch(_Mismatch):
+    """Two accounting engines disagreed on a count (status ``tier-mismatch``)."""
+
+
 def _fresh_arrays(program: Program):
     return allocate_arrays(program, init="smallint", seed=ARRAY_SEED)
+
+
+def _forced_simulate(node: NodeProgram, processors: int, engine: str):
+    """Simulate with a forced tier, or None when the tier rejects the nest.
+
+    A rejection (e.g. guarded body for the closed-form engine) is
+    legitimate — tier coverage is a performance property, not a
+    correctness one — so it is skipped rather than reported.
+    """
+    from repro.errors import SimulationError
+
+    try:
+        return simulate(node, processors=processors, engine=engine)
+    except SimulationError:
+        return None
 
 
 def _compare_arrays(stage: str, expected, actual) -> None:
@@ -225,6 +249,27 @@ def check_program(
                             )
                 checks += 1
 
+                # -- 5: accounting-tier equivalence -----------------------
+                # The default simulation above used engine="auto"; pin down
+                # the walk and diff every tier that accepts the nest
+                # against it, per processor, on every counter.
+                walk = simulate(node, processors=processors, engine="walk")
+                for tier_name, tier_outcome in (("auto", outcome),) + tuple(
+                    (forced, _forced_simulate(node, processors, forced))
+                    for forced in ("closed-form", "compiled")
+                ):
+                    if tier_outcome is None:
+                        continue  # forced tier rejected the nest: fine
+                    for wp, tp in zip(walk.per_proc, tier_outcome.per_proc):
+                        if wp.counts != tp.counts:
+                            raise _TierMismatch(
+                                f"tier[{tier_name},{schedule},P={processors}]",
+                                f"engine {tier_outcome.engine!r} disagrees "
+                                f"with walk on proc {wp.proc}: "
+                                f"{tp.counts} vs {wp.counts}",
+                            )
+                    checks += 1
+
                 # Parallel execute-mode differential run: only valid when the
                 # distributed outer loop carries no dependence (the simulator
                 # runs processors one after another).
@@ -255,9 +300,13 @@ def check_program(
                     checks += 2
     except _Mismatch as mismatch:
         static = _static_verdict(program, result, first_node)
+        if isinstance(mismatch, _TierMismatch):
+            status = "tier-mismatch"
+        else:
+            status = "inconsistent" if static == "clean" else "mismatch"
         return CheckResult(
             ok=False,
-            status="inconsistent" if static == "clean" else "mismatch",
+            status=status,
             stage=mismatch.stage,
             detail=mismatch.detail, checks=checks,
             program_name=program.name, notes=tuple(notes), static=static,

@@ -38,6 +38,15 @@ from repro.linalg.lattice import (
     first_aligned_at_least,
     last_aligned_at_most,
 )
+from repro.linalg.progression import (
+    Progression,
+    affine_segment_starts,
+    congruence_period,
+    count_congruent,
+    count_in_interval,
+    residue_classes,
+    sum_affine_range,
+)
 from repro.linalg.smith import smith_normal_form
 
 __all__ = [
@@ -48,9 +57,14 @@ __all__ = [
     "IntegerLattice",
     "LevelBounds",
     "Matrix",
+    "Progression",
+    "affine_segment_starts",
     "as_int_vector",
     "clear_denominators",
     "column_hnf",
+    "congruence_period",
+    "count_congruent",
+    "count_in_interval",
     "dot",
     "eliminate",
     "eliminate_with_projections",
@@ -62,9 +76,11 @@ __all__ = [
     "implies_bound",
     "lcm",
     "maximize",
+    "residue_classes",
     "row_hnf",
     "smith_normal_form",
     "solve_diophantine",
+    "sum_affine_range",
     "try_solve_diophantine",
     "vector_gcd",
     "vector_lcm",

@@ -35,6 +35,7 @@ from repro.ir.interp import evaluate_scalar
 from repro.ir.loop import Loop
 from repro.ir.scalar import ArrayRef
 from repro.ir.stmt import Assign, BlockRead, IfThen, Statement
+from repro.linalg.progression import count_congruent, count_in_interval
 from repro.numa.machine import MachineConfig, butterfly_gp1000
 
 
@@ -94,6 +95,10 @@ class SimulationResult:
     machine: MachineConfig
     per_proc: Tuple[ProcessorResult, ...]
     remote_multiplier: float = 1.0
+    #: Which accounting engine produced the counts: ``closed-form``
+    #: (tier 1), ``compiled`` (tier 2) or ``walk`` (tier 3).  All three
+    #: are bit-identical on every count; the tier only affects speed.
+    engine: str = "walk"
 
     @property
     def total_time_us(self) -> float:
@@ -121,6 +126,7 @@ class SimulationResult:
             "machine": self.machine.name,
             "total_time_us": self.total_time_us,
             "remote_multiplier": self.remote_multiplier,
+            "engine": self.engine,
             "totals": {
                 "local": totals.local,
                 "remote": totals.remote,
@@ -640,8 +646,7 @@ class _ProcWalker:
             and not self._innermost_prologue
             and all(step[0] != "enum" for step in self._inner_plan)
         )
-        if analytic_inner:
-            self._summarize_innermost(compiled)
+        if analytic_inner and self._summarize_innermost(compiled):
             return
         values = (
             _scheduled_values(compiled, self.env, self.node.schedule, self.P, self.p)
@@ -663,24 +668,37 @@ class _ProcWalker:
     # ------------------------------------------------------------------
     # analytic innermost-loop summary
     # ------------------------------------------------------------------
-    def _summarize_innermost(self, compiled: "_CompiledLoop") -> None:
-        """Account the whole innermost loop in O(refs) time."""
+    def _summarize_innermost(self, compiled: "_CompiledLoop") -> bool:
+        """Account the whole innermost loop in O(refs) time.
+
+        Returns False — charging nothing — when a remainder expression is
+        not integral at the current outer indices; the caller then falls
+        back to enumerating the loop (whose per-access charges report the
+        offending subscript precisely if it really is fractional at every
+        iteration).
+        """
         env = self.env
         trips = compiled.trip_count(env)
         if trips == 0:
-            return
+            return True
+        bases = []
+        for kind, slope, rest, extent in self._inner_plan:
+            if kind == "free":
+                bases.append(None)
+                continue
+            base = _eval_exact(rest, env)
+            if base is None:
+                return False
+            bases.append(base)
         first = compiled.first(env)
         step = compiled.step
         counts = self.counts
         counts.iterations += trips
         counts.statements += trips * len(self.nest.body)
-        for kind, slope, rest, extent in self._inner_plan:
+        for (kind, slope, rest, extent), base in zip(self._inner_plan, bases):
             if kind == "free":
                 counts.local += trips
                 continue
-            base = _eval_exact(rest, env)
-            if base is None:
-                raise SimulationError("non-integral subscript in summary")
             if kind == "wrapped":
                 local = _count_congruent(
                     slope, base, first, step, trips, self.P, self.p
@@ -693,6 +711,7 @@ class _ProcWalker:
                 )
             counts.local += local
             counts.remote += trips - local
+        return True
 
 
 def _var(name: str):
@@ -701,49 +720,12 @@ def _var(name: str):
     return AffineExpr.var(name)
 
 
-def _count_congruent(
-    a: int, r: int, first: int, step: int, trips: int, modulus: int, target: int
-) -> int:
-    """#{q in [0, trips) : a*(first + step*q) + r === target (mod modulus)}."""
-    if modulus == 1:
-        return trips
-    lhs = (a * step) % modulus
-    rhs = (target - r - a * first) % modulus
-    g = gcd(lhs, modulus)
-    if g == 0:  # lhs == 0 and modulus == 0 cannot happen (modulus >= 2)
-        return trips if rhs == 0 else 0
-    if lhs == 0:
-        return trips if rhs == 0 else 0
-    if rhs % g != 0:
-        return 0
-    period = modulus // g
-    inverse = pow((lhs // g) % period, -1, period)
-    q0 = ((rhs // g) * inverse) % period
-    if q0 >= trips:
-        return 0
-    return (trips - 1 - q0) // period + 1
-
-
-def _count_in_interval(
-    a: int, r: int, first: int, step: int, trips: int, low: int, high: int
-) -> int:
-    """#{q in [0, trips) : low <= a*(first + step*q) + r <= high}."""
-    if low > high:
-        return 0
-    if a == 0:
-        return trips if low <= r <= high else 0
-    # Solve low <= a*first + a*step*q + r <= high for q.
-    slope = a * step
-    base = a * first + r
-    if slope > 0:
-        q_low = -(-(low - base) // slope)
-        q_high = (high - base) // slope
-    else:
-        q_low = -(-(high - base) // slope)
-        q_high = (low - base) // slope
-    q_low = max(q_low, 0)
-    q_high = min(q_high, trips - 1)
-    return max(0, q_high - q_low + 1)
+# The congruence/interval counting primitives now live in the linalg
+# substrate (repro.linalg.progression), where the closed-form multi-level
+# engine (repro.numa.counting) builds its per-level recurrences on top of
+# them.  The old private names stay importable for the walker and tests.
+_count_congruent = count_congruent
+_count_in_interval = count_in_interval
 
 
 def _scheduled_values(
@@ -788,6 +770,60 @@ def _scheduled_values(
     raise SimulationError(f"unknown schedule {schedule!r}")
 
 
+#: Engine choices accepted by :func:`simulate` (and ``--engine``).
+ENGINES = ("auto", "closed-form", "compiled", "walk")
+
+
+def _cached_kernel(node: NodeProgram, block_cache: bool):
+    """The tier-2 accounting kernel for ``node``, compiled at most once.
+
+    Returns ``("ok", kernel)`` or ``("error", CodegenError)``; both
+    outcomes are memoized in the process-wide
+    :class:`~repro.runtime.cache.SimulationCache` keyed by the node
+    fingerprint, so a sweep compiles each distinct node program once.
+    """
+    from repro.codegen.pycodegen import compile_accounting
+    from repro.errors import CodegenError
+    from repro.runtime.cache import node_fingerprint, shared_cache
+
+    key = node_fingerprint(node) + f"|kernel|bc={int(bool(block_cache))}"
+
+    def factory():
+        try:
+            return ("ok", compile_accounting(node, block_cache=block_cache))
+        except CodegenError as error:
+            return ("error", error)
+
+    return shared_cache().kernel(key, factory)
+
+
+def _run_kernel(
+    kernel, node: NodeProgram, env: Dict[str, int], processors: int,
+    proc: int, block_cache: bool,
+) -> AccessCounts:
+    """Run the tier-2 kernel for one processor."""
+    from repro.numa.counting import owned_elements
+
+    program = node.program
+    shapes = {decl.name: decl.shape(env) for decl in program.arrays}
+    gathers = []
+    for array in kernel.gather_arrays:
+        shape = shapes[array]
+        total = 1
+        for extent in shape:
+            total *= extent
+        distribution = program.distributions[array]
+        remote = total - owned_elements(distribution, shape, processors, proc)
+        element_bytes = next(
+            (d.element_bytes for d in program.arrays if d.name == array), 8
+        )
+        gathers.append(
+            (min(processors - 1, remote), remote * element_bytes, remote)
+        )
+    cache = set() if block_cache else None
+    return AccessCounts(*kernel(env, processors, proc, shapes, gathers, cache))
+
+
 def simulate(
     node: NodeProgram,
     *,
@@ -797,6 +833,7 @@ def simulate(
     mode: str = "account",
     arrays: Optional[Dict] = None,
     block_cache: bool = False,
+    engine: str = "auto",
 ) -> SimulationResult:
     """Simulate a node program on ``processors`` processors.
 
@@ -808,14 +845,68 @@ def simulate(
     block slices: a slice already transferred to this processor is not
     transferred again (communication hoisting across outer iterations) —
     an extension beyond the paper, exercised by the ABL7 ablation.
+
+    ``engine`` picks the accounting tier: ``auto`` (default) uses the
+    fastest tier that can handle the nest — the closed-form multi-level
+    engine (:mod:`repro.numa.counting`), the compiled accounting kernel
+    (:func:`repro.codegen.pycodegen.compile_accounting`), or the
+    interpreter walk.  Forcing ``closed-form`` or ``compiled`` raises a
+    :class:`~repro.errors.SimulationError` when that tier cannot handle
+    the nest; all tiers are bit-identical on every count (the tier
+    equivalence tests and the fuzz oracle enforce this), so ``auto`` never
+    changes results, only speed.  The chosen tier is reported as
+    ``SimulationResult.engine``.
     """
+    if engine not in ENGINES:
+        choices = ", ".join(ENGINES)
+        raise SimulationError(
+            f"unknown engine {engine!r} (choose from: {choices})"
+        )
     if mode not in ("account", "execute"):
         raise SimulationError(f"unknown mode {mode!r}")
     if mode == "execute" and arrays is None:
         raise SimulationError("execute mode requires arrays")
+    if mode != "account" and engine in ("closed-form", "compiled"):
+        raise SimulationError(
+            f"engine {engine!r} only supports account mode; "
+            "execute mode always uses the walk engine"
+        )
     if processors <= 0:
         raise SimulationError("need at least one processor")
     machine = machine or butterfly_gp1000()
+
+    closed = None
+    kernel = None
+    chosen = "walk"
+    if mode == "account" and engine != "walk":
+        if block_cache and engine == "closed-form":
+            raise SimulationError(
+                "closed-form engine does not model the block cache; "
+                "use the compiled or walk engine"
+            )
+        if not block_cache and engine in ("auto", "closed-form"):
+            from repro.numa.counting import (
+                ClosedFormEngine,
+                ClosedFormUnsupported,
+            )
+
+            try:
+                closed = ClosedFormEngine(node)
+                chosen = "closed-form"
+            except ClosedFormUnsupported as error:
+                if engine == "closed-form":
+                    raise SimulationError(
+                        f"closed-form engine cannot handle this nest: {error}"
+                    )
+        if closed is None and engine in ("auto", "compiled"):
+            status, payload = _cached_kernel(node, block_cache)
+            if status == "ok":
+                kernel = payload
+                chosen = "compiled"
+            elif engine == "compiled":
+                raise SimulationError(
+                    f"compiled engine cannot handle this nest: {payload}"
+                )
 
     per_proc: List[ProcessorResult] = []
     all_counts: List[AccessCounts] = []
@@ -823,10 +914,18 @@ def simulate(
         env = node.program.bound_params(params)
         env[node.procs_param] = processors
         env[node.proc_param] = proc
-        walker = _ProcWalker(
-            node, env, processors, proc, mode, arrays, block_cache=block_cache
-        )
-        all_counts.append(walker.run())
+        if closed is not None:
+            all_counts.append(closed.account(env, processors, proc))
+        elif kernel is not None:
+            all_counts.append(
+                _run_kernel(kernel, node, env, processors, proc, block_cache)
+            )
+        else:
+            walker = _ProcWalker(
+                node, env, processors, proc, mode, arrays,
+                block_cache=block_cache,
+            )
+            all_counts.append(walker.run())
 
     multiplier = 1.0
     if machine.contention_coefficient > 0 and processors > 1:
@@ -854,11 +953,14 @@ def simulate(
         machine=machine,
         per_proc=tuple(per_proc),
         remote_multiplier=multiplier,
+        engine=chosen,
     )
 
 
 #: The argument tuple of :func:`simulate_task`:
-#: ``(node, processors, params, machine, mode, block_cache)``.
+#: ``(node, processors, params, machine, mode, block_cache[, engine])``.
+#: The trailing engine entry is optional so pre-engine 6-tuples (older
+#: callers, pickled task queues) keep working and mean ``auto``.
 SimulateTask = Tuple[
     NodeProgram, int, Optional[Mapping[str, int]], Optional[MachineConfig],
     str, bool,
@@ -873,7 +975,8 @@ def simulate_task(task: SimulateTask) -> SimulationResult:
     plain tuples of picklable dataclasses and calls this instead of a
     closure over :func:`simulate`.
     """
-    node, processors, params, machine, mode, block_cache = task
+    node, processors, params, machine, mode, block_cache = task[:6]
+    engine = task[6] if len(task) > 6 else "auto"
     return simulate(
         node,
         processors=processors,
@@ -881,6 +984,7 @@ def simulate_task(task: SimulateTask) -> SimulationResult:
         machine=machine,
         mode=mode,
         block_cache=block_cache,
+        engine=engine,
     )
 
 

@@ -71,21 +71,30 @@ def cell_key(
     machine: MachineConfig,
     mode: str = "account",
     block_cache: bool = False,
+    engine: str = "auto",
 ) -> str:
-    """The cache key of one simulation cell."""
+    """The cache key of one simulation cell.
+
+    All accounting engines are bit-identical, so ``engine`` only enters
+    the key when it is forced away from ``auto`` (keeping every
+    pre-engine fingerprint — and warm disk stores — valid): a forced-walk
+    benchmark cell must not be answered from an ``auto`` result, because
+    the cached ``SimulationResult.engine`` would misreport the tier.
+    """
     bound = node.program.bound_params(params)
     param_part = ";".join(f"{k}={v}" for k, v in sorted(bound.items()))
     machine_part = repr(astuple(machine))
-    raw = "\n".join(
-        [
-            node_fingerprint(node),
-            f"P={processors}",
-            param_part,
-            machine_part,
-            f"mode={mode}",
-            f"block_cache={block_cache}",
-        ]
-    )
+    parts = [
+        node_fingerprint(node),
+        f"P={processors}",
+        param_part,
+        machine_part,
+        f"mode={mode}",
+        f"block_cache={block_cache}",
+    ]
+    if engine != "auto":
+        parts.append(f"engine={engine}")
+    raw = "\n".join(parts)
     return hashlib.sha256(raw.encode("utf-8")).hexdigest()
 
 
@@ -105,6 +114,9 @@ class SimulationCache:
     metrics sink, and the simulation simply re-runs.
     """
 
+    #: Cap on memoized accounting kernels (see :meth:`kernel`).
+    KERNEL_MAX_ENTRIES = 512
+
     def __init__(
         self,
         max_entries: int = 4096,
@@ -115,6 +127,9 @@ class SimulationCache:
         self.store_dir = store_dir
         self.disk_max_entries = disk_max_entries
         self._memory: "OrderedDict[str, SimulationResult]" = OrderedDict()
+        self._kernels: "OrderedDict[str, object]" = OrderedDict()
+        self.kernel_compiles = 0
+        self.kernel_hits = 0
         if store_dir:
             os.makedirs(store_dir, exist_ok=True)
 
@@ -206,9 +221,31 @@ class SimulationCache:
             except OSError:
                 pass
 
+    def kernel(self, key: str, factory):
+        """Memoize a compiled accounting kernel (memory-only, LRU).
+
+        ``factory`` runs at most once per ``key``; its return value —
+        whatever shape the caller uses, e.g. the simulator's
+        ``("ok", kernel)`` / ``("error", exc)`` pair, so compilation
+        *failures* are also remembered — is stored and returned on every
+        later call.  Kernels are code objects: they are never pickled to
+        the disk store and are cheap to rebuild after a restart.
+        """
+        if key in self._kernels:
+            self._kernels.move_to_end(key)
+            self.kernel_hits += 1
+            return self._kernels[key]
+        value = factory()
+        self._kernels[key] = value
+        self.kernel_compiles += 1
+        while len(self._kernels) > self.KERNEL_MAX_ENTRIES:
+            self._kernels.popitem(last=False)
+        return value
+
     def clear(self) -> None:
         """Drop the in-memory layer (disk entries are kept)."""
         self._memory.clear()
+        self._kernels.clear()
 
     def _remember(self, key: str, result: SimulationResult) -> None:
         if self.max_entries <= 0:

@@ -45,6 +45,10 @@ class SweepCell:
     machine: Optional[MachineConfig] = None
     mode: str = "account"
     block_cache: bool = False
+    #: Accounting engine (``auto``/``closed-form``/``compiled``/``walk``);
+    #: every engine is bit-identical, so this only affects speed — and is
+    #: what the perf benchmarks force to compare tiers.
+    engine: str = "auto"
 
 
 def resolve_jobs(jobs: Optional[int]) -> int:
@@ -88,7 +92,7 @@ def run_grid(
         machine = cell.machine or butterfly_gp1000()
         key = cell_key(
             cell.node, cell.processors, cell.params, machine,
-            cell.mode, cell.block_cache,
+            cell.mode, cell.block_cache, cell.engine,
         )
         keys.append(key)
         hit = cache.get(key)
@@ -104,7 +108,7 @@ def run_grid(
         metrics.count("cache_misses")
         tasks.append(
             (key, (cell.node, cell.processors, cell.params, machine,
-                   cell.mode, cell.block_cache))
+                   cell.mode, cell.block_cache, cell.engine))
         )
 
     if tasks:
@@ -116,6 +120,11 @@ def run_grid(
         for (key, _), outcome in zip(tasks, outcomes):
             if isinstance(outcome, SimulationResult):
                 cache.put(key, outcome)
+                # Tier selection telemetry: sim.tier.closed_form /
+                # sim.tier.compiled / sim.tier.walk ("walk" default also
+                # covers results unpickled from pre-engine disk stores).
+                tier = getattr(outcome, "engine", "walk").replace("-", "_")
+                metrics.count(f"sim.tier.{tier}")
             for index in pending[key]:
                 results[index] = outcome
 

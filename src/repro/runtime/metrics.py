@@ -5,6 +5,12 @@ normalize / codegen / simulate) and how effective the simulation cache is
 (hits / misses / deduplicated cells).  A :class:`Metrics` object is cheap
 enough to thread through every sweep; ``--profile`` on the CLI and on
 ``python -m repro.bench.report`` prints the accumulated report.
+
+The sweep engine also records which accounting tier served each freshly
+simulated cell as ``sim.tier.closed_form`` / ``sim.tier.compiled`` /
+``sim.tier.walk`` counters (see ``docs/performance.md``); like every
+counter they flow through :meth:`Metrics.to_dict`/:meth:`Metrics.merge`
+into ``repro simulate --profile`` output and the service's ``/metricsz``.
 """
 
 from __future__ import annotations

@@ -105,6 +105,7 @@ def sweep_payload(args) -> Dict[str, object]:
         "processors": list(args.processors),
         "ownership": bool(args.ownership),
         "detail": bool(args.detail),
+        "engine": getattr(args, "engine", "auto"),
     }
 
 
@@ -164,6 +165,19 @@ def _normalize_processors(raw: object) -> List[int]:
             raise ReproError(f"processor counts must be positive, got {item!r}")
         procs.append(value)
     return sorted(set(procs))
+
+
+def _engine_from_payload(payload: Mapping[str, object]) -> str:
+    """Validate the accounting-engine choice of a simulate/sweep payload."""
+    from repro.numa.simulator import ENGINES
+
+    engine = str(payload.get("engine", "auto") or "auto")
+    if engine not in ENGINES:
+        choices = ", ".join(ENGINES)
+        raise ReproError(
+            f"unknown engine {engine!r}: expected one of: {choices}"
+        )
+    return engine
 
 
 def _test_delay(payload: Mapping[str, object]) -> None:
@@ -277,14 +291,16 @@ def run_sweep(
             except ReproError as error:
                 err_lines.append(f"(skipping ownership baseline: {error})")
     procs = _normalize_processors(payload.get("processors"))
+    engine = _engine_from_payload(payload)
     series = run_speedup_sweep(
         nodes, procs, machine=machine, baseline="normalized+bt",
-        jobs=jobs, cache=cache, metrics=metrics,
+        jobs=jobs, cache=cache, metrics=metrics, engine=engine,
     )
     lines = [f"machine: {machine.name}", speedup_table(procs, series)]
     if payload.get("detail"):
         outcome = simulate(
-            nodes["normalized+bt"], processors=procs[-1], machine=machine
+            nodes["normalized+bt"], processors=procs[-1], machine=machine,
+            engine=engine,
         )
         lines.append(f"\nper-processor breakdown (normalized+bt, P={procs[-1]}):")
         lines.append(outcome.table())
@@ -342,6 +358,7 @@ def build_simulation_cell(
         processors=processors,
         params=params,
         machine=machine,
+        engine=_engine_from_payload(payload),
     )
 
 

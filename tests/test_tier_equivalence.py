@@ -1,0 +1,114 @@
+"""All accounting tiers must be bit-identical on every count.
+
+Parametrized over every sample program under ``examples/programs/`` and
+every regression-corpus entry under ``tests/corpus/`` at P in {1, 2, 3, 4}:
+whatever tier ``auto`` picks, and any forced tier that accepts the nest,
+must reproduce the interpreter walk (tier 3) exactly — per processor, on
+every :class:`~repro.numa.AccessCounts` field.  A forced tier is allowed
+to *reject* a nest (that is what ``auto`` falls back for) but never to
+disagree.
+"""
+
+import glob
+import json
+import os
+
+import pytest
+
+from repro.codegen import generate_spmd
+from repro.core import access_normalize
+from repro.errors import SimulationError
+from repro.fuzz import ProgramSpec
+from repro.lang import parse_program
+from repro.numa import simulate
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+EXAMPLES = sorted(glob.glob(os.path.join(REPO_ROOT, "examples", "programs", "*.an")))
+CORPUS = sorted(
+    glob.glob(os.path.join(os.path.dirname(__file__), "corpus", "*.json"))
+)
+
+PROCS = (1, 2, 3, 4)
+
+#: Small parameter overrides keeping the tier-3 walk fast in CI.
+EXAMPLE_PARAMS = {
+    "gemm": {"N": 24},
+    "syr2k": {"N": 40, "b": 6},
+    "figure1": {"N1": 16, "N2": 12, "b": 4},
+}
+
+
+def _assert_tiers_match(node, processors, params=None):
+    walk = simulate(
+        node, processors=processors, params=params, engine="walk"
+    )
+    assert walk.engine == "walk"
+    for engine in ("auto", "closed-form", "compiled"):
+        try:
+            outcome = simulate(
+                node, processors=processors, params=params, engine=engine
+            )
+        except SimulationError as error:
+            # auto must accept every nest; a forced tier may decline.
+            assert engine != "auto", error
+            continue
+        for reference, tiered in zip(walk.per_proc, outcome.per_proc):
+            assert tiered.counts == reference.counts, (
+                f"engine {outcome.engine!r} disagrees with walk on "
+                f"proc {reference.proc} at P={processors}"
+            )
+
+
+def _load_example(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_program(handle.read(), name=os.path.basename(path))
+
+
+@pytest.mark.parametrize(
+    "path", EXAMPLES,
+    ids=[os.path.splitext(os.path.basename(p))[0] for p in EXAMPLES],
+)
+@pytest.mark.parametrize("processors", PROCS)
+def test_example_programs_tier_equivalence(path, processors):
+    assert EXAMPLES, "no example programs found"
+    program = _load_example(path)
+    params = EXAMPLE_PARAMS.get(program.name)
+    normalized = access_normalize(program).transformed
+    variants = (
+        generate_spmd(program, block_transfers=False),
+        generate_spmd(normalized, block_transfers=False),
+        generate_spmd(normalized, block_transfers=True),
+    )
+    for node in variants:
+        _assert_tiers_match(node, processors, params=params)
+
+
+@pytest.mark.parametrize(
+    "path", CORPUS,
+    ids=[os.path.splitext(os.path.basename(p))[0] for p in CORPUS],
+)
+@pytest.mark.parametrize("processors", PROCS)
+@pytest.mark.parametrize("schedule", ("wrapped", "blocked"))
+def test_corpus_tier_equivalence(path, processors, schedule):
+    assert CORPUS, "no corpus entries found"
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    spec = ProgramSpec.from_dict(data.get("spec", data))
+    result = access_normalize(spec.build())
+    node = generate_spmd(
+        result.transformed,
+        schedule=schedule,
+        sync_events=result.outer_carried_count,
+    )
+    _assert_tiers_match(node, processors)
+
+
+def test_paper_kernels_are_tier1_end_to_end():
+    """Acceptance criterion: the closed-form engine handles the Figure 4
+    GEMM and Figure 5 SYR2K sweeps without falling back."""
+    from repro.bench import gemm_variants, syr2k_variants
+
+    nodes = {**gemm_variants(16), **syr2k_variants(24, 4)}
+    for name, node in nodes.items():
+        outcome = simulate(node, processors=4)
+        assert outcome.engine == "closed-form", (name, outcome.engine)
