@@ -2,12 +2,16 @@
 """Benchmark the accounting-tier trajectory on the paper's kernels.
 
 Times the account-mode sweeps behind Figure 4 (GEMM) and Figure 5 (banded
-SYR2K) twice — once with the interpreter walk forced (tier 3) and once
-with automatic tier selection — and writes ``BENCH_simulator.json`` with
-per-config wall-clock, the tier histogram of the auto run, and a checksum
-over every per-processor count.  The two runs must produce identical
-checksums (the tiers are bit-identical by construction; this script hard
-fails otherwise), so the recorded speedup is purely an engine effect.
+SYR2K) three times — with the interpreter walk forced (tier 3), with the
+symbolic engine forced (tier 0: derive each program's piecewise form
+once, evaluate it per cell), and with automatic tier selection — and
+writes ``BENCH_simulator.json`` with per-config wall-clock, the tier
+histogram of the auto run, and a checksum over every per-processor
+count.  All runs must produce identical checksums (the tiers are
+bit-identical by construction; this script hard fails otherwise), so the
+recorded speedups are purely an engine effect.  The forced-symbolic run
+is the derive-once-evaluate-many measurement: one derivation per node
+program serves every (N, P) cell of the sweep.
 
 Everything simulated here is deterministic — there is no randomness to
 seed — and the JSON carries no wall-clock timestamps beyond the optional
@@ -20,10 +24,11 @@ Usage (from the repo root):
     PYTHONPATH=src python scripts/bench_trajectory.py --smoke   # CI scale
     PYTHONPATH=src python scripts/bench_trajectory.py --smoke --check
 
-``--check`` re-measures tier-1 coverage (at whatever scale is selected)
-and fails if it drops below the value recorded in the JSON — the CI
-``perf-smoke`` job runs this so a change that silently demotes the paper
-kernels off the closed-form engine cannot land.
+``--check`` re-measures symbolic and analytic coverage (at whatever
+scale is selected) and fails if either drops below the value recorded in
+the JSON — the CI ``perf-smoke`` job runs this so a change that silently
+demotes the paper kernels off the symbolic (or any analytic) engine
+cannot land.
 """
 
 from __future__ import annotations
@@ -41,7 +46,7 @@ sys.path.insert(
 
 from repro.bench import PAPER_PROCS, gemm_variants, syr2k_variants
 from repro.bench.figures import figure_machine
-from repro.runtime.cache import SimulationCache
+from repro.runtime.cache import SimulationCache, shared_cache
 from repro.runtime.executor import SweepCell, run_grid
 from repro.runtime.metrics import Metrics
 
@@ -100,7 +105,14 @@ def _checksum(results):
 
 
 def _measure(config, engine, jobs):
-    """One timed sweep with an isolated cache (no cross-engine hits)."""
+    """One timed sweep with an isolated cache (no cross-engine hits).
+
+    The process-wide shared cache (symbolic forms, compiled kernels) is
+    cleared first so every measurement pays its own derivation cost —
+    the forced-symbolic wall clock really is "derive once, then evaluate
+    every cell", not "evaluate forms a previous run derived".
+    """
+    shared_cache().clear()
     nodes = _variants(config)
     machine = figure_machine()
     cells = _cells(nodes, config["procs"], machine, engine)
@@ -133,33 +145,48 @@ def run_benchmark(scale, jobs):
     for name, config in SCALES[scale].items():
         walk = _measure(config, "walk", jobs)
         auto = _measure(config, "auto", jobs)
-        if walk["checksum"] != auto["checksum"]:
-            raise SystemExit(
-                f"{name}: tier results diverge from the walk engine "
-                f"({auto['checksum']} vs {walk['checksum']})"
-            )
-        closed = auto["tiers"].get("closed_form", 0)
-        coverage = closed / auto["cells"] if auto["cells"] else 0.0
+        symbolic = _measure(config, "symbolic", jobs)
+        for label, run in (("auto", auto), ("symbolic", symbolic)):
+            if walk["checksum"] != run["checksum"]:
+                raise SystemExit(
+                    f"{name}: {label} results diverge from the walk engine "
+                    f"({run['checksum']} vs {walk['checksum']})"
+                )
+        cells = auto["cells"]
+        symbolic_cells = auto["tiers"].get("symbolic", 0)
+        analytic_cells = symbolic_cells + auto["tiers"].get("closed_form", 0)
+        symbolic_coverage = symbolic_cells / cells if cells else 0.0
+        coverage = analytic_cells / cells if cells else 0.0
         speedup = walk["wall_s"] / auto["wall_s"] if auto["wall_s"] else 0.0
+        symbolic_speedup = (
+            walk["wall_s"] / symbolic["wall_s"] if symbolic["wall_s"] else 0.0
+        )
         document["configs"][name] = {
             "params": {k: v for k, v in config.items() if k != "kind"},
             "counts_checksum": auto["checksum"],
             "engines": {
                 "walk": {"wall_s": walk["wall_s"], "tiers": walk["tiers"]},
                 "auto": {"wall_s": auto["wall_s"], "tiers": auto["tiers"]},
+                "symbolic": {
+                    "wall_s": symbolic["wall_s"], "tiers": symbolic["tiers"]
+                },
             },
             "speedup_vs_walk": round(speedup, 2),
+            "symbolic_speedup_vs_walk": round(symbolic_speedup, 2),
             "tier1_coverage": round(coverage, 4),
+            "symbolic_coverage": round(symbolic_coverage, 4),
         }
         print(
             f"{name}: walk {walk['wall_s']:.3f}s -> auto {auto['wall_s']:.3f}s "
-            f"({speedup:.1f}x), tier-1 coverage {coverage:.0%}"
+            f"({speedup:.1f}x; forced symbolic {symbolic['wall_s']:.3f}s, "
+            f"{symbolic_speedup:.1f}x), symbolic coverage "
+            f"{symbolic_coverage:.0%}, analytic coverage {coverage:.0%}"
         )
     return document
 
 
 def check_coverage(document, recorded_path):
-    """Fail if tier-1 coverage dropped below the recorded values."""
+    """Fail if symbolic or analytic coverage dropped below the record."""
     with open(recorded_path, "r", encoding="utf-8") as handle:
         recorded = json.load(handle)
     failures = []
@@ -167,11 +194,18 @@ def check_coverage(document, recorded_path):
         baseline = recorded.get("configs", {}).get(name)
         if baseline is None:
             continue
-        if fresh["tier1_coverage"] < baseline["tier1_coverage"]:
-            failures.append(
-                f"{name}: tier-1 coverage {fresh['tier1_coverage']:.0%} "
-                f"dropped below recorded {baseline['tier1_coverage']:.0%}"
-            )
+        for metric, label in (
+            ("tier1_coverage", "analytic coverage"),
+            ("symbolic_coverage", "symbolic coverage"),
+        ):
+            floor = baseline.get(metric)
+            if floor is None:
+                continue  # pre-symbolic record: nothing to hold
+            if fresh[metric] < floor:
+                failures.append(
+                    f"{name}: {label} {fresh[metric]:.0%} "
+                    f"dropped below recorded {floor:.0%}"
+                )
     return failures
 
 
@@ -183,8 +217,8 @@ def main(argv=None):
     )
     parser.add_argument(
         "--check", action="store_true",
-        help="compare tier-1 coverage against the recorded JSON and fail "
-        "on regression instead of rewriting it",
+        help="compare symbolic/analytic coverage against the recorded "
+        "JSON and fail on regression instead of rewriting it",
     )
     parser.add_argument("--jobs", type=int, default=1)
     parser.add_argument("--output", default=DEFAULT_OUTPUT)
@@ -199,7 +233,7 @@ def main(argv=None):
             print(f"FAIL: {failure}", file=sys.stderr)
         if failures:
             return 1
-        print(f"tier-1 coverage holds against {args.output}")
+        print(f"symbolic/analytic coverage holds against {args.output}")
         return 0
 
     with open(args.output, "w", encoding="utf-8") as handle:

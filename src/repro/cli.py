@@ -9,6 +9,8 @@ Subcommands:
   :mod:`repro.analysis`);
 * ``simulate FILE`` — compile and sweep processor counts on a simulated
   NUMA machine, printing a speedup table;
+* ``solve FILE``    — answer an analytic crossover question ("at what P
+  does blocked overtake wrapped?") from the symbolic accounting forms;
 * ``autodist FILE`` — search for a good data distribution (the Section 9
   "use our techniques in reverse" speculation);
 * ``fuzz``          — differential fuzzing of the whole pipeline against
@@ -40,7 +42,9 @@ from repro.service.jobs import (
     compile_payload,
     machine_from_payload,
     run_compile,
+    run_solve,
     run_sweep,
+    solve_payload,
     sweep_payload,
 )
 
@@ -94,6 +98,11 @@ def cmd_simulate(args) -> int:
     print(stdout)
     if args.profile:
         print(metrics.report(), file=sys.stderr)
+    return 0
+
+
+def cmd_solve(args) -> int:
+    print(run_solve(solve_payload(args)))
     return 0
 
 
@@ -158,12 +167,41 @@ def add_simulate_options(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--engine",
-        choices=["auto", "closed-form", "compiled", "walk"],
+        choices=["auto", "symbolic", "closed-form", "compiled", "walk"],
         default="auto",
         help="accounting engine tier: auto picks the fastest tier that "
         "handles the nest (all tiers are bit-identical); forcing "
-        "closed-form or compiled fails with a clear error when the tier "
-        "cannot handle the nest (see docs/performance.md)",
+        "symbolic, closed-form or compiled fails with a clear error when "
+        "the tier cannot handle the nest (see docs/performance.md)",
+    )
+
+
+def add_solve_options(parser: argparse.ArgumentParser) -> None:
+    """The ``solve`` arguments, shared with ``repro submit solve``."""
+    parser.add_argument(
+        "--left", default="normalized/wrapped", metavar="VARIANT[/SCHEDULE]",
+        help="baseline candidate, e.g. 'normalized/wrapped' or 'naive' "
+        "(default: normalized/wrapped)",
+    )
+    parser.add_argument(
+        "--right", default="normalized/blocked", metavar="VARIANT[/SCHEDULE]",
+        help="challenger candidate (default: normalized/blocked)",
+    )
+    parser.add_argument(
+        "--param", action="append", default=[], metavar="NAME=VALUE",
+        help="bind a symbolic program parameter, e.g. 'N=400' (repeatable)",
+    )
+    parser.add_argument(
+        "--min-processors", type=int, default=1, metavar="P",
+        help="low end of the processor range to scan (default: 1)",
+    )
+    parser.add_argument(
+        "--max-processors", type=int, default=64, metavar="P",
+        help="high end of the processor range to scan (default: 64)",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit the full (P, time, time) series as one JSON document",
     )
 
 
@@ -221,6 +259,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_simulate_options(simulate_cmd)
     simulate_cmd.set_defaults(func=cmd_simulate)
+
+    solve_cmd = sub.add_parser(
+        "solve", parents=[common, machine],
+        help="answer an analytic crossover question from the symbolic forms",
+    )
+    add_solve_options(solve_cmd)
+    solve_cmd.set_defaults(func=cmd_solve)
 
     autodist_cmd = sub.add_parser(
         "autodist", parents=[common, machine, runtime],

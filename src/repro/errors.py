@@ -67,3 +67,7 @@ class CodegenError(ReproError):
 
 class SimulationError(ReproError):
     """The NUMA simulator detected an inconsistency."""
+
+
+class ConfigurationError(ReproError):
+    """An environment variable or configuration value is malformed."""

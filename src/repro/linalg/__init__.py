@@ -48,6 +48,21 @@ from repro.linalg.progression import (
     sum_affine_range,
 )
 from repro.linalg.smith import smith_normal_form
+from repro.linalg.sympoly import (
+    SymExpr,
+    SymbolicUnsupported,
+    bounded_sum,
+    const,
+    eq0,
+    floordiv,
+    ge0,
+    mod,
+    pos,
+    smax,
+    smin,
+    sym,
+    sym_sum,
+)
 
 __all__ = [
     "Bound",
@@ -58,8 +73,21 @@ __all__ = [
     "LevelBounds",
     "Matrix",
     "Progression",
+    "SymExpr",
+    "SymbolicUnsupported",
     "affine_segment_starts",
     "as_int_vector",
+    "bounded_sum",
+    "const",
+    "eq0",
+    "floordiv",
+    "ge0",
+    "mod",
+    "pos",
+    "smax",
+    "smin",
+    "sym",
+    "sym_sum",
     "clear_denominators",
     "column_hnf",
     "congruence_period",

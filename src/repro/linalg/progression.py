@@ -35,9 +35,22 @@ class Progression:
     step: int
     trips: int
 
+    def __post_init__(self) -> None:
+        # The documented invariant: a zero step used to surface later as a
+        # bare ZeroDivisionError in from_bounds, and a negative step
+        # silently computed a wrong trip count.
+        if self.step < 1:
+            raise ValueError(
+                f"Progression requires step >= 1, got {self.step}"
+            )
+
     @staticmethod
     def from_bounds(first: int, high: int, step: int) -> "Progression":
         """The values ``first, first+step, ...`` not exceeding ``high``."""
+        if step < 1:
+            raise ValueError(
+                f"Progression requires step >= 1, got {step}"
+            )
         if first > high:
             return Progression(first, step, 0)
         return Progression(first, step, (high - first) // step + 1)

@@ -1,0 +1,1545 @@
+"""Exact symbolic quasi-polynomials over (params, P, p).
+
+The closed-form engine (:mod:`repro.numa.counting`) answers each
+``(N, P, proc)`` accounting cell with exact integer arithmetic — but it
+re-derives the answer for every concrete cell.  This module is the
+substrate of tier 0, the *symbolic* engine: expressions over the program
+parameters, the processor count and the processor id that are derived
+once per program and then merely *evaluated* per cell.
+
+A :class:`SymExpr` is a normalized multivariate polynomial with exact
+:class:`~fractions.Fraction` coefficients whose variables are either
+plain symbols (``"N"``, ``"P"``, ``"p"``) or *atoms* — the non-polynomial
+building blocks of integer counting:
+
+* :class:`Mod` — ``arg mod modulus`` (``modulus`` a positive integer or a
+  symbolic expression, in practice the processor count ``P``);
+* :class:`FloorDiv` — ``floor(arg / modulus)``;
+* :class:`Pos` — ``max(0, arg)``, from which ``min``/``max`` and the
+  comparison indicators are built (so no symbolic comparisons are ever
+  needed: every piecewise case is an algebraic identity);
+* :class:`BoundedSum` — ``sum(body for var in [0, bound))`` evaluated at
+  evaluation time, the residue-class construct (``bound`` is ``P`` or a
+  small concrete modulus, never a problem size).
+
+Everything is exact: the constructors apply only rewrites that hold for
+*all* integer assignments (``floor((m*A + r)/m) = A + floor(r/m)``,
+``(m*A + r) mod m = r mod m``, …), so a derived form is bit-identical to
+the enumeration it replaced on every point of its domain.
+
+:func:`sym_sum` is the workhorse: the exact symbolic sum of an expression
+over ``var in [0, trips)`` with ``trips`` itself symbolic.  Polynomial
+parts collapse via Faulhaber power sums; ``Mod``/``FloorDiv`` atoms are
+removed by residue-splitting the range (``var = r + M*t``); ``Pos`` atoms
+by splitting the range at their (symbolically clamped) sign change; inner
+``BoundedSum`` atoms by exchanging the order of summation.  Expressions
+outside the summable fragment raise :class:`SymbolicUnsupported`, which
+the simulator treats as "fall down the engine ladder", never as an error.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple, Union
+
+__all__ = [
+    "SymExpr",
+    "SymbolicUnsupported",
+    "sym",
+    "const",
+    "mod",
+    "floordiv",
+    "pos",
+    "smin",
+    "smax",
+    "ge0",
+    "eq0",
+    "bounded_sum",
+    "eval_cost",
+    "fresh_name",
+    "sym_sum",
+    "sum_budget",
+]
+
+
+class SymbolicUnsupported(Exception):
+    """The expression falls outside the symbolically summable fragment."""
+
+
+# ---------------------------------------------------------------------------
+# atoms
+# ---------------------------------------------------------------------------
+
+class _Atom:
+    """Base class of non-polynomial bases.  Immutable and hashable."""
+
+    __slots__ = ("_hash",)
+
+    def _key(self) -> Tuple:
+        raise NotImplementedError
+
+    def __eq__(self, other) -> bool:
+        return type(self) is type(other) and self._key() == other._key()
+
+    def __hash__(self) -> int:
+        value = getattr(self, "_hash", None)
+        if value is None:
+            value = hash((type(self).__name__,) + self._key())
+            object.__setattr__(self, "_hash", value)
+        return value
+
+    def evaluate(self, env: Mapping[str, int], memo: Dict) -> Fraction:
+        raise NotImplementedError
+
+    def depends_on(self, name: str) -> bool:
+        raise NotImplementedError
+
+    def free_symbols(self) -> frozenset:
+        raise NotImplementedError
+
+
+def _modulus_key(modulus) -> Tuple:
+    if isinstance(modulus, int):
+        return ("int", modulus)
+    return ("expr", modulus._terms)
+
+
+def _modulus_value(modulus, env, memo):
+    if isinstance(modulus, int):
+        return modulus
+    return modulus._evaluate(env, memo)
+
+
+def _modulus_depends(modulus, name: str) -> bool:
+    return not isinstance(modulus, int) and modulus.depends_on(name)
+
+
+def _modulus_symbols(modulus) -> frozenset:
+    if isinstance(modulus, int):
+        return frozenset()
+    return modulus.free_symbols()
+
+
+class Mod(_Atom):
+    """``arg mod modulus`` with ``modulus`` a positive int or SymExpr."""
+
+    __slots__ = ("arg", "modulus")
+
+    def __init__(self, arg: "SymExpr", modulus) -> None:
+        object.__setattr__(self, "arg", arg)
+        object.__setattr__(self, "modulus", modulus)
+
+    def _key(self) -> Tuple:
+        return (self.arg._terms, _modulus_key(self.modulus))
+
+    def evaluate(self, env, memo):
+        m = _modulus_value(self.modulus, env, memo)
+        if m <= 0:
+            raise SymbolicUnsupported(f"non-positive modulus {m} in {self!r}")
+        return self.arg._evaluate(env, memo) % m
+
+    def depends_on(self, name: str) -> bool:
+        return self.arg.depends_on(name) or _modulus_depends(self.modulus, name)
+
+    def free_symbols(self) -> frozenset:
+        return self.arg.free_symbols() | _modulus_symbols(self.modulus)
+
+    def __repr__(self) -> str:
+        return f"Mod({self.arg!r}, {self.modulus!r})"
+
+
+class FloorDiv(_Atom):
+    """``floor(arg / modulus)`` with ``modulus`` a positive int or SymExpr."""
+
+    __slots__ = ("arg", "modulus")
+
+    def __init__(self, arg: "SymExpr", modulus) -> None:
+        object.__setattr__(self, "arg", arg)
+        object.__setattr__(self, "modulus", modulus)
+
+    def _key(self) -> Tuple:
+        return (self.arg._terms, _modulus_key(self.modulus))
+
+    def evaluate(self, env, memo):
+        m = _modulus_value(self.modulus, env, memo)
+        if m <= 0:
+            raise SymbolicUnsupported(f"non-positive modulus {m} in {self!r}")
+        value = self.arg._evaluate(env, memo)
+        if isinstance(value, int) and isinstance(m, int):
+            return value // m
+        return (value.numerator * m.denominator) // (
+            value.denominator * m.numerator
+        )
+
+    def depends_on(self, name: str) -> bool:
+        return self.arg.depends_on(name) or _modulus_depends(self.modulus, name)
+
+    def free_symbols(self) -> frozenset:
+        return self.arg.free_symbols() | _modulus_symbols(self.modulus)
+
+    def __repr__(self) -> str:
+        return f"FloorDiv({self.arg!r}, {self.modulus!r})"
+
+
+class Pos(_Atom):
+    """``max(0, arg)``."""
+
+    __slots__ = ("arg",)
+
+    def __init__(self, arg: "SymExpr") -> None:
+        object.__setattr__(self, "arg", arg)
+
+    def _key(self) -> Tuple:
+        return (self.arg._terms,)
+
+    def evaluate(self, env, memo):
+        value = self.arg._evaluate(env, memo)
+        return value if value > 0 else 0
+
+    def depends_on(self, name: str) -> bool:
+        return self.arg.depends_on(name)
+
+    def free_symbols(self) -> frozenset:
+        return self.arg.free_symbols()
+
+    def __repr__(self) -> str:
+        return f"Pos({self.arg!r})"
+
+
+class Ge0(_Atom):
+    """Indicator ``1 if arg >= 0 else 0`` (``arg`` integer-valued)."""
+
+    __slots__ = ("arg",)
+
+    def __init__(self, arg: "SymExpr") -> None:
+        object.__setattr__(self, "arg", arg)
+
+    def _key(self) -> Tuple:
+        return (self.arg._terms,)
+
+    def evaluate(self, env, memo):
+        value = self.arg._evaluate(env, memo)
+        return 1 if value >= 0 else 0
+
+    def depends_on(self, name: str) -> bool:
+        return self.arg.depends_on(name)
+
+    def free_symbols(self) -> frozenset:
+        return self.arg.free_symbols()
+
+    def __repr__(self) -> str:
+        return f"Ge0({self.arg!r})"
+
+
+class BoundedSum(_Atom):
+    """``sum(body for var in [0, max(0, bound)))`` — evaluated at eval time.
+
+    ``bound`` is the processor count or a small concrete modulus, so
+    evaluation stays O(P) — never a problem-size loop.
+    """
+
+    __slots__ = ("var", "bound", "body", "_freeatoms")
+
+    def __init__(self, var: str, bound: "SymExpr", body: "SymExpr") -> None:
+        object.__setattr__(self, "var", var)
+        object.__setattr__(self, "bound", bound)
+        object.__setattr__(self, "body", body)
+        object.__setattr__(self, "_freeatoms", None)
+
+    def _key(self) -> Tuple:
+        return (self.var, self.bound._terms, self.body._terms)
+
+    def _free_atoms(self) -> Tuple["_Atom", ...]:
+        """Atoms inside the body not depending on the bound variable —
+        evaluated once per enclosing evaluation, shared by every
+        iteration of the sum."""
+        atoms = self._freeatoms
+        if atoms is None:
+            collected: List[_Atom] = []
+
+            def _scan(expr: "SymExpr", bound_vars: frozenset) -> None:
+                for atom in expr.atoms():
+                    if not any(atom.depends_on(v) for v in bound_vars):
+                        collected.append(atom)
+                    elif isinstance(atom, BoundedSum):
+                        _scan(atom.bound, bound_vars)
+                        _scan(atom.body, bound_vars | {atom.var})
+                    else:
+                        _scan(atom.arg, bound_vars)
+
+            _scan(self.body, frozenset((self.var,)))
+            atoms = tuple(collected)
+            object.__setattr__(self, "_freeatoms", atoms)
+        return atoms
+
+    def evaluate(self, env, memo):
+        bound = self.bound._evaluate(env, memo)
+        if bound.denominator != 1:
+            raise SymbolicUnsupported(f"non-integral sum bound {bound}")
+        shared: Dict = {}
+        for atom in self._free_atoms():
+            key = id(atom)
+            if key not in shared:
+                shared[key] = atom.evaluate(env, shared)
+        total = 0
+        inner_env = dict(env)
+        for value in range(max(0, int(bound))):
+            inner_env[self.var] = value
+            # The bound variable changes per iteration: fresh memo,
+            # seeded with the iteration-invariant atom values.
+            total += self.body._evaluate(inner_env, dict(shared))
+        return total
+
+    def depends_on(self, name: str) -> bool:
+        if name == self.var:
+            return False
+        return self.bound.depends_on(name) or self.body.depends_on(name)
+
+    def free_symbols(self) -> frozenset:
+        return self.bound.free_symbols() | (
+            self.body.free_symbols() - frozenset([self.var])
+        )
+
+    def __repr__(self) -> str:
+        return f"BoundedSum({self.var!r}, {self.bound!r}, {self.body!r})"
+
+
+_Base = Union[str, _Atom]
+
+
+#: Structural-equality interning registry: every distinct atom gets a
+#: small integer at first sight, giving monomial sorting an O(1) key.
+#: (Keying the sort on ``repr`` instead is quadratic-to-exponential on
+#: deeply nested atoms: each comparison re-renders whole subtrees.)
+#: First-come order is arbitrary but stable within a process, which is
+#: all canonicalization needs — equality compares content, not order.
+_ATOM_ORDER: Dict[_Atom, int] = {}
+
+
+def _atom_order(atom: _Atom) -> int:
+    index = _ATOM_ORDER.get(atom)
+    if index is None:
+        index = len(_ATOM_ORDER)
+        _ATOM_ORDER[atom] = index
+    return index
+
+
+def _base_sort_key(base: _Base) -> Tuple:
+    if isinstance(base, str):
+        return (0, base, 0)
+    return (1, type(base).__name__, _atom_order(base))
+
+
+# ---------------------------------------------------------------------------
+# the polynomial
+# ---------------------------------------------------------------------------
+
+_Monomial = Tuple[Tuple[_Base, int], ...]
+
+
+class SymExpr:
+    """A normalized polynomial over symbols and atoms (Fraction coeffs)."""
+
+    __slots__ = ("_terms", "_hashv", "_symbols", "_plan", "_compiledf")
+
+    def __init__(self, terms: Dict[_Monomial, Fraction]) -> None:
+        clean = tuple(
+            sorted(
+                ((mono, coeff) for mono, coeff in terms.items() if coeff),
+                key=lambda item: tuple(
+                    (_base_sort_key(base), exp) for base, exp in item[0]
+                ),
+            )
+        )
+        object.__setattr__(self, "_terms", clean)
+        object.__setattr__(self, "_hashv", None)
+        object.__setattr__(self, "_symbols", None)
+        object.__setattr__(self, "_plan", None)
+        object.__setattr__(self, "_compiledf", None)
+
+    # -- construction helpers ------------------------------------------
+    @staticmethod
+    def _const(value) -> "SymExpr":
+        return SymExpr({(): Fraction(value)})
+
+    @staticmethod
+    def _symbol(name: str) -> "SymExpr":
+        return SymExpr({((name, 1),): Fraction(1)})
+
+    @staticmethod
+    def _atom(atom: _Atom) -> "SymExpr":
+        return SymExpr({((atom, 1),): Fraction(1)})
+
+    @staticmethod
+    def _coerce(value) -> "SymExpr":
+        if isinstance(value, SymExpr):
+            return value
+        if isinstance(value, (int, Fraction)):
+            return SymExpr._const(value)
+        raise TypeError(f"cannot coerce {value!r} to SymExpr")
+
+    # -- structural queries --------------------------------------------
+    def is_const(self) -> bool:
+        return all(mono == () for mono, _ in self._terms)
+
+    def const_value(self) -> Fraction:
+        for mono, coeff in self._terms:
+            if mono == ():
+                return coeff
+        return Fraction(0)
+
+    def depends_on(self, name: str) -> bool:
+        return name in self.free_symbols()
+
+    def free_symbols(self) -> frozenset:
+        cached = self._symbols
+        if cached is None:
+            names = set()
+            for mono, _coeff in self._terms:
+                for base, _exp in mono:
+                    if isinstance(base, str):
+                        names.add(base)
+                    else:
+                        names |= base.free_symbols()
+            cached = frozenset(names)
+            object.__setattr__(self, "_symbols", cached)
+        return cached
+
+    def atoms(self) -> Iterator[_Atom]:
+        """Every atom base appearing at the top polynomial level."""
+        for mono, _coeff in self._terms:
+            for base, _exp in mono:
+                if isinstance(base, _Atom):
+                    yield base
+
+    def integer_coeffs(self) -> bool:
+        return all(coeff.denominator == 1 for _mono, coeff in self._terms)
+
+    def term_count(self) -> int:
+        count = len(self._terms)
+        for atom in self.atoms():
+            if isinstance(atom, BoundedSum):
+                count += atom.body.term_count()
+            elif isinstance(atom, (Mod, FloorDiv, Pos, Ge0)):
+                count += atom.arg.term_count()
+        return count
+
+    # -- arithmetic -----------------------------------------------------
+    def __add__(self, other) -> "SymExpr":
+        other = SymExpr._coerce(other)
+        terms = dict(self._terms)
+        for mono, coeff in other._terms:
+            terms[mono] = terms.get(mono, Fraction(0)) + coeff
+        return SymExpr(terms)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "SymExpr":
+        return SymExpr({mono: -coeff for mono, coeff in self._terms})
+
+    def __sub__(self, other) -> "SymExpr":
+        return self + (-SymExpr._coerce(other))
+
+    def __rsub__(self, other) -> "SymExpr":
+        return SymExpr._coerce(other) + (-self)
+
+    def __mul__(self, other) -> "SymExpr":
+        other = SymExpr._coerce(other)
+        terms: Dict[_Monomial, Fraction] = {}
+        for mono_a, coeff_a in self._terms:
+            for mono_b, coeff_b in other._terms:
+                powers: Dict[_Base, int] = {}
+                for base, exp in mono_a:
+                    powers[base] = powers.get(base, 0) + exp
+                for base, exp in mono_b:
+                    powers[base] = powers.get(base, 0) + exp
+                mono = tuple(
+                    sorted(powers.items(), key=lambda kv: _base_sort_key(kv[0]))
+                )
+                terms[mono] = terms.get(mono, Fraction(0)) + coeff_a * coeff_b
+        return SymExpr(terms)
+
+    __rmul__ = __mul__
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, SymExpr) and self._terms == other._terms
+
+    def __hash__(self) -> int:
+        value = self._hashv
+        if value is None:
+            value = hash(self._terms)
+            object.__setattr__(self, "_hashv", value)
+        return value
+
+    def __repr__(self) -> str:
+        if not self._terms:
+            return "0"
+        parts = []
+        for mono, coeff in self._terms:
+            factors = [str(coeff)] if (coeff != 1 or not mono) else []
+            for base, exp in mono:
+                text = base if isinstance(base, str) else repr(base)
+                factors.append(text if exp == 1 else f"{text}^{exp}")
+            parts.append("*".join(factors))
+        return " + ".join(parts)
+
+    # -- evaluation -----------------------------------------------------
+    def _eval_plan(self):
+        """``(den, ((int_coeff, mono), ...))`` — integer-arithmetic plan.
+
+        Folding every coefficient onto one common denominator turns the
+        hot per-term work into plain int multiplication; the single
+        division happens once per (memoized) subexpression.
+        """
+        plan = self._plan
+        if plan is None:
+            from math import gcd
+
+            den = 1
+            for _mono, coeff in self._terms:
+                den = den * coeff.denominator // gcd(den, coeff.denominator)
+            terms = tuple(
+                (int(coeff * den), mono) for mono, coeff in self._terms
+            )
+            plan = (den, terms)
+            object.__setattr__(self, "_plan", plan)
+        return plan
+
+    def _evaluate(self, env: Mapping[str, int], memo: Dict):
+        key = id(self)
+        cached = memo.get(key)
+        if cached is not None:
+            return cached
+        den, terms = self._eval_plan()
+        total = 0
+        for coeff, mono in terms:
+            value = coeff
+            for base, exp in mono:
+                if not value:
+                    break
+                if isinstance(base, str):
+                    try:
+                        factor = env[base]
+                    except KeyError:
+                        raise SymbolicUnsupported(
+                            f"unbound symbol {base!r} at evaluation"
+                        )
+                else:
+                    akey = id(base)
+                    factor = memo.get(akey)
+                    if factor is None:
+                        factor = base.evaluate(env, memo)
+                        memo[akey] = factor
+                value *= factor ** exp
+            total += value
+        result = total if den == 1 else Fraction(total, den)
+        memo[key] = result
+        return result
+
+    def evaluate(self, env: Mapping[str, int], memo: Optional[Dict] = None) -> int:
+        """Exact integer value under ``env``.
+
+        Raises :class:`SymbolicUnsupported` when the value is not an
+        integer — derived counting forms are always integral on their
+        domain, so a fractional value signals an out-of-domain call.
+        """
+        value = self._evaluate(env, {} if memo is None else memo)
+        if value.denominator != 1:
+            raise SymbolicUnsupported(
+                f"non-integral value {value} for {self!r}"
+            )
+        return int(value)
+
+    # -- compiled evaluation --------------------------------------------
+    def compiled(self):
+        """A Python function ``env -> int`` generated from this form.
+
+        Compiling once turns per-cell evaluation into straight-line
+        bytecode (atoms become cached locals, residue sums become real
+        loops with hoisted invariants) — the same derive-once /
+        evaluate-many discipline as the tier-2 kernel compiler, one
+        level down.  Falls back to the interpreter when a bound-variable
+        name is ambiguous (shadowing would mis-share cached atoms).
+        """
+        fn = self._compiledf
+        if fn is None:
+            if _bound_vars_ambiguous(self):
+                fn = self.evaluate
+            else:
+                fn = _compile_form(self)
+            object.__setattr__(self, "_compiledf", fn)
+        return fn
+
+    def evaluate_fast(self, env: Mapping[str, int]) -> int:
+        """:meth:`evaluate` through the compiled path."""
+        try:
+            return self.compiled()(env)
+        except KeyError as error:
+            raise SymbolicUnsupported(
+                f"unbound symbol {error.args[0]!r} at evaluation"
+            )
+
+    # -- substitution ---------------------------------------------------
+    def subs(self, name: str, replacement: "SymExpr") -> "SymExpr":
+        """Substitute ``name := replacement`` (rebuilding atoms exactly)."""
+        if not self.depends_on(name):
+            return self
+        replacement = SymExpr._coerce(replacement)
+        total = SymExpr({})
+        for mono, coeff in self._terms:
+            term = SymExpr._const(coeff)
+            for base, exp in mono:
+                if isinstance(base, str):
+                    factor = replacement if base == name else SymExpr._symbol(base)
+                else:
+                    factor = SymExpr._atom_subs(base, name, replacement)
+                for _ in range(exp):
+                    term = term * factor
+            total = total + term
+        return total
+
+    @staticmethod
+    def _atom_subs(atom: _Atom, name: str, replacement: "SymExpr") -> "SymExpr":
+        if not atom.depends_on(name):
+            return SymExpr._atom(atom)
+        if isinstance(atom, Mod):
+            modulus = atom.modulus
+            if _modulus_depends(modulus, name):
+                modulus = modulus.subs(name, replacement)
+            return mod(atom.arg.subs(name, replacement), modulus)
+        if isinstance(atom, FloorDiv):
+            modulus = atom.modulus
+            if _modulus_depends(modulus, name):
+                modulus = modulus.subs(name, replacement)
+            return floordiv(atom.arg.subs(name, replacement), modulus)
+        if isinstance(atom, Pos):
+            return pos(atom.arg.subs(name, replacement))
+        if isinstance(atom, Ge0):
+            return ge0(atom.arg.subs(name, replacement))
+        if isinstance(atom, BoundedSum):
+            if name == atom.var:
+                return SymExpr._atom(atom)
+            if atom.var in replacement.free_symbols():
+                # Avoid capture: rename the bound variable first.
+                fresh = fresh_name()
+                renamed = BoundedSum(
+                    fresh, atom.bound, atom.body.subs(atom.var, sym(fresh))
+                )
+                return SymExpr._atom_subs(renamed, name, replacement)
+            return bounded_sum(
+                atom.var,
+                atom.bound.subs(name, replacement),
+                atom.body.subs(name, replacement),
+            )
+        raise SymbolicUnsupported(f"cannot substitute into {atom!r}")
+
+    def replace_atom(self, target: _Atom, replacement: "SymExpr") -> "SymExpr":
+        """Replace every occurrence of ``target`` (even nested) by an expr."""
+        total = SymExpr({})
+        for mono, coeff in self._terms:
+            term = SymExpr._const(coeff)
+            for base, exp in mono:
+                if isinstance(base, str):
+                    factor = SymExpr._symbol(base)
+                elif base == target:
+                    factor = replacement
+                else:
+                    factor = SymExpr._atom_replace(base, target, replacement)
+                for _ in range(exp):
+                    term = term * factor
+            total = total + term
+        return total
+
+    @staticmethod
+    def _atom_replace(atom: _Atom, target: _Atom, replacement: "SymExpr") -> "SymExpr":
+        if isinstance(atom, Mod):
+            arg = atom.arg.replace_atom(target, replacement)
+            if arg == atom.arg:
+                return SymExpr._atom(atom)
+            return mod(arg, atom.modulus)
+        if isinstance(atom, FloorDiv):
+            arg = atom.arg.replace_atom(target, replacement)
+            if arg == atom.arg:
+                return SymExpr._atom(atom)
+            return floordiv(arg, atom.modulus)
+        if isinstance(atom, Pos):
+            arg = atom.arg.replace_atom(target, replacement)
+            if arg == atom.arg:
+                return SymExpr._atom(atom)
+            return pos(arg)
+        if isinstance(atom, Ge0):
+            arg = atom.arg.replace_atom(target, replacement)
+            if arg == atom.arg:
+                return SymExpr._atom(atom)
+            return ge0(arg)
+        if isinstance(atom, BoundedSum):
+            body = atom.body.replace_atom(target, replacement)
+            bound = atom.bound.replace_atom(target, replacement)
+            if body == atom.body and bound == atom.bound:
+                return SymExpr._atom(atom)
+            return bounded_sum(atom.var, bound, body)
+        raise SymbolicUnsupported(f"cannot rewrite {atom!r}")
+
+
+# ---------------------------------------------------------------------------
+# public constructors (with exact-identity rewrites)
+# ---------------------------------------------------------------------------
+
+def sym(name: str) -> SymExpr:
+    """The symbol ``name``."""
+    return SymExpr._symbol(name)
+
+
+def const(value) -> SymExpr:
+    """The constant ``value`` (int or Fraction)."""
+    return SymExpr._const(value)
+
+
+_FRESH = [0]
+
+
+def fresh_name() -> str:
+    """A globally fresh bound-variable name (for sums)."""
+    _FRESH[0] += 1
+    return f"__q{_FRESH[0]}"
+
+
+def _modulus_norm(modulus):
+    """Normalize a modulus: a positive int or a SymExpr."""
+    if isinstance(modulus, int):
+        if modulus <= 0:
+            raise SymbolicUnsupported(f"non-positive modulus {modulus}")
+        return modulus
+    modulus = SymExpr._coerce(modulus)
+    if modulus.is_const():
+        value = modulus.const_value()
+        if value.denominator != 1 or value <= 0:
+            raise SymbolicUnsupported(f"bad modulus {value}")
+        return value.numerator
+    return modulus
+
+
+def _split_divisible(expr: SymExpr, modulus) -> Tuple[SymExpr, SymExpr]:
+    """Split ``expr = modulus*quotient + remainder`` exactly.
+
+    Only monomials that are *syntactically* integer multiples of the
+    modulus move into the quotient: for a concrete modulus an integer
+    coefficient divisible by it, for a single-symbol modulus a monomial
+    containing that symbol with integer coefficient.  This keeps the
+    identities ``floor((m*A + r)/m) = A + floor(r/m)`` and
+    ``(m*A + r) mod m = r mod m`` valid for every integer assignment
+    (``A`` is integer-valued by the integer-coefficient restriction and
+    the integrality of all bases).
+    """
+    if isinstance(modulus, int):
+        mod_coeff = modulus
+        mod_powers: Dict[_Base, int] = {}
+    elif len(modulus._terms) == 1:
+        mono, mcoeff = modulus._terms[0]
+        if mcoeff.denominator != 1 or mcoeff <= 0:
+            return SymExpr({}), expr
+        mod_coeff = mcoeff.numerator
+        mod_powers = dict(mono)
+    else:
+        return SymExpr({}), expr
+    quotient: Dict[_Monomial, Fraction] = {}
+    remainder: Dict[_Monomial, Fraction] = {}
+    for mono2, coeff in expr._terms:
+        powers = dict(mono2)
+        if (
+            coeff.denominator == 1
+            and coeff.numerator % mod_coeff == 0
+            and all(powers.get(base, 0) >= exp for base, exp in mod_powers.items())
+        ):
+            for base, exp in mod_powers.items():
+                powers[base] -= exp
+            reduced = tuple(
+                sorted(
+                    ((b, e) for b, e in powers.items() if e),
+                    key=lambda kv: _base_sort_key(kv[0]),
+                )
+            )
+            quotient[reduced] = (
+                quotient.get(reduced, Fraction(0)) + coeff / mod_coeff
+            )
+        else:
+            remainder[mono2] = coeff
+    return SymExpr(quotient), SymExpr(remainder)
+
+
+def _require_integer_coeffs(expr: SymExpr, what: str) -> None:
+    if not expr.integer_coeffs():
+        raise SymbolicUnsupported(f"fractional coefficients in {what}: {expr!r}")
+
+
+def mod(expr, modulus) -> SymExpr:
+    """``expr mod modulus`` as a SymExpr (exact for all integer points)."""
+    expr = SymExpr._coerce(expr)
+    modulus = _modulus_norm(modulus)
+    _require_integer_coeffs(expr, "mod argument")
+    if isinstance(modulus, int) and modulus == 1:
+        return SymExpr({})
+    _quotient, remainder = _split_divisible(expr, modulus)
+    if isinstance(modulus, int):
+        reduced: Dict[_Monomial, Fraction] = {}
+        for mono, coeff in remainder._terms:
+            folded = Fraction(coeff.numerator % modulus)
+            if folded:
+                reduced[mono] = folded
+        remainder = SymExpr(reduced)
+    if not remainder._terms:
+        return SymExpr({})
+    if remainder.is_const() and isinstance(modulus, int):
+        return SymExpr._const(remainder.const_value().numerator % modulus)
+    if len(remainder._terms) == 1:
+        mono, coeff = remainder._terms[0]
+        if coeff == 1 and len(mono) == 1 and mono[0][1] == 1:
+            base = mono[0][0]
+            if isinstance(base, Mod) and _modulus_key(base.modulus) == _modulus_key(modulus):
+                return remainder  # mod(mod(x, m), m) = mod(x, m)
+    return SymExpr._atom(Mod(remainder, modulus))
+
+
+def floordiv(expr, modulus) -> SymExpr:
+    """``floor(expr / modulus)`` as a SymExpr."""
+    expr = SymExpr._coerce(expr)
+    if isinstance(modulus, int) and modulus < 0:
+        # floor(a/b) = floor((-a)/(-b))
+        return floordiv(-expr, -modulus)
+    modulus = _modulus_norm(modulus)
+    _require_integer_coeffs(expr, "floordiv argument")
+    if isinstance(modulus, int) and modulus == 1:
+        return expr
+    quotient, remainder = _split_divisible(expr, modulus)
+    if not remainder._terms:
+        return quotient
+    if remainder.is_const() and isinstance(modulus, int):
+        return quotient + SymExpr._const(
+            remainder.const_value().numerator // modulus
+        )
+    return quotient + SymExpr._atom(FloorDiv(remainder, modulus))
+
+
+def _nonnegative(expr: SymExpr) -> bool:
+    """Syntactically provable ``expr >= 0`` (conservative)."""
+    for mono, coeff in expr._terms:
+        if coeff < 0:
+            return False
+        for base, _exp in mono:
+            if isinstance(base, str):
+                return False
+            if not isinstance(base, (Mod, Pos, Ge0)):
+                return False
+    return True
+
+
+def pos(expr) -> SymExpr:
+    """``max(0, expr)`` as a SymExpr."""
+    expr = SymExpr._coerce(expr)
+    if expr.is_const():
+        value = expr.const_value()
+        return SymExpr._const(value if value > 0 else 0)
+    if _nonnegative(expr):
+        return expr
+    return SymExpr._atom(Pos(expr))
+
+
+def smin(a, b) -> SymExpr:
+    """``min(a, b)`` via ``a - max(0, a - b)``."""
+    a = SymExpr._coerce(a)
+    b = SymExpr._coerce(b)
+    return a - pos(a - b)
+
+
+def smax(a, b) -> SymExpr:
+    """``max(a, b)`` via ``a + max(0, b - a)``."""
+    a = SymExpr._coerce(a)
+    b = SymExpr._coerce(b)
+    return a + pos(b - a)
+
+
+def ge0(expr) -> SymExpr:
+    """Indicator ``1 if expr >= 0 else 0`` for integer-valued ``expr``."""
+    expr = SymExpr._coerce(expr)
+    if expr.is_const():
+        return SymExpr._const(1 if expr.const_value() >= 0 else 0)
+    if _nonnegative(expr):
+        return SymExpr._const(1)
+    return SymExpr._atom(Ge0(expr))
+
+
+def eq0(expr) -> SymExpr:
+    """Indicator ``1 if expr == 0 else 0`` for integer-valued ``expr``."""
+    expr = SymExpr._coerce(expr)
+    if _nonnegative(expr):
+        # 0 <= expr: expr == 0 iff -expr >= 0.
+        return ge0(-expr)
+    return ge0(expr) * ge0(-expr)
+
+
+def bounded_sum(var: str, bound, body) -> SymExpr:
+    """``sum(body for var in [0, max(0, bound)))`` as a SymExpr."""
+    bound = SymExpr._coerce(bound)
+    body = SymExpr._coerce(body)
+    if not body._terms:
+        return SymExpr({})
+    if not body.depends_on(var):
+        if bound.is_const():
+            value = bound.const_value()
+            if value.denominator != 1:
+                raise SymbolicUnsupported(f"non-integral sum bound {value}")
+            return body * max(0, value.numerator)
+        return body * pos(bound)
+    if bound.is_const():
+        value = bound.const_value()
+        if value.denominator != 1:
+            raise SymbolicUnsupported(f"non-integral sum bound {value}")
+        count = max(0, value.numerator)
+        if count <= 16:
+            total = SymExpr({})
+            for point in range(count):
+                total = total + body.subs(var, SymExpr._const(point))
+            return total
+    return SymExpr._atom(BoundedSum(var, bound, body))
+
+
+# ---------------------------------------------------------------------------
+# Faulhaber power sums
+# ---------------------------------------------------------------------------
+
+_POWER_SUM_CACHE: Dict[int, Tuple[Fraction, ...]] = {}
+
+
+def _power_sum_coeffs(k: int) -> Tuple[Fraction, ...]:
+    """Coefficients ``c[j]`` with ``sum(q**k for q in [0,T)) = sum c[j]*T**j``.
+
+    Derived through the binomial basis: ``q**k = sum_j S(k,j) * j! * C(q,j)``
+    and ``sum_{q<T} C(q,j) = C(T, j+1)`` — all exact rational arithmetic.
+    """
+    cached = _POWER_SUM_CACHE.get(k)
+    if cached is not None:
+        return cached
+    if k > 16:
+        raise SymbolicUnsupported(f"power sum degree {k} too large")
+    # Stirling numbers of the second kind S(k, j).
+    stirling = [[Fraction(0)] * (k + 1) for _ in range(k + 1)]
+    stirling[0][0] = Fraction(1)
+    for n in range(1, k + 1):
+        for j in range(1, n + 1):
+            stirling[n][j] = j * stirling[n - 1][j] + stirling[n - 1][j - 1]
+    coeffs = [Fraction(0)] * (k + 2)
+    for j in range(k + 1):
+        if stirling[k][j] == 0:
+            continue
+        factorial = Fraction(1)
+        for i in range(1, j + 1):
+            factorial *= i
+        weight = stirling[k][j] * factorial
+        # C(T, j+1) = T(T-1)...(T-j) / (j+1)! as a polynomial in T.
+        poly = [Fraction(1)]
+        for i in range(j + 1):
+            nxt = [Fraction(0)] * (len(poly) + 1)
+            for d, c in enumerate(poly):
+                nxt[d + 1] += c
+                nxt[d] -= c * i
+            poly = nxt
+        denominator = factorial * (j + 1)
+        for d, c in enumerate(poly):
+            coeffs[d] += weight * c / denominator
+    result = tuple(coeffs)
+    _POWER_SUM_CACHE[k] = result
+    return result
+
+
+def _power_sum(k: int, trips: SymExpr) -> SymExpr:
+    """``sum(q**k for q in [0, trips))`` as a polynomial in ``trips``."""
+    if k == 0:
+        return trips
+    total = SymExpr({})
+    power = SymExpr._const(1)
+    for coeff in _power_sum_coeffs(k):
+        if coeff:
+            total = total + power * SymExpr._const(coeff)
+        power = power * trips
+    return total
+
+
+# ---------------------------------------------------------------------------
+# symbolic summation
+# ---------------------------------------------------------------------------
+
+def _atom_obstructions(expr: SymExpr, var: str):
+    """Var-dependent atoms at the top level, innermost-resolvable first.
+
+    Yields ``(atom, inner)`` pairs where ``inner`` is True when the atom's
+    argument depends on ``var`` only polynomially (no var-dependent atom
+    inside) — those are the ones a split can eliminate directly.
+    """
+    seen = set()
+
+    def _walk(e: SymExpr):
+        for atom in e.atoms():
+            if atom in seen or not atom.depends_on(var):
+                continue
+            seen.add(atom)
+            if isinstance(atom, BoundedSum):
+                yield (atom, False)
+                continue
+            nested = list(_walk(atom.arg))
+            for item in nested:
+                yield item
+            yield (atom, not nested)
+
+    return list(_walk(expr))
+
+
+def _as_poly_in(expr: SymExpr, var: str) -> Optional[Dict[int, SymExpr]]:
+    """``expr`` as ``{degree: coefficient}`` in ``var`` — None when an atom
+    at the top level depends on ``var``."""
+    result: Dict[int, SymExpr] = {}
+    for mono, coeff in expr._terms:
+        degree = 0
+        rest: Dict[_Base, int] = {}
+        for base, exp in mono:
+            if isinstance(base, str) and base == var:
+                degree = exp
+                continue
+            if isinstance(base, _Atom) and base.depends_on(var):
+                return None
+            rest[base] = exp
+        reduced = tuple(
+            sorted(rest.items(), key=lambda kv: _base_sort_key(kv[0]))
+        )
+        result[degree] = result.get(degree, SymExpr({})) + SymExpr({reduced: coeff})
+    return result
+
+
+def _affine_in(expr: SymExpr, var: str) -> Optional[Tuple[SymExpr, SymExpr]]:
+    """``expr = slope*var + intercept`` (slope var-free), or None."""
+    poly = _as_poly_in(expr, var)
+    if poly is None:
+        return None
+    if any(degree > 1 for degree in poly):
+        return None
+    return poly.get(1, SymExpr({})), poly.get(0, SymExpr({}))
+
+
+def _signed_slope(slope: SymExpr, positive: frozenset):
+    """``(sign, |slope|)`` when the slope's sign is statically known.
+
+    A slope qualifies when it is a single monomial with an integer
+    coefficient whose bases are all symbols declared positive (>= 1) by
+    the caller — e.g. the processor count in a wrapped schedule stride.
+    Returns None otherwise.
+    """
+    if slope.is_const():
+        value = slope.const_value()
+        if value.denominator != 1 or value == 0:
+            return None
+        return (1 if value > 0 else -1), abs(value.numerator)
+    if len(slope._terms) != 1:
+        return None
+    mono, coeff = slope._terms[0]
+    if coeff.denominator != 1:
+        return None
+    for base, _exp in mono:
+        if not (isinstance(base, str) and base in positive):
+            return None
+    sign = 1 if coeff > 0 else -1
+    return sign, slope * sign
+
+
+def eval_cost(expr: SymExpr, extent_hint) -> int:
+    """Rough flat-operation count for one evaluation of ``expr``.
+
+    ``extent_hint(bound) -> int`` estimates a bounded sum's trip count
+    (callers know which symbols they can bind); everything else counts
+    one unit per polynomial term, recursing into atom arguments.  The
+    estimate steers two decisions — whether a closed form beats the
+    loop it replaced, and whether the symbolic tier beats the next tier
+    for a concrete cell — so it only needs to rank, not to be exact.
+    """
+    cost = len(expr._terms)
+    for atom in expr.atoms():
+        if isinstance(atom, BoundedSum):
+            cost += max(0, extent_hint(atom.bound)) * (
+                1 + eval_cost(atom.body, extent_hint)
+            )
+        else:
+            cost += eval_cost(atom.arg, extent_hint)
+    return cost
+
+
+def _deep_atoms(expr: SymExpr, out: List[_Atom]) -> List[_Atom]:
+    """Every atom in ``expr``, including atoms nested inside atom args."""
+    for atom in expr.atoms():
+        out.append(atom)
+        if isinstance(atom, BoundedSum):
+            _deep_atoms(atom.bound, out)
+            _deep_atoms(atom.body, out)
+        else:
+            _deep_atoms(atom.arg, out)
+    return out
+
+
+def _domain_simplify(expr: SymExpr, var: str) -> SymExpr:
+    """Resolve atoms the summation domain ``var >= 0`` already decides.
+
+    Inside ``sym_sum`` the variable only takes values in
+    ``[0, max(0, trips))``, so ``pos(k*var)`` is ``k*var`` (k > 0),
+    ``pos(-k*var)`` is ``0``, and ``ge0(k*var)`` is ``1`` — even nested
+    inside other atoms' arguments.  Resolving them before range
+    splitting matters: each unresolved positive-part arm doubles the
+    split count, so two vacuous arms cost a factor of four in result
+    size for no information.
+    """
+    changed = True
+    while changed:
+        changed = False
+        for atom in _deep_atoms(expr, []):
+            if not isinstance(atom, (Pos, Ge0)):
+                continue
+            terms = atom.arg._terms
+            if len(terms) != 1 or terms[0][0] != ((var, 1),):
+                continue
+            coeff = terms[0][1]
+            if coeff > 0:
+                new = atom.arg if isinstance(atom, Pos) else SymExpr._const(1)
+            elif isinstance(atom, Pos):
+                new = SymExpr({})
+            else:
+                continue  # ge0(-k*var) is an equality test, not constant
+            replaced = expr.replace_atom(atom, new)
+            if replaced != expr:
+                expr = replaced
+                changed = True
+                break
+    return expr
+
+
+_SUM_TERM_LIMIT = 4000
+
+#: Remaining :func:`sym_sum` invocations allowed under :func:`sum_budget`
+#: (``None`` = unlimited).  Nested bounds (``smax``/``smin`` chains) make
+#: range splitting exponential in the number of arms; a budget turns a
+#: multi-minute grind into a fast, catchable failure.
+_SUM_BUDGET: List[Optional[int]] = [None]
+
+
+class sum_budget:
+    """Context manager capping the total ``sym_sum`` work inside.
+
+    Each call charges ``1 + term_count`` of the expression being summed,
+    so the budget tracks actual polynomial size, not call count.
+    """
+
+    def __init__(self, limit: int):
+        self.limit = limit
+        self.previous: Optional[int] = None
+
+    def __enter__(self) -> "sum_budget":
+        self.previous = _SUM_BUDGET[0]
+        _SUM_BUDGET[0] = self.limit
+        return self
+
+    def __exit__(self, *exc) -> None:
+        _SUM_BUDGET[0] = self.previous
+
+
+def sym_sum(
+    expr: SymExpr, var: str, trips: SymExpr,
+    positive: frozenset = frozenset(),
+) -> SymExpr:
+    """Exact ``sum(expr for var in [0, max(0, trips)))``, symbolically.
+
+    ``trips`` must not depend on ``var``; symbols in ``positive`` are
+    assumed >= 1 (the processor count), which lets range splits handle
+    strides proportional to them.  Raises :class:`SymbolicUnsupported`
+    outside the summable fragment.
+    """
+    if not expr.depends_on(var):
+        return expr * pos(trips)
+    simplified = _domain_simplify(expr, var)
+    if simplified != expr:
+        expr = simplified
+        if not expr.depends_on(var):
+            return expr * pos(trips)
+    if expr.term_count() > _SUM_TERM_LIMIT:
+        raise SymbolicUnsupported("symbolic form grew too large")
+    budget = _SUM_BUDGET[0]
+    if budget is not None:
+        cost = 1 + expr.term_count()
+        if budget < cost:
+            raise SymbolicUnsupported("symbolic summation budget exhausted")
+        _SUM_BUDGET[0] = budget - cost
+
+    obstructions = _atom_obstructions(expr, var)
+
+    # 1. Exchange summation with var-dependent inner sums.
+    for atom, _inner in obstructions:
+        if isinstance(atom, BoundedSum):
+            return _swap_bounded_sum(expr, var, trips, atom, positive)
+
+    # 2. Residue-split Mod/FloorDiv atoms whose arg is polynomial in var.
+    # Prefer a symbolic modulus (the processor count): one split then
+    # collapses every mod-P atom at once.
+    residue_modulus = None
+    for atom, inner in obstructions:
+        if inner and isinstance(atom, (Mod, FloorDiv)):
+            if _modulus_depends(atom.modulus, var):
+                raise SymbolicUnsupported(
+                    f"summation variable inside modulus of {atom!r}"
+                )
+            if residue_modulus is None or not isinstance(atom.modulus, int):
+                residue_modulus = atom.modulus
+            if not isinstance(residue_modulus, int):
+                break
+    if residue_modulus is not None:
+        return _residue_split(expr, var, trips, residue_modulus, positive)
+
+    # 3. Range-split Pos/Ge0 atoms with an affine, known-sign-slope
+    # argument.  Indicators first: their split replaces the atom with a
+    # 0/1 constant, shrinking the expression.
+    blocked_split = None
+    for wanted in (Ge0, Pos):
+        for atom, inner in obstructions:
+            if inner and isinstance(atom, wanted):
+                affine = _affine_in(atom.arg, var)
+                if affine is None:
+                    # Often an outer smax/smin arm whose argument holds a
+                    # nested Pos atom: splitting the affine atoms first
+                    # resolves it from the inside out.
+                    blocked_split = atom
+                    continue
+                return _pos_split(expr, var, trips, atom, affine, positive)
+    if blocked_split is not None:
+        raise SymbolicUnsupported(
+            f"cannot split non-affine positive part {blocked_split!r}"
+        )
+
+    if obstructions:
+        raise SymbolicUnsupported(
+            f"cannot sum over {var!r}: {obstructions[0][0]!r}"
+        )
+
+    # 4. Pure polynomial in var: Faulhaber.
+    poly = _as_poly_in(expr, var)
+    if poly is None:  # pragma: no cover - guarded by the obstruction scan
+        raise SymbolicUnsupported(f"cannot sum {expr!r} over {var!r}")
+    total = SymExpr({})
+    clamped = pos(trips)
+    for degree, coefficient in poly.items():
+        total = total + coefficient * _power_sum(degree, clamped)
+    return total
+
+
+def _swap_bounded_sum(
+    expr: SymExpr, var: str, trips: SymExpr, atom: BoundedSum,
+    positive: frozenset,
+) -> SymExpr:
+    """``sum_var (c * B * rest) = c * BoundedSum(r, b, sum_var(body*rest))``.
+
+    Terms not containing ``atom`` are summed separately; for terms that
+    do, every var-dependent cofactor moves inside the exchanged sum.
+    """
+    if atom.bound.depends_on(var):
+        raise SymbolicUnsupported(
+            f"summation variable in inner sum bound {atom!r}"
+        )
+    with_atom: Dict[_Monomial, Fraction] = {}
+    without: Dict[_Monomial, Fraction] = {}
+    for mono, coeff in expr._terms:
+        if any(base == atom for base, _exp in mono):
+            with_atom[mono] = coeff
+        else:
+            without[mono] = coeff
+    if not with_atom:
+        # The atom only occurs nested inside another atom's argument;
+        # no sound exchange rule applies there.
+        raise SymbolicUnsupported(
+            f"inner sum nested inside another atom: {atom!r}"
+        )
+    rest_sum = (
+        sym_sum(SymExpr(without), var, trips, positive)
+        if without else SymExpr({})
+    )
+
+    total = rest_sum
+    fresh = fresh_name()
+    body = atom.body.subs(atom.var, sym(fresh))
+    for mono, coeff in with_atom.items():
+        outside = SymExpr._const(coeff)
+        inside = body
+        for base, exp in mono:
+            if base == atom:
+                # B**e = B**(e-1) * B: keep the extra copies as the
+                # original atom so the recursive sum exchanges each with
+                # its own fresh bound variable (summing a renamed body
+                # e times would square the inner sum instead).
+                for _ in range(exp - 1):
+                    inside = inside * SymExpr._atom(atom)
+                continue
+            factor = (
+                SymExpr._symbol(base) if isinstance(base, str)
+                else SymExpr._atom(base)
+            )
+            piece = factor
+            for _ in range(exp - 1):
+                piece = piece * factor
+            if piece.depends_on(var):
+                inside = inside * piece
+            else:
+                outside = outside * piece
+        summed = sym_sum(inside, var, trips, positive)
+        total = total + outside * bounded_sum(fresh, atom.bound, summed)
+    return total
+
+
+def _residue_split(
+    expr: SymExpr, var: str, trips: SymExpr, modulus, positive: frozenset
+) -> SymExpr:
+    """``sum_{q<T} f(q) = sum_{r<M} sum_{t<T_r} f(r + M*t)``."""
+    t_var = fresh_name()
+    r_var = fresh_name()
+    if isinstance(modulus, int):
+        modulus_expr = SymExpr._const(modulus)
+    else:
+        modulus_expr = modulus
+    substituted = expr.subs(var, sym(r_var) + modulus_expr * sym(t_var))
+    inner_trips = pos(floordiv(trips - 1 - sym(r_var), modulus) + 1)
+    inner = sym_sum(substituted, t_var, inner_trips, positive)
+    return bounded_sum(r_var, modulus_expr, inner)
+
+
+def _pos_split(
+    expr: SymExpr,
+    var: str,
+    trips: SymExpr,
+    atom: _Atom,
+    affine: Tuple[SymExpr, SymExpr],
+    positive: frozenset,
+) -> SymExpr:
+    """Split ``[0, trips)`` at the sign change of an affine Pos/Ge0 arg."""
+    slope, intercept = affine
+    signed = _signed_slope(slope, positive)
+    if signed is None:
+        raise SymbolicUnsupported(
+            f"positive part with sign-unknown slope {slope!r} in {atom!r}"
+        )
+    sign, magnitude = signed
+    _require_integer_coeffs(intercept, "positive-part intercept")
+    clamped = pos(trips)
+    if sign > 0:
+        # arg >= 0 iff var >= ceil(-intercept/|slope|) =: z0.
+        z0 = -floordiv(intercept, magnitude)
+        zero_first = True
+    else:
+        # arg >= 0 iff var <= floor(intercept/|slope|); first zero position.
+        z0 = floordiv(intercept, magnitude) + 1
+        zero_first = False
+    z = smin(pos(z0), clamped)  # clamp to [0, trips]
+    # Below the breakpoint the argument is negative, above nonnegative:
+    # a Pos atom becomes 0 / its argument, a Ge0 indicator becomes 0 / 1.
+    if isinstance(atom, Ge0):
+        active = SymExpr._const(1)
+    else:
+        active = atom.arg
+    low_value, high_value = (
+        (SymExpr({}), active) if zero_first else (active, SymExpr({}))
+    )
+
+    low_part = sym_sum(expr.replace_atom(atom, low_value), var, z, positive)
+    # The upper piece is a difference of formal prefix sums: derive
+    # sum_{var in [0, u)} once with a symbolic limit u, then evaluate at
+    # both endpoints.  (Substituting var := z + t instead would thread
+    # the breakpoint's atom tree through every deeper split and blow the
+    # form up combinatorially.)
+    u_var = fresh_name()
+    formal = sym_sum(
+        expr.replace_atom(atom, high_value), var, sym(u_var), positive
+    )
+    high_part = formal.subs(u_var, clamped) - formal.subs(u_var, z)
+    return low_part + high_part
+
+
+# ---------------------------------------------------------------------------
+# form compilation
+# ---------------------------------------------------------------------------
+
+def _exact_div(num: int, den: int) -> int:
+    quot, rem = divmod(num, den)
+    if rem:
+        raise SymbolicUnsupported(
+            f"non-integral value {num}/{den} in compiled form"
+        )
+    return quot
+
+
+def _checked_mod(value, m):
+    if m <= 0:
+        raise SymbolicUnsupported(f"non-positive modulus {m}")
+    return value % m
+
+
+def _checked_fdiv(value, m):
+    if m <= 0:
+        raise SymbolicUnsupported(f"non-positive modulus {m}")
+    return value // m
+
+
+def _walk_bound_vars(expr: SymExpr, out: List[str]) -> None:
+    for atom in expr.atoms():
+        if isinstance(atom, BoundedSum):
+            out.append(atom.var)
+            _walk_bound_vars(atom.bound, out)
+            _walk_bound_vars(atom.body, out)
+        else:
+            _walk_bound_vars(atom.arg, out)
+            if isinstance(atom, (Mod, FloorDiv)) and not isinstance(
+                atom.modulus, int
+            ):
+                _walk_bound_vars(atom.modulus, out)
+
+
+def _bound_vars_ambiguous(expr: SymExpr) -> bool:
+    """True when a sum's bound variable could shadow another meaning.
+
+    :func:`sym_sum` always binds fresh ``__qN`` names so this never
+    triggers on derived forms; it guards hand-built expressions."""
+    bound: List[str] = []
+    _walk_bound_vars(expr, bound)
+    return len(bound) != len(set(bound)) or bool(
+        set(bound) & expr.free_symbols()
+    )
+
+
+class _Scope:
+    """Atom -> local-variable cache, chained through enclosing scopes."""
+
+    __slots__ = ("parent", "cache")
+
+    def __init__(self, parent: Optional["_Scope"] = None) -> None:
+        self.parent = parent
+        self.cache: Dict[_Atom, str] = {}
+
+    def lookup(self, atom: _Atom) -> Optional[str]:
+        scope = self
+        while scope is not None:
+            name = scope.cache.get(atom)
+            if name is not None:
+                return name
+            scope = scope.parent
+        return None
+
+
+class _Emitter:
+    def __init__(self) -> None:
+        self.lines: List[str] = []
+        self.loads: List[str] = []
+        self.count = 0
+        self.symmap: Dict[str, str] = {}
+
+    def temp(self) -> str:
+        self.count += 1
+        return f"_t{self.count}"
+
+    def load_symbol(self, name: str) -> str:
+        local = self.symmap.get(name)
+        if local is None:
+            local = self.temp()
+            self.symmap[name] = local
+            self.loads.append(f"    {local} = env[{name!r}]")
+        return local
+
+    def expr_code(self, expr: SymExpr, scope: _Scope, indent: int) -> str:
+        den, terms = expr._eval_plan()
+        if not terms:
+            return "0"
+        parts = []
+        for coeff, mono in terms:
+            factors = []
+            for base, exp in mono:
+                code = self.base_code(base, scope, indent)
+                factors.append(code if exp == 1 else f"{code}**{exp}")
+            if coeff != 1 or not factors:
+                factors.insert(0, repr(coeff))
+            parts.append("*".join(factors))
+        body = " + ".join(parts)
+        if den != 1:
+            body = f"_exact_div({body}, {den})"
+        return f"({body})"
+
+    def _modulus_code(self, modulus, scope: _Scope, indent: int) -> str:
+        if isinstance(modulus, int):
+            return repr(modulus)
+        return self.expr_code(modulus, scope, indent)
+
+    def base_code(self, base: _Base, scope: _Scope, indent: int) -> str:
+        if isinstance(base, str):
+            return self.load_symbol(base)
+        cached = scope.lookup(base)
+        if cached is not None:
+            return cached
+        pad = "    " * indent
+        if isinstance(base, (Mod, FloorDiv)):
+            arg = self.expr_code(base.arg, scope, indent)
+            op = "%" if isinstance(base, Mod) else "//"
+            var = self.temp()
+            if isinstance(base.modulus, int):
+                # constructors guarantee int moduli are positive
+                self.lines.append(f"{pad}{var} = {arg} {op} {base.modulus}")
+            else:
+                fn = "_checked_mod" if isinstance(base, Mod) else "_checked_fdiv"
+                m = self._modulus_code(base.modulus, scope, indent)
+                self.lines.append(f"{pad}{var} = {fn}({arg}, {m})")
+        elif isinstance(base, Pos):
+            arg = self.expr_code(base.arg, scope, indent)
+            var = self.temp()
+            self.lines.append(f"{pad}{var} = {arg}")
+            self.lines.append(f"{pad}if {var} < 0:")
+            self.lines.append(f"{pad}    {var} = 0")
+        elif isinstance(base, Ge0):
+            arg = self.expr_code(base.arg, scope, indent)
+            var = self.temp()
+            self.lines.append(f"{pad}{var} = 1 if {arg} >= 0 else 0")
+        elif isinstance(base, BoundedSum):
+            bound = self.expr_code(base.bound, scope, indent)
+            for atom in base._free_atoms():
+                self.base_code(atom, scope, indent)
+            limit, acc = self.temp(), self.temp()
+            self.lines.append(f"{pad}{limit} = {bound}")
+            self.lines.append(f"{pad}{acc} = 0")
+            loop = self.temp()
+            self.lines.append(
+                f"{pad}for {loop} in range({limit} if {limit} > 0 else 0):"
+            )
+            saved = self.symmap.get(base.var)
+            self.symmap[base.var] = loop
+            inner = _Scope(scope)
+            body = self.expr_code(base.body, inner, indent + 1)
+            self.lines.append(f"{pad}    {acc} += {body}")
+            if saved is None:
+                del self.symmap[base.var]
+            else:
+                self.symmap[base.var] = saved
+            var = acc
+        else:  # pragma: no cover - new atom kinds must be handled here
+            raise SymbolicUnsupported(f"cannot compile atom {base!r}")
+        scope.cache[base] = var
+        return var
+
+
+def _compile_form(expr: SymExpr):
+    emitter = _Emitter()
+    result = emitter.expr_code(expr, _Scope(), 1)
+    lines = ["def _form(env):"]
+    lines.extend(emitter.loads)
+    lines.extend(emitter.lines)
+    lines.append(f"    return {result}")
+    namespace = {
+        "_exact_div": _exact_div,
+        "_checked_mod": _checked_mod,
+        "_checked_fdiv": _checked_fdiv,
+    }
+    exec(compile("\n".join(lines), "<sympoly-form>", "exec"), namespace)
+    return namespace["_form"]

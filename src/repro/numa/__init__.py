@@ -13,12 +13,14 @@ from repro.numa.simulator import (
     sequential_time,
     simulate,
 )
+from repro.numa.symbolic import SymbolicEngine
 
 __all__ = [
     "AccessCounts",
     "MachineConfig",
     "ProcessorResult",
     "SimulationResult",
+    "SymbolicEngine",
     "butterfly_gp1000",
     "ipsc860",
     "sequential_time",

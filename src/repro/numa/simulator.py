@@ -771,7 +771,53 @@ def _scheduled_values(
 
 
 #: Engine choices accepted by :func:`simulate` (and ``--engine``).
-ENGINES = ("auto", "closed-form", "compiled", "walk")
+ENGINES = ("auto", "symbolic", "closed-form", "compiled", "walk")
+
+#: Auto tier selection demotes a derivable symbolic form to the next
+#: tier when its estimated per-processor evaluation cost (flat ops, see
+#: :meth:`SymbolicEngine.estimate_cost`) exceeds this ceiling — a form
+#: dominated by residual ``BoundedSum`` loops over large extents can be
+#: slower than the closed-form engine it would replace.  Forcing
+#: ``engine="symbolic"`` bypasses the ceiling.
+SYMBOLIC_COST_CEILING = 10_000
+
+
+def _symbolic_unpromising(node: NodeProgram) -> bool:
+    """Cheap structural predictor that symbolic derivation will not pay.
+
+    Multi-armed ``max``/``min`` loop bounds (skewed/banded nests) are
+    exactly what makes symbolic range splitting exponential and leaves
+    residual ``BoundedSum`` loops behind, so ``auto`` skips the (cached
+    but non-trivial) derivation entirely for such nests instead of
+    deriving a form only to demote it on cost.  Forced
+    ``engine="symbolic"`` always derives.
+    """
+    return any(
+        len(loop.lower) > 1 or len(loop.upper) > 1
+        for loop in node.nest.loops
+    )
+
+
+def _cached_form(node: NodeProgram):
+    """The tier-0 symbolic engine for ``node``, derived at most once.
+
+    Returns ``("ok", engine)`` or ``("error", reason)``; both outcomes
+    are memoized in the process-wide cache keyed by the node fingerprint
+    alone — the derived form is symbolic in ``(params, P, proc)``, so one
+    derivation answers every cell of a sweep.
+    """
+    from repro.numa.symbolic import SymbolicEngine, SymbolicUnsupported
+    from repro.runtime.cache import node_fingerprint, shared_cache
+
+    key = node_fingerprint(node) + "|symform"
+
+    def factory():
+        try:
+            return ("ok", SymbolicEngine(node))
+        except SymbolicUnsupported as error:
+            return ("error", str(error))
+
+    return shared_cache().form(key, factory)
 
 
 def _cached_kernel(node: NodeProgram, block_cache: bool):
@@ -847,15 +893,17 @@ def simulate(
     an extension beyond the paper, exercised by the ABL7 ablation.
 
     ``engine`` picks the accounting tier: ``auto`` (default) uses the
-    fastest tier that can handle the nest — the closed-form multi-level
-    engine (:mod:`repro.numa.counting`), the compiled accounting kernel
+    fastest tier that can handle the nest — the symbolic per-program form
+    (:mod:`repro.numa.symbolic`, derived once per node program and then
+    evaluated per cell), the closed-form multi-level engine
+    (:mod:`repro.numa.counting`), the compiled accounting kernel
     (:func:`repro.codegen.pycodegen.compile_accounting`), or the
-    interpreter walk.  Forcing ``closed-form`` or ``compiled`` raises a
-    :class:`~repro.errors.SimulationError` when that tier cannot handle
-    the nest; all tiers are bit-identical on every count (the tier
-    equivalence tests and the fuzz oracle enforce this), so ``auto`` never
-    changes results, only speed.  The chosen tier is reported as
-    ``SimulationResult.engine``.
+    interpreter walk.  Forcing ``symbolic``, ``closed-form`` or
+    ``compiled`` raises a :class:`~repro.errors.SimulationError` when that
+    tier cannot handle the nest; all tiers are bit-identical on every
+    count (the tier equivalence tests and the fuzz oracle enforce this),
+    so ``auto`` never changes results, only speed.  The chosen tier is
+    reported as ``SimulationResult.engine``.
     """
     if engine not in ENGINES:
         choices = ", ".join(ENGINES)
@@ -866,7 +914,7 @@ def simulate(
         raise SimulationError(f"unknown mode {mode!r}")
     if mode == "execute" and arrays is None:
         raise SimulationError("execute mode requires arrays")
-    if mode != "account" and engine in ("closed-form", "compiled"):
+    if mode != "account" and engine in ("symbolic", "closed-form", "compiled"):
         raise SimulationError(
             f"engine {engine!r} only supports account mode; "
             "execute mode always uses the walk engine"
@@ -875,16 +923,38 @@ def simulate(
         raise SimulationError("need at least one processor")
     machine = machine or butterfly_gp1000()
 
+    symbolic = None
     closed = None
     kernel = None
     chosen = "walk"
     if mode == "account" and engine != "walk":
-        if block_cache and engine == "closed-form":
+        if block_cache and engine in ("symbolic", "closed-form"):
             raise SimulationError(
-                "closed-form engine does not model the block cache; "
+                f"{engine} engine does not model the block cache; "
                 "use the compiled or walk engine"
             )
-        if not block_cache and engine in ("auto", "closed-form"):
+        if not block_cache and (
+            engine == "symbolic"
+            or (engine == "auto" and not _symbolic_unpromising(node))
+        ):
+            status, payload = _cached_form(node)
+            if status == "ok":
+                keep = engine == "symbolic" or (
+                    payload.estimate_cost(
+                        node.program.bound_params(params), processors
+                    )
+                    <= SYMBOLIC_COST_CEILING
+                )
+                if keep:
+                    symbolic = payload
+                    chosen = "symbolic"
+            elif engine == "symbolic":
+                raise SimulationError(
+                    f"symbolic engine cannot handle this nest: {payload}"
+                )
+        if symbolic is None and not block_cache and engine in (
+            "auto", "closed-form"
+        ):
             from repro.numa.counting import (
                 ClosedFormEngine,
                 ClosedFormUnsupported,
@@ -898,7 +968,9 @@ def simulate(
                     raise SimulationError(
                         f"closed-form engine cannot handle this nest: {error}"
                     )
-        if closed is None and engine in ("auto", "compiled"):
+        if symbolic is None and closed is None and engine in (
+            "auto", "compiled"
+        ):
             status, payload = _cached_kernel(node, block_cache)
             if status == "ok":
                 kernel = payload
@@ -914,7 +986,9 @@ def simulate(
         env = node.program.bound_params(params)
         env[node.procs_param] = processors
         env[node.proc_param] = proc
-        if closed is not None:
+        if symbolic is not None:
+            all_counts.append(symbolic.account(env, processors, proc))
+        elif closed is not None:
             all_counts.append(closed.account(env, processors, proc))
         elif kernel is not None:
             all_counts.append(

@@ -24,6 +24,7 @@ from dataclasses import astuple
 from typing import Mapping, Optional
 
 from repro.codegen.spmd import NodeProgram
+from repro.errors import ConfigurationError
 from repro.ir.printer import render_nest
 from repro.numa.machine import MachineConfig
 from repro.numa.simulator import SimulationResult
@@ -117,6 +118,10 @@ class SimulationCache:
     #: Cap on memoized accounting kernels (see :meth:`kernel`).
     KERNEL_MAX_ENTRIES = 512
 
+    #: Cap on memoized symbolic engines (see :meth:`form`).  Forms are
+    #: per *program*, not per cell, so a handful covers a whole report.
+    FORM_MAX_ENTRIES = 128
+
     def __init__(
         self,
         max_entries: int = 4096,
@@ -128,8 +133,11 @@ class SimulationCache:
         self.disk_max_entries = disk_max_entries
         self._memory: "OrderedDict[str, SimulationResult]" = OrderedDict()
         self._kernels: "OrderedDict[str, object]" = OrderedDict()
+        self._forms: "OrderedDict[str, object]" = OrderedDict()
         self.kernel_compiles = 0
         self.kernel_hits = 0
+        self.form_derives = 0
+        self.form_hits = 0
         if store_dir:
             os.makedirs(store_dir, exist_ok=True)
 
@@ -168,6 +176,13 @@ class SimulationCache:
                 except OSError:
                     pass
                 return None
+            # Refresh the entry's mtime: _evict_disk orders by mtime, so
+            # without this a hot long-lived entry reads as the oldest and
+            # is evicted first (FIFO, not LRU).
+            try:
+                os.utime(path, None)
+            except OSError:
+                pass
             self._remember(key, result)
             return result
         return None
@@ -242,10 +257,32 @@ class SimulationCache:
             self._kernels.popitem(last=False)
         return value
 
+    def form(self, key: str, factory):
+        """Memoize a symbolic accounting engine (memory-only, LRU).
+
+        Like :meth:`kernel`, but for the tier-0 *symbolic form* of a node
+        program: the key covers only the program fingerprint — never the
+        cell's ``(P, params)`` — because the derived form is a function of
+        those.  One derivation answers every cell of a sweep.  Failures
+        (nests outside the symbolic fragment) are remembered too, so a
+        sweep probes each unsupported program once.
+        """
+        if key in self._forms:
+            self._forms.move_to_end(key)
+            self.form_hits += 1
+            return self._forms[key]
+        value = factory()
+        self._forms[key] = value
+        self.form_derives += 1
+        while len(self._forms) > self.FORM_MAX_ENTRIES:
+            self._forms.popitem(last=False)
+        return value
+
     def clear(self) -> None:
         """Drop the in-memory layer (disk entries are kept)."""
         self._memory.clear()
         self._kernels.clear()
+        self._forms.clear()
 
     def _remember(self, key: str, result: SimulationResult) -> None:
         if self.max_entries <= 0:
@@ -265,7 +302,8 @@ def shared_cache() -> SimulationCache:
     Honors the ``REPRO_CACHE_DIR`` environment variable (set at first use)
     for an on-disk store shared across processes, and
     ``REPRO_CACHE_MAX_ENTRIES`` for the disk-store cap applied by
-    long-lived processes such as the compilation daemon.
+    long-lived processes such as the compilation daemon.  A malformed cap
+    raises :class:`~repro.errors.ConfigurationError` naming the bad value.
     """
     global _SHARED
     if _SHARED is None:
@@ -273,7 +311,11 @@ def shared_cache() -> SimulationCache:
         try:
             cap = int(cap_text) if cap_text else None
         except ValueError:
-            cap = None
+            # Swallowing the typo would silently disable the disk cap and
+            # let a daemon's store grow without bound.
+            raise ConfigurationError(
+                f"REPRO_CACHE_MAX_ENTRIES={cap_text!r} is not an integer"
+            )
         _SHARED = SimulationCache(
             store_dir=os.environ.get("REPRO_CACHE_DIR"),
             disk_max_entries=cap,

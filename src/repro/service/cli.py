@@ -16,7 +16,12 @@ import sys
 from typing import Sequence
 
 from repro.service.client import ServiceClient, default_host, default_port
-from repro.service.jobs import analyze_payload, compile_payload, sweep_payload
+from repro.service.jobs import (
+    analyze_payload,
+    compile_payload,
+    solve_payload,
+    sweep_payload,
+)
 from repro.service.protocol import ServiceConfig
 
 
@@ -54,6 +59,8 @@ def cmd_submit(args: argparse.Namespace) -> int:
     elif subcommand == "simulate":
         # The CLI's `simulate` is a full speedup sweep -> the sweep op.
         response = client.sweep(sweep_payload(args))
+    elif subcommand == "solve":
+        response = client.solve(solve_payload(args))
     else:  # pragma: no cover - argparse enforces choices
         raise AssertionError(f"unknown submit subcommand {subcommand!r}")
     result = response.get("result") or {}
@@ -72,7 +79,7 @@ def add_serve_parser(
     parser = sub.add_parser(
         "serve",
         help="run the compilation service daemon (compile/analyze/"
-        "simulate/sweep over JSON HTTP)",
+        "simulate/sweep/solve over JSON HTTP)",
     )
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument(
@@ -126,7 +133,11 @@ def add_submit_parser(
     # Deferred import: repro.cli imports this module inside build_parser,
     # so repro.cli is fully initialized by the time this runs.
     from repro.analysis.cli import add_analyze_options
-    from repro.cli import add_compile_options, add_simulate_options
+    from repro.cli import (
+        add_compile_options,
+        add_simulate_options,
+        add_solve_options,
+    )
 
     parser = sub.add_parser(
         "submit",
@@ -164,6 +175,12 @@ def add_submit_parser(
         help="as 'repro simulate', served",
     )
     add_simulate_options(simulate_cmd)
+
+    solve_cmd = subsub.add_parser(
+        "solve", parents=[connection, common, machine],
+        help="as 'repro solve', served",
+    )
+    add_solve_options(solve_cmd)
 
     subsub.add_parser(
         "health", parents=[connection], help="print the /healthz document"

@@ -26,6 +26,22 @@ def default_host() -> str:
     return os.environ.get(HOST_ENV, "127.0.0.1")
 
 
+def _parse_retry_after(value: Optional[str]) -> Optional[float]:
+    """The ``Retry-After`` header as seconds, or None.
+
+    RFC 9110 also allows an HTTP-date here (proxies rewrite the header
+    that way); the client only uses the hint for numeric backoff, so
+    anything non-numeric degrades to "no hint" instead of a crash.
+    """
+    if not value:
+        return None
+    try:
+        seconds = float(value)
+    except ValueError:
+        return None
+    return seconds if seconds >= 0 else None
+
+
 def default_port() -> int:
     raw = os.environ.get(PORT_ENV)
     try:
@@ -93,7 +109,7 @@ class ServiceClient:
                 str(error_info.get("message", f"HTTP {status}")),
                 code=str(error_info.get("code", "internal")),
                 status=status,
-                retry_after=float(retry_after) if retry_after else None,
+                retry_after=_parse_retry_after(retry_after),
             )
         if not isinstance(document, dict):
             raise ServiceError(
@@ -135,3 +151,6 @@ class ServiceClient:
 
     def sweep(self, payload: Mapping[str, Any]) -> Dict[str, Any]:
         return self.submit("sweep", payload)
+
+    def solve(self, payload: Mapping[str, Any]) -> Dict[str, Any]:
+        return self.submit("solve", payload)

@@ -109,6 +109,50 @@ def sweep_payload(args) -> Dict[str, object]:
     }
 
 
+def _parse_candidate(text: str) -> Dict[str, str]:
+    """``variant`` or ``variant/schedule`` -> a solve candidate spec."""
+    variant, _, schedule = str(text).partition("/")
+    return {"variant": variant, "schedule": schedule or "wrapped"}
+
+
+def _parse_bindings(pairs) -> Optional[Dict[str, int]]:
+    """Repeatable ``NAME=VALUE`` options -> a parameter dict."""
+    if not pairs:
+        return None
+    params: Dict[str, int] = {}
+    for pair in pairs:
+        name, sep, value = str(pair).partition("=")
+        if not sep or not name:
+            raise ReproError(
+                f"invalid parameter binding {pair!r}: expected NAME=VALUE"
+            )
+        try:
+            params[name] = int(value)
+        except ValueError:
+            raise ReproError(
+                f"invalid parameter binding {pair!r}: value must be an integer"
+            )
+    return params
+
+
+def solve_payload(args) -> Dict[str, object]:
+    """The ``solve`` payload for parsed ``repro solve`` args."""
+    return {
+        "source": _read_file(args.file),
+        "name": args.file,
+        "priority": args.priority,
+        "assume": list(args.assume),
+        "machine": args.machine,
+        "contention": args.contention,
+        "params": _parse_bindings(args.param),
+        "left": _parse_candidate(args.left),
+        "right": _parse_candidate(args.right),
+        "min_processors": args.min_processors,
+        "max_processors": args.max_processors,
+        "json": bool(args.json),
+    }
+
+
 # ----------------------------------------------------------------------
 # payload interpretation
 # ----------------------------------------------------------------------
@@ -307,6 +351,181 @@ def run_sweep(
     return "\n".join(lines), "\n".join(err_lines)
 
 
+#: Candidate schedules accepted by the ``solve`` op.
+_SCHEDULES = ("wrapped", "blocked")
+
+#: Upper bound on the processor range a solve request may scan.  The
+#: symbolic evaluation is cheap per cell, but the range still bounds
+#: served work.
+_SOLVE_MAX_PROCESSORS = 4096
+
+
+def _candidate_node(
+    spec: object,
+    program: Program,
+    normalized,
+    metrics: Metrics,
+) -> Tuple[str, object]:
+    """Build the node program for one solve candidate spec."""
+    if not isinstance(spec, Mapping):
+        raise ReproError(
+            "solve candidates must be objects with 'variant' and 'schedule'"
+        )
+    variant = str(spec.get("variant", "normalized"))
+    if variant not in VARIANTS:
+        raise ReproError(
+            f"unknown variant {variant!r}: expected one of {VARIANTS}"
+        )
+    schedule = str(spec.get("schedule", "wrapped"))
+    if schedule not in _SCHEDULES:
+        raise ReproError(
+            f"unknown schedule {schedule!r}: expected one of {_SCHEDULES}"
+        )
+    with metrics.stage("codegen"):
+        if variant == "naive":
+            node = generate_spmd(
+                program, schedule=schedule, block_transfers=False
+            )
+        else:
+            node = generate_spmd(
+                normalized.transformed,
+                schedule=schedule,
+                block_transfers=(variant == "normalized+bt"),
+            )
+    return f"{variant}/{schedule}", node
+
+
+def run_solve(
+    payload: Mapping[str, object], *, metrics: Optional[Metrics] = None
+) -> str:
+    """``repro solve``'s stdout for ``payload``.
+
+    Answers an analytic crossover question — "at what processor count
+    does the *right* candidate start beating the *left* one?" — by
+    deriving each candidate's symbolic accounting form once and
+    evaluating it at every processor count in the requested range.  The
+    whole scan therefore costs two derivations plus cheap per-cell
+    evaluations, which is the point of the symbolic tier: the question
+    covers hundreds of cells but only ever touches two programs.
+    """
+    metrics = metrics if metrics is not None else Metrics()
+    program = _parse_source(payload, metrics)
+    result = _normalize(payload, program, metrics)
+    machine = machine_from_payload(payload)
+    raw_params = payload.get("params") or None
+    params = None
+    if raw_params is not None:
+        if not isinstance(raw_params, Mapping):
+            raise ReproError("'params' must be an object of integer bindings")
+        try:
+            params = {str(k): int(v) for k, v in raw_params.items()}  # type: ignore[arg-type]
+        except (TypeError, ValueError):
+            raise ReproError(
+                "'params' must be an object of integer bindings"
+            )
+    try:
+        low = int(payload.get("min_processors", 1))  # type: ignore[arg-type]
+        high = int(payload.get("max_processors", 64))  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        raise ReproError("processor bounds must be integers")
+    if low < 1 or high < low:
+        raise ReproError(
+            f"processor range must satisfy 1 <= min <= max, "
+            f"got [{low}, {high}]"
+        )
+    if high > _SOLVE_MAX_PROCESSORS:
+        raise ReproError(
+            f"max_processors {high} exceeds the solve cap "
+            f"{_SOLVE_MAX_PROCESSORS}"
+        )
+    left_label, left_node = _candidate_node(
+        payload.get("left") or {"variant": "normalized", "schedule": "wrapped"},
+        program, result, metrics,
+    )
+    right_label, right_node = _candidate_node(
+        payload.get("right") or {"variant": "normalized", "schedule": "blocked"},
+        program, result, metrics,
+    )
+    series: List[Tuple[int, float, float]] = []
+    crossover: Optional[int] = None
+    with metrics.stage("solve"):
+        for procs in range(low, high + 1):
+            left_time = simulate(
+                left_node, processors=procs, params=params,
+                machine=machine, engine="symbolic",
+            ).total_time_us
+            right_time = simulate(
+                right_node, processors=procs, params=params,
+                machine=machine, engine="symbolic",
+            ).total_time_us
+            series.append((procs, left_time, right_time))
+            if crossover is None and right_time < left_time:
+                crossover = procs
+
+    if payload.get("json"):
+        document = {
+            "tool": "repro-solve",
+            "program": program.name,
+            "machine": machine.name,
+            "params": params,
+            "left": left_label,
+            "right": right_label,
+            "min_processors": low,
+            "max_processors": high,
+            "crossover": crossover,
+            "series": [
+                {"processors": p, "left_us": lt, "right_us": rt}
+                for p, lt, rt in series
+            ],
+        }
+        return json.dumps(document, indent=2, sort_keys=True)
+
+    lines = [
+        f"machine: {machine.name}",
+        f"program: {program.name}"
+        + (
+            "  ("
+            + ", ".join(f"{k}={v}" for k, v in sorted(params.items()))
+            + ")"
+            if params
+            else ""
+        ),
+        f"question: smallest P in [{low}, {high}] where {right_label} "
+        f"beats {left_label}",
+    ]
+    if crossover is None:
+        lines.append(
+            f"answer: none — {right_label} never beats {left_label} "
+            f"in [{low}, {high}]"
+        )
+    else:
+        lines.append(f"answer: P = {crossover}")
+    # Show powers of two plus the crossover neighborhood, not all cells.
+    shown = {low, high}
+    value = 1
+    while value <= high:
+        if value >= low:
+            shown.add(value)
+        value *= 2
+    if crossover is not None:
+        shown.update(p for p in (crossover - 1, crossover) if low <= p <= high)
+    width = max(len(left_label), len(right_label), 12)
+    lines.append("")
+    lines.append(
+        f"{'P':>6}  {left_label + ' (us)':>{width + 5}}  "
+        f"{right_label + ' (us)':>{width + 5}}"
+    )
+    for procs, left_time, right_time in series:
+        if procs not in shown:
+            continue
+        marker = "  <- crossover" if procs == crossover else ""
+        lines.append(
+            f"{procs:>6}  {left_time:>{width + 5}.1f}  "
+            f"{right_time:>{width + 5}.1f}{marker}"
+        )
+    return "\n".join(lines)
+
+
 def build_simulation_cell(
     payload: Mapping[str, object], metrics: Optional[Metrics] = None
 ) -> SweepCell:
@@ -351,7 +570,12 @@ def build_simulation_cell(
     if raw_params is not None:
         if not isinstance(raw_params, Mapping):
             raise ReproError("'params' must be an object of integer bindings")
-        params = {str(k): int(v) for k, v in raw_params.items()}  # type: ignore[arg-type]
+        try:
+            params = {str(k): int(v) for k, v in raw_params.items()}  # type: ignore[arg-type]
+        except (TypeError, ValueError):
+            raise ReproError(
+                "'params' must be an object of integer bindings"
+            )
     return SweepCell(
         name=f"{program.name}@{variant}",
         node=node,
@@ -398,6 +622,9 @@ def execute_job(item: Tuple[str, Mapping[str, object]]) -> Dict[str, object]:
         elif op == "sweep":
             stdout, stderr = run_sweep(payload, metrics=metrics)
             response = _ok({"stdout": stdout, "stderr": stderr})
+        elif op == "solve":
+            stdout = run_solve(payload, metrics=metrics)
+            response = _ok({"stdout": stdout, "stderr": ""})
         else:
             response = _failed("bad_request", f"unknown op {op!r}")
     except ReproError as error:

@@ -13,7 +13,9 @@ close`` per request).  Endpoints:
 * ``POST /v1/simulate``  — one simulation cell; concurrent identical
   requests are coalesced into a single execution;
 * ``POST /v1/sweep``     — a full speedup sweep (byte-identical to
-  ``repro simulate``).
+  ``repro simulate``);
+* ``POST /v1/solve``     — an analytic crossover question answered from
+  the symbolic per-program forms (byte-identical to ``repro solve``).
 
 Success responses are ``{"ok": true, "op": ..., "result": ...,
 "exit_code": ..., "elapsed_ms": ...}``; failures are ``{"ok": false,
@@ -34,7 +36,7 @@ from repro.errors import ReproError
 PROTOCOL_VERSION = 1
 
 #: The ops accepted under ``POST /v1/<op>``.
-OPS = ("compile", "analyze", "simulate", "sweep")
+OPS = ("compile", "analyze", "simulate", "sweep", "solve")
 
 #: Default TCP port (an unassigned high port).
 DEFAULT_PORT = 8753

@@ -1,0 +1,385 @@
+"""The symbolic (tier-0) accounting layer and the PR's hardening fixes.
+
+Covers the :mod:`repro.linalg.sympoly` piecewise-quasi-polynomial layer,
+:class:`repro.numa.symbolic.SymbolicEngine` pinned against the
+interpreter walk on a sampled (params, P) grid, the forced-engine error
+contracts, auto's cost-based demotion, the fingerprint-keyed form store,
+the ``solve`` job, and regression tests for the satellite fixes
+(``Progression`` step validation, ``REPRO_CACHE_MAX_ENTRIES``
+validation, true-LRU disk eviction, HTTP-date ``Retry-After``).
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.bench import gemm_variants, syr2k_variants
+from repro.codegen import generate_spmd
+from repro.core import access_normalize
+from repro.errors import ConfigurationError, ReproError, SimulationError
+from repro.lang import parse_program
+from repro.linalg import Progression
+from repro.linalg.sympoly import (
+    SymbolicUnsupported,
+    bounded_sum,
+    const,
+    eq0,
+    eval_cost,
+    floordiv,
+    ge0,
+    mod,
+    pos,
+    sum_budget,
+    sym,
+    sym_sum,
+)
+from repro.numa import simulate
+from repro.numa.simulator import _symbolic_unpromising
+from repro.numa.symbolic import FIELDS, SymbolicEngine
+from repro.runtime.cache import SimulationCache, set_shared_cache, shared_cache
+from repro.service.client import _parse_retry_after
+from repro.service.jobs import _parse_bindings, _parse_candidate, run_solve
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+EXAMPLES = os.path.join(REPO_ROOT, "examples", "programs")
+
+
+def _example_source(name):
+    with open(os.path.join(EXAMPLES, name), "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+# ----------------------------------------------------------------------
+# sympoly: the piecewise-quasi-polynomial layer
+# ----------------------------------------------------------------------
+class TestSympoly:
+    def test_mod_floordiv_reconstruct(self):
+        n = sym("n")
+        expr = 5 * floordiv(n, 5) + mod(n, 5)
+        for value in (-13, -1, 0, 1, 4, 5, 17):
+            assert expr.evaluate({"n": value}) == value
+
+    def test_indicator_semantics(self):
+        n = sym("n")
+        for value in (-3, -1, 0, 1, 7):
+            assert pos(n).evaluate({"n": value}) == max(0, value)
+            assert ge0(n).evaluate({"n": value}) == (1 if value >= 0 else 0)
+            assert eq0(n).evaluate({"n": value}) == (1 if value == 0 else 0)
+
+    def test_sym_sum_matches_bruteforce(self):
+        body = const(2) + 3 * sym("t")
+        closed = sym_sum(body, "t", sym("n"))
+        assert not closed.depends_on("t")
+        for n in (-4, 0, 1, 2, 9, 23):
+            expected = sum(2 + 3 * t for t in range(max(0, n)))
+            assert closed.evaluate({"n": n}) == expected
+
+    def test_sym_sum_respects_budget(self):
+        with sum_budget(0):
+            with pytest.raises(SymbolicUnsupported):
+                sym_sum(sym("t"), "t", sym("n"))
+
+    def test_bounded_sum_evaluates_as_loop(self):
+        squares = bounded_sum("t", sym("n"), sym("t") * sym("t"))
+        assert squares.evaluate({"n": 6}) == 55
+        assert squares.evaluate({"n": 0}) == 0
+        assert squares.evaluate({"n": -2}) == 0
+
+    def test_eval_cost_charges_loops_by_extent(self):
+        hint = lambda bound: 10
+        flat = const(1) + sym("x")
+        body = sym("t") + const(1)
+        loop = bounded_sum("t", sym("n"), body)
+        assert eval_cost(flat, hint) <= 4
+        assert eval_cost(loop, hint) >= 10 * (1 + eval_cost(body, hint))
+        # A hint of zero extent still charges the surrounding expression.
+        assert eval_cost(loop, lambda bound: 0) >= 1
+
+    def test_compiled_forms_match_interpreter(self):
+        node = gemm_variants(12)["gemm"]
+        engine = SymbolicEngine(node)
+        env = node.program.bound_params(None)
+        for P in (1, 3, 4):
+            for proc in range(P):
+                full = dict(env)
+                full[engine.procs_name] = P
+                full[engine.proc_name] = proc
+                for name, form in engine.forms.items():
+                    assert form.evaluate_fast(full) == form.evaluate(full), (
+                        name, P, proc,
+                    )
+
+
+# ----------------------------------------------------------------------
+# SymbolicEngine pinned against the walk on a (params, P) grid
+# ----------------------------------------------------------------------
+GRID = [
+    ("gemm.an", {"N": 8}),
+    ("gemm.an", {"N": 19}),
+    ("syr2k.an", {"N": 16, "b": 3}),
+    ("syr2k.an", {"N": 25, "b": 5}),
+    ("figure1.an", {"N1": 9, "N2": 7, "b": 2}),
+]
+
+
+@pytest.mark.parametrize(
+    "filename,params", GRID, ids=[f"{n}-{p}" for n, p in GRID]
+)
+@pytest.mark.parametrize("processors", (1, 2, 5))
+def test_symbolic_matches_walk_on_grid(filename, params, processors):
+    program = parse_program(_example_source(filename), name=filename)
+    normalized = access_normalize(program).transformed
+    variants = (
+        generate_spmd(program, block_transfers=False),
+        generate_spmd(normalized, block_transfers=False),
+        generate_spmd(normalized, block_transfers=True),
+    )
+    for node in variants:
+        walk = simulate(
+            node, processors=processors, params=params, engine="walk"
+        )
+        try:
+            symbolic = simulate(
+                node, processors=processors, params=params, engine="symbolic"
+            )
+        except SimulationError:
+            # A forced tier may decline a nest, never disagree; the paper
+            # kernels must not decline.
+            assert filename == "figure1.an"
+            continue
+        assert symbolic.engine == "symbolic"
+        for reference, tiered in zip(walk.per_proc, symbolic.per_proc):
+            assert tiered.counts == reference.counts, (
+                f"symbolic disagrees with walk on proc {reference.proc} "
+                f"at P={processors}, params={params}"
+            )
+
+
+# ----------------------------------------------------------------------
+# engine contracts and auto's cost-based demotion
+# ----------------------------------------------------------------------
+class TestEngineContracts:
+    def test_symbolic_rejects_execute_mode(self):
+        node = gemm_variants(8)["gemm"]
+        with pytest.raises(SimulationError, match="account mode"):
+            simulate(
+                node, processors=2, engine="symbolic", mode="execute",
+                arrays={},
+            )
+
+    def test_symbolic_rejects_block_cache(self):
+        node = gemm_variants(8)["gemmB"]
+        with pytest.raises(SimulationError, match="block cache"):
+            simulate(node, processors=2, engine="symbolic", block_cache=True)
+
+    def test_unknown_engine_rejected(self):
+        node = gemm_variants(8)["gemm"]
+        with pytest.raises(SimulationError, match="unknown engine"):
+            simulate(node, processors=2, engine="quantum")
+
+    def test_forced_symbolic_reports_unsupported_nest(self):
+        source = """
+program blockcyclic
+param N = 16
+real A(N) distribute (cyclic(2))
+
+for i = 0, N-1
+    A[i] = A[i] + 1
+"""
+        program = parse_program(source, name="blockcyclic")
+        node = generate_spmd(program, block_transfers=False)
+        with pytest.raises(SimulationError, match="symbolic engine cannot"):
+            simulate(node, processors=2, engine="symbolic")
+        # auto still answers (lower tier) and matches the walk.
+        walk = simulate(node, processors=2, engine="walk")
+        auto = simulate(node, processors=2)
+        for reference, tiered in zip(walk.per_proc, auto.per_proc):
+            assert tiered.counts == reference.counts
+
+    def test_structural_prefilter_separates_paper_kernels(self):
+        # Rectangular GEMM bounds: symbolic is promising; the banded
+        # SYR2K nests carry multi-armed max/min bounds, exactly the
+        # shapes whose forms evaluate slower than they re-derive.
+        for node in gemm_variants(8).values():
+            assert not _symbolic_unpromising(node)
+        for node in syr2k_variants(12, 2).values():
+            assert _symbolic_unpromising(node)
+
+    def test_estimate_cost_positive_and_param_sensitive(self):
+        node = syr2k_variants(40, 6)["syr2k"]
+        engine = SymbolicEngine(node)
+        env = node.program.bound_params(None)
+        small = engine.estimate_cost(env, 8)
+        assert small > 0
+        bigger = engine.estimate_cost(
+            node.program.bound_params({"N": 400, "b": 48}), 8
+        )
+        assert bigger > small
+
+    def test_form_store_derives_once_per_program(self):
+        previous = shared_cache()
+        cache = set_shared_cache(SimulationCache())
+        try:
+            node = gemm_variants(8)["gemm"]
+            simulate(node, processors=2, engine="symbolic")
+            simulate(node, processors=3, engine="symbolic")
+            assert cache.form_derives == 1
+            assert cache.form_hits >= 1
+        finally:
+            set_shared_cache(previous)
+
+    def test_engine_fields_cover_access_counts(self):
+        node = gemm_variants(8)["gemm"]
+        engine = SymbolicEngine(node)
+        assert set(engine.forms) == set(FIELDS)
+
+
+# ----------------------------------------------------------------------
+# the solve job
+# ----------------------------------------------------------------------
+class TestSolve:
+    def _payload(self, **overrides):
+        payload = {
+            "source": _example_source("gemm.an"),
+            "name": "gemm.an",
+            "params": {"N": 12},
+            "left": {"variant": "naive", "schedule": "wrapped"},
+            "right": {"variant": "normalized+bt", "schedule": "wrapped"},
+            "min_processors": 1,
+            "max_processors": 6,
+        }
+        payload.update(overrides)
+        return payload
+
+    def test_solve_reports_crossover(self):
+        output = run_solve(self._payload())
+        assert "question: smallest P in [1, 6]" in output
+        assert "naive/wrapped" in output
+        assert "normalized+bt/wrapped" in output
+        assert "answer:" in output
+        # Deterministic: a re-run is byte-identical.
+        assert run_solve(self._payload()) == output
+
+    def test_solve_json_series_is_complete(self):
+        document = json.loads(run_solve(self._payload(json=True)))
+        assert document["tool"] == "repro-solve"
+        assert document["min_processors"] == 1
+        assert document["max_processors"] == 6
+        assert len(document["series"]) == 6
+        assert "crossover" in document
+        for row in document["series"]:
+            assert row["left_us"] >= 0 and row["right_us"] >= 0
+
+    def test_solve_validates_candidates_and_range(self):
+        with pytest.raises(ReproError, match="unknown variant"):
+            run_solve(self._payload(left={"variant": "turbo"}))
+        with pytest.raises(ReproError, match="unknown schedule"):
+            run_solve(
+                self._payload(right={"variant": "naive", "schedule": "x"})
+            )
+        with pytest.raises(ReproError, match="1 <= min <= max"):
+            run_solve(self._payload(min_processors=5, max_processors=2))
+        with pytest.raises(ReproError, match="solve cap"):
+            run_solve(self._payload(max_processors=1 << 20))
+        with pytest.raises(ReproError, match="integer bindings"):
+            run_solve(self._payload(params={"N": "twelve"}))
+
+    def test_candidate_and_binding_parsers(self):
+        assert _parse_candidate("naive") == {
+            "variant": "naive", "schedule": "wrapped",
+        }
+        assert _parse_candidate("normalized/blocked") == {
+            "variant": "normalized", "schedule": "blocked",
+        }
+        assert _parse_bindings(["N=400", "b=48"]) == {"N": 400, "b": 48}
+        assert _parse_bindings([]) is None
+        with pytest.raises(ReproError, match="NAME=VALUE"):
+            _parse_bindings(["N"])
+        with pytest.raises(ReproError):
+            _parse_bindings(["N=ten"])
+
+
+# ----------------------------------------------------------------------
+# satellite regressions
+# ----------------------------------------------------------------------
+class TestProgressionValidation:
+    def test_zero_step_rejected(self):
+        with pytest.raises(ValueError, match="step >= 1"):
+            Progression(first=0, step=0, trips=3)
+        with pytest.raises(ValueError, match="step >= 1"):
+            Progression.from_bounds(0, 10, 0)
+
+    def test_negative_step_rejected(self):
+        with pytest.raises(ValueError, match="step >= 1"):
+            Progression.from_bounds(0, 10, -2)
+
+    def test_valid_step_unchanged(self):
+        assert Progression.from_bounds(0, 10, 3).trips == 4
+
+
+class TestSharedCacheConfig:
+    def _reset(self):
+        import repro.runtime.cache as cache_mod
+
+        previous = cache_mod._SHARED
+        cache_mod._SHARED = None
+        return cache_mod, previous
+
+    def test_malformed_cap_raises(self, monkeypatch):
+        cache_mod, previous = self._reset()
+        try:
+            monkeypatch.setenv("REPRO_CACHE_MAX_ENTRIES", "10k")
+            with pytest.raises(ConfigurationError, match="10k"):
+                shared_cache()
+        finally:
+            cache_mod._SHARED = previous
+
+    def test_valid_cap_applied(self, monkeypatch):
+        cache_mod, previous = self._reset()
+        try:
+            monkeypatch.setenv("REPRO_CACHE_MAX_ENTRIES", "7")
+            monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+            assert shared_cache().disk_max_entries == 7
+        finally:
+            cache_mod._SHARED = previous
+
+
+class TestDiskLru:
+    def test_disk_hit_refreshes_entry_against_eviction(self, tmp_path):
+        node = gemm_variants(8)["gemm"]
+        result = simulate(node, processors=2)
+        cache = SimulationCache(store_dir=str(tmp_path), disk_max_entries=2)
+        for index, key in enumerate(["old", "mid"]):
+            cache.put(key, result)
+            stamp = 1_000_000 + index
+            os.utime(tmp_path / f"{key}.pkl", (stamp, stamp))
+        # A disk hit (fresh cache: cold memory) must refresh the entry's
+        # mtime, otherwise eviction is FIFO-by-write and the hottest
+        # long-lived entry goes first.
+        reader = SimulationCache(store_dir=str(tmp_path), disk_max_entries=2)
+        assert reader.get("old") is not None
+        reader.put("new", result)
+        reader._evict_disk()
+        assert reader.disk_entries() == 2
+        assert (tmp_path / "old.pkl").exists()  # re-read: survives
+        assert not (tmp_path / "mid.pkl").exists()  # coldest: evicted
+        assert (tmp_path / "new.pkl").exists()
+
+
+class TestRetryAfterParsing:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            ("1.5", 1.5),
+            ("0", 0.0),
+            ("120", 120.0),
+            ("Fri, 31 Dec 1999 23:59:59 GMT", None),  # RFC 9110 HTTP-date
+            ("soon", None),
+            ("-5", None),
+            ("", None),
+            (None, None),
+        ],
+    )
+    def test_values(self, value, expected):
+        assert _parse_retry_after(value) == expected

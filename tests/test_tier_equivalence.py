@@ -43,7 +43,7 @@ def _assert_tiers_match(node, processors, params=None):
         node, processors=processors, params=params, engine="walk"
     )
     assert walk.engine == "walk"
-    for engine in ("auto", "closed-form", "compiled"):
+    for engine in ("auto", "symbolic", "closed-form", "compiled"):
         try:
             outcome = simulate(
                 node, processors=processors, params=params, engine=engine
@@ -104,11 +104,17 @@ def test_corpus_tier_equivalence(path, processors, schedule):
 
 
 def test_paper_kernels_are_tier1_end_to_end():
-    """Acceptance criterion: the closed-form engine handles the Figure 4
-    GEMM and Figure 5 SYR2K sweeps without falling back."""
+    """Acceptance criterion: ``auto`` answers the Figure 4 GEMM sweep
+    from the symbolic per-program forms and the Figure 5 SYR2K sweep
+    analytically (closed form — the banded nests' multi-armed bounds
+    make the symbolic form slower to evaluate than to re-derive, so
+    auto's cost model demotes them); no paper kernel ever falls back
+    to the walk."""
     from repro.bench import gemm_variants, syr2k_variants
 
-    nodes = {**gemm_variants(16), **syr2k_variants(24, 4)}
-    for name, node in nodes.items():
+    for name, node in gemm_variants(16).items():
+        outcome = simulate(node, processors=4)
+        assert outcome.engine == "symbolic", (name, outcome.engine)
+    for name, node in syr2k_variants(24, 4).items():
         outcome = simulate(node, processors=4)
         assert outcome.engine == "closed-form", (name, outcome.engine)
