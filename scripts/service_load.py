@@ -1,0 +1,771 @@
+#!/usr/bin/env python
+"""Load-generation harness for the compilation service and the fleet.
+
+Drives concurrent mixed clients against (a) one ``repro serve`` replica
+and (b) a ``repro fleet`` of router + N replicas, and records the
+results into ``BENCH_service.json``.  Each topology gets its own fresh
+disk-cache directory and runs the *same* request mixes, so the recorded
+``fleet_vs_single_qps`` ratio is an apples-to-apples scale-out
+measurement:
+
+* **miss** — every request is a distinct simulation cell (a synthetic
+  GEMM program swept over (N, P) pairs): pure cache-miss throughput;
+* **mixed** — one third compiles, one third duplicate simulates from a
+  four-cell pool, one third fresh simulates: the dedup/cache path;
+* **kill** (fleet only) — replays cells whose canonical responses were
+  recorded during the single-replica run, SIGKILLs one replica mid-load,
+  and asserts zero client-visible errors and zero wrong answers (the
+  router's retry-on-next-replica plus pure jobs make the kill invisible);
+* **byte-identity** — ``repro submit`` output through the single replica
+  AND through the router is compared byte-for-byte against the direct
+  CLI;
+* **drain** — both topologies are SIGTERMed with a request in flight and
+  must finish it (``drain_complete`` with ``dropped=0`` in every log).
+
+Summary schema (``repro-service-load/1``) — the key set is fixed and
+independent of ``--concurrency``, replica count or job count, so CI
+floors and downstream tooling never chase shape changes::
+
+    {"schema": "repro-service-load/1",
+     "scales": {"<scale>": {
+        "cores": int,            # os.cpu_count() where the run happened
+        "concurrency": int, "replicas": int,
+        "single": {"miss": MIX, "mixed": MIX},
+        "fleet":  {"miss": MIX, "mixed": MIX, "kill": KILL},
+        "checks": {"byte_identity": bool,
+                   "single_drain_dropped": int, "fleet_drain_dropped": int,
+                   "kill_errors": int, "kill_wrong_answers": int},
+        "fleet_vs_single_qps": float}}}   # miss-mix QPS ratio
+
+    MIX  = {"requests": int, "errors": int, "qps": float,
+            "p50_ms": float, "p99_ms": float,
+            "dedup_rate": float, "cache_hit_rate": float}
+    KILL = MIX + {"failovers": int}
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python scripts/service_load.py            # full scale
+    PYTHONPATH=src python scripts/service_load.py --smoke    # CI scale
+    PYTHONPATH=src python scripts/service_load.py --smoke --check
+
+``--check`` re-runs the load at the selected scale and fails unless the
+hard invariants hold (byte-identity, zero errors, zero dropped drains,
+zero wrong answers under replica kill) and the fresh numbers clear
+floors derived from the recorded JSON (QPS no lower than ``0.3x``
+recorded, p99 no higher than ``5x`` recorded).  The fleet speedup gate
+is core-aware: on a machine with >= 3 usable cores the fleet must beat
+the single replica by >= 2x on the miss mix; on smaller machines (a
+1-core container cannot physically scale out CPU-bound work) the fleet
+must merely stay within ``0.5x`` of the single replica.
+"""
+
+from __future__ import annotations
+
+import argparse
+import concurrent.futures
+import json
+import math
+import os
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(ROOT, "src")
+DEFAULT_OUTPUT = os.path.join(ROOT, "BENCH_service.json")
+SCHEMA = "repro-service-load/1"
+
+#: Request-mix sizes per scale.  ``full`` drives thousands of requests;
+#: ``smoke`` is sized for a CI job (single-digit minutes on 2-4 cores).
+SCALES: Dict[str, Dict[str, int]] = {
+    "full": {
+        "concurrency": 64, "miss": 512, "mixed": 1536, "kill": 512,
+        "replicas": 3,
+    },
+    "smoke": {
+        "concurrency": 16, "miss": 48, "mixed": 96, "kill": 48,
+        "replicas": 3,
+    },
+}
+
+#: --check floors relative to the recorded numbers (generous: CI runners
+#: and dev boxes differ widely; regressions this large are real).
+QPS_FLOOR_FACTOR = 0.3
+P99_CEIL_FACTOR = 5.0
+#: Fleet-vs-single gates: with >= FLEET_GATE_MIN_CORES cores the fleet
+#: must scale out; below that it must merely not collapse.
+FLEET_GATE_MIN_CORES = 3
+FLEET_RATIO_MULTICORE = 2.0
+FLEET_RATIO_STARVED = 0.5
+
+#: Synthetic cache-miss workload: one GEMM per N, swept over P.
+GEMM_TEMPLATE = """
+program loadgen{n}
+param N = {n}
+real C(N, N) distribute (*, wrapped)
+real A(N, N) distribute (*, wrapped)
+real B(N, N) distribute (*, wrapped)
+
+for i = 0, N-1
+    for j = 0, N-1
+        for k = 0, N-1
+            C[i, j] = C[i, j] + A[i, k] * B[k, j]
+"""
+
+#: Counter names whose deltas count as "this request joined earlier
+#: work" — split into dedup (in-flight) and cache (completed) families.
+DEDUP_COUNTERS = ("service.dedup_inflight", "dedup_hits",
+                  "router.dedup_inflight")
+CACHE_COUNTERS = ("cache_hits",)
+
+
+def _env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return env
+
+
+def free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def run_cli(*args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True, text=True, env=_env(), cwd=ROOT, timeout=300,
+    )
+
+
+def percentile(samples: List[float], q: float) -> float:
+    """Nearest-rank percentile (q in [0, 1]) of a non-empty list."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1))
+    return ordered[rank]
+
+
+def mix_stats(
+    requests: int,
+    errors: int,
+    latencies_ms: List[float],
+    wall_s: float,
+    counter_deltas: Dict[str, int],
+) -> Dict[str, Any]:
+    """One request-mix summary with the fixed MIX key set."""
+    dedup = sum(counter_deltas.get(name, 0) for name in DEDUP_COUNTERS)
+    cached = sum(counter_deltas.get(name, 0) for name in CACHE_COUNTERS)
+    return {
+        "requests": requests,
+        "errors": errors,
+        "qps": round(requests / wall_s, 2) if wall_s > 0 else 0.0,
+        "p50_ms": round(percentile(latencies_ms, 0.50), 2),
+        "p99_ms": round(percentile(latencies_ms, 0.99), 2),
+        "dedup_rate": round(dedup / requests, 4) if requests else 0.0,
+        "cache_hit_rate": round(cached / requests, 4) if requests else 0.0,
+    }
+
+
+def build_summary(
+    scale: str,
+    cores: int,
+    concurrency: int,
+    replicas: int,
+    single: Dict[str, Dict[str, Any]],
+    fleet: Dict[str, Dict[str, Any]],
+    checks: Dict[str, Any],
+) -> Dict[str, Any]:
+    """The per-scale summary document.  Pure, importable, and the single
+    place the schema is produced — tests pin its key set here."""
+    single_qps = single["miss"]["qps"]
+    ratio = fleet["miss"]["qps"] / single_qps if single_qps else 0.0
+    return {
+        "cores": cores,
+        "concurrency": concurrency,
+        "replicas": replicas,
+        "single": {"miss": single["miss"], "mixed": single["mixed"]},
+        "fleet": {
+            "miss": fleet["miss"],
+            "mixed": fleet["mixed"],
+            "kill": fleet["kill"],
+        },
+        "checks": {
+            "byte_identity": bool(checks["byte_identity"]),
+            "single_drain_dropped": int(checks["single_drain_dropped"]),
+            "fleet_drain_dropped": int(checks["fleet_drain_dropped"]),
+            "kill_errors": int(checks["kill_errors"]),
+            "kill_wrong_answers": int(checks["kill_wrong_answers"]),
+        },
+        "fleet_vs_single_qps": round(ratio, 3),
+    }
+
+
+# ----------------------------------------------------------------------
+# workload construction
+# ----------------------------------------------------------------------
+def miss_cells(count: int) -> List[Tuple[str, int]]:
+    """``count`` distinct (source, processors) simulation cells."""
+    cells = []
+    n = 8
+    while len(cells) < count:
+        for p in range(2, 14):
+            cells.append((GEMM_TEMPLATE.format(n=n), p))
+            if len(cells) == count:
+                break
+        n += 1
+    return cells
+
+
+def mixed_ops(count: int, base_source: str) -> List[Tuple[str, dict]]:
+    """compile / duplicate-simulate / fresh-simulate round robin."""
+    pool = [(GEMM_TEMPLATE.format(n=100 + i), 4) for i in range(4)]
+    fresh = miss_cells(count)  # overlaps the miss mix: warm-cache traffic
+    ops = []
+    for index in range(count):
+        if index % 3 == 0:
+            ops.append(("compile", {"source": base_source, "emit": "report"}))
+        elif index % 3 == 1:
+            source, procs = pool[index % len(pool)]
+            ops.append(("simulate", {"source": source, "processors": procs}))
+        else:
+            source, procs = fresh[index]
+            ops.append(("simulate", {"source": source, "processors": procs}))
+    return ops
+
+
+# ----------------------------------------------------------------------
+# topologies
+# ----------------------------------------------------------------------
+class Topology:
+    """A running service endpoint (single replica or fleet router)."""
+
+    def __init__(self, name: str, port: int) -> None:
+        from repro.service.client import ServiceClient
+
+        self.name = name
+        self.port = port
+        self.client = ServiceClient("127.0.0.1", port, timeout=120.0)
+
+    def wait_healthy(self, timeout: float = 60.0) -> None:
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            try:
+                if self.client.health()["status"] in ("ok", "draining"):
+                    return
+            except Exception:
+                pass
+            time.sleep(0.1)
+        raise SystemExit(f"{self.name}: never became healthy on :{self.port}")
+
+    def counters(self) -> Dict[str, int]:
+        snapshot = self.client.metrics()
+        merged = dict(snapshot["metrics"]["counters"])
+        router = snapshot.get("router", {})
+        for name, value in (
+            router.get("metrics", {}).get("counters", {}).items()
+        ):
+            merged[name] = merged.get(name, 0) + value
+        return merged
+
+
+def start_single(cache_dir: str, log_path: str, queue_limit: int):
+    port = free_port()
+    log_file = open(log_path, "w", encoding="utf-8")
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve", "--port", str(port),
+            "--jobs", "1", "--queue-limit", str(queue_limit),
+            "--cache-dir", cache_dir,
+        ],
+        env=_env(), cwd=ROOT, stdout=subprocess.DEVNULL, stderr=log_file,
+    )
+    log_file.close()
+    topology = Topology("single", port)
+    topology.wait_healthy()
+    return process, topology
+
+
+def start_fleet(
+    cache_dir: str, log_dir: str, state_path: str,
+    queue_limit: int, replicas: int,
+):
+    port = free_port()
+    log_path = os.path.join(log_dir, "fleet.log")
+    log_file = open(log_path, "w", encoding="utf-8")
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "fleet", "--port", str(port),
+            "--replicas", str(replicas), "--jobs", "1",
+            "--queue-limit", str(queue_limit), "--cache-dir", cache_dir,
+            "--log-dir", log_dir, "--state-file", state_path,
+            "--quiet",
+        ],
+        env=_env(), cwd=ROOT, stdout=subprocess.DEVNULL, stderr=log_file,
+    )
+    log_file.close()
+    topology = Topology("fleet", port)
+    topology.wait_healthy(timeout=90.0)
+    deadline = time.monotonic() + 30
+    while not os.path.exists(state_path) and time.monotonic() < deadline:
+        time.sleep(0.1)
+    with open(state_path, encoding="utf-8") as handle:
+        state = json.load(handle)
+    return process, topology, state
+
+
+def stop_process(process: subprocess.Popen, name: str,
+                 failures: List[str]) -> None:
+    try:
+        process.send_signal(signal.SIGTERM)
+    except ProcessLookupError:
+        pass
+    try:
+        process.wait(timeout=90)
+    except subprocess.TimeoutExpired:
+        process.kill()
+        process.wait()
+        failures.append(f"{name}: did not exit after SIGTERM")
+
+
+def drained_dropped(log_paths: List[str], failures: List[str],
+                    name: str) -> int:
+    """Total ``dropped`` across every drain_complete event, requiring at
+    least one such event per log."""
+    total = 0
+    for path in log_paths:
+        events = []
+        try:
+            with open(path, encoding="utf-8") as handle:
+                for line in handle:
+                    if line.startswith("{") and '"event"' in line:
+                        events.append(json.loads(line))
+        except FileNotFoundError:
+            failures.append(f"{name}: missing log {path}")
+            continue
+        finals = [e for e in events if e.get("event") == "drain_complete"]
+        if not finals:
+            failures.append(f"{name}: no drain_complete in {path}")
+            continue
+        total += int(finals[-1].get("dropped", 0))
+    return total
+
+
+# ----------------------------------------------------------------------
+# load phases
+# ----------------------------------------------------------------------
+def drive(
+    topology: Topology,
+    tasks: List[Callable[[Any], Dict[str, Any]]],
+    concurrency: int,
+    on_response: Optional[Callable[[int, Dict[str, Any]], None]] = None,
+    mid_load: Optional[Callable[[], None]] = None,
+) -> Tuple[int, List[float], float, Dict[str, int], List[str]]:
+    """Run ``tasks`` through a thread pool of per-thread clients.
+
+    Returns (errors, latencies_ms, wall_s, counter_deltas, messages).
+    """
+    from repro.service.client import ServiceClient
+
+    before = topology.counters()
+    local = threading.local()
+    lock = threading.Lock()
+    latencies: List[float] = []
+    messages: List[str] = []
+    errors = 0
+
+    def worker(index: int) -> None:
+        nonlocal errors
+        client = getattr(local, "client", None)
+        if client is None:
+            client = local.client = ServiceClient(
+                "127.0.0.1", topology.port, timeout=120.0, retries=3,
+                backoff_base_s=0.05,
+            )
+        begin = time.monotonic()
+        try:
+            response = tasks[index](client)
+        except Exception as error:  # noqa: BLE001
+            with lock:
+                errors += 1
+                if len(messages) < 5:
+                    messages.append(f"request {index}: {error!r}")
+            return
+        elapsed_ms = (time.monotonic() - begin) * 1000.0
+        with lock:
+            latencies.append(elapsed_ms)
+        if on_response is not None:
+            on_response(index, response)
+
+    start = time.monotonic()
+    with concurrent.futures.ThreadPoolExecutor(concurrency) as pool:
+        futures = [pool.submit(worker, i) for i in range(len(tasks))]
+        if mid_load is not None:
+            # Fire once a third of the load has completed: requests are
+            # genuinely in flight when the replica dies.
+            while sum(f.done() for f in futures) < len(futures) // 3:
+                time.sleep(0.01)
+            mid_load()
+        concurrent.futures.wait(futures)
+    wall = time.monotonic() - start
+    after = topology.counters()
+    deltas = {
+        name: after.get(name, 0) - before.get(name, 0)
+        for name in set(before) | set(after)
+    }
+    return errors, latencies, wall, deltas, messages
+
+
+def run_miss_phase(topology, cells, concurrency, record=None):
+    tasks = [
+        (lambda client, s=source, p=procs:
+         client.simulate({"source": s, "processors": p}))
+        for source, procs in cells
+    ]
+
+    def keep(index: int, response: Dict[str, Any]) -> None:
+        if record is not None:
+            record[cells[index]] = response.get("result")
+
+    errors, latencies, wall, deltas, messages = drive(
+        topology, tasks, concurrency,
+        on_response=keep if record is not None else None,
+    )
+    return mix_stats(len(tasks), errors, latencies, wall, deltas), messages
+
+
+def run_mixed_phase(topology, ops, concurrency):
+    tasks = [
+        (lambda client, o=op, p=payload: client.submit(o, p))
+        for op, payload in ops
+    ]
+    errors, latencies, wall, deltas, messages = drive(
+        topology, tasks, concurrency
+    )
+    return mix_stats(len(ops), errors, latencies, wall, deltas), messages
+
+
+def run_kill_phase(topology, state, canonical, count, concurrency):
+    """Replay canonical cells against the fleet, SIGKILL one replica
+    mid-load, and demand zero errors and zero wrong answers."""
+    cells = list(canonical)
+    tasks = []
+    for index in range(count):
+        source, procs = cells[index % len(cells)]
+        tasks.append(
+            lambda client, s=source, p=procs:
+            client.simulate({"source": s, "processors": p})
+        )
+    wrong = []
+    lock = threading.Lock()
+
+    def check(index: int, response: Dict[str, Any]) -> None:
+        cell = cells[index % len(cells)]
+        if response.get("result") != canonical[cell]:
+            with lock:
+                wrong.append(cell)
+
+    victim = state["replicas"][0]
+
+    def kill() -> None:
+        try:
+            os.kill(victim["pid"], signal.SIGKILL)
+        except ProcessLookupError:
+            pass
+
+    errors, latencies, wall, deltas, messages = drive(
+        topology, tasks, concurrency, on_response=check, mid_load=kill,
+    )
+    stats = mix_stats(count, errors, latencies, wall, deltas)
+    stats["failovers"] = int(deltas.get("router.failovers", 0))
+    return stats, len(wrong), messages
+
+
+def check_byte_identity(ports: List[int], failures: List[str]) -> bool:
+    """``repro submit`` through every port must match the direct CLI."""
+    example = os.path.join("examples", "programs", "figure1.an")
+    cases = [
+        ("compile", [example]),
+        ("compile", [example, "--json"]),
+        ("simulate", [example, "-P", "1,4"]),
+    ]
+    ok = True
+    for command, extra in cases:
+        direct = run_cli(command, *extra)
+        if direct.returncode != 0:
+            failures.append(f"direct {command} {extra}: exit "
+                            f"{direct.returncode}")
+            ok = False
+            continue
+        for port in ports:
+            served = run_cli(
+                "submit", command, "--port", str(port), *extra
+            )
+            if served.returncode != direct.returncode:
+                failures.append(
+                    f"submit {command} via :{port}: exit "
+                    f"{served.returncode} != {direct.returncode}"
+                )
+                ok = False
+            elif served.stdout != direct.stdout:
+                failures.append(
+                    f"submit {command} {extra} via :{port}: output drift"
+                )
+                ok = False
+    return ok
+
+
+def drain_with_inflight(topology, process, log_paths, failures, name):
+    """SIGTERM the topology with a slow request in flight; it must
+    finish, and every log must report a zero-drop drain."""
+    from repro.service.client import ServiceClient
+
+    outcome: List[bool] = []
+
+    def slow() -> None:
+        client = ServiceClient(
+            "127.0.0.1", topology.port, timeout=120.0
+        )
+        try:
+            response = client.compile(
+                {"source": GEMM_TEMPLATE.format(n=8), "delay_ms": 1000}
+            )
+            outcome.append(bool(response.get("ok")))
+        except Exception:  # noqa: BLE001
+            outcome.append(False)
+
+    thread = threading.Thread(target=slow)
+    thread.start()
+    time.sleep(0.3)  # let the request get admitted
+    stop_process(process, name, failures)
+    thread.join(timeout=90)
+    if outcome != [True]:
+        failures.append(f"{name}: in-flight request dropped during drain "
+                        f"({outcome})")
+    return drained_dropped(log_paths, failures, name)
+
+
+# ----------------------------------------------------------------------
+# main
+# ----------------------------------------------------------------------
+def run_scale(scale: str, concurrency_override: Optional[int],
+              verbose: bool = True):
+    params = SCALES[scale]
+    concurrency = concurrency_override or params["concurrency"]
+    replicas = params["replicas"]
+    queue_limit = max(256, 4 * concurrency)
+    failures: List[str] = []
+    checks: Dict[str, Any] = {}
+    canonical: Dict[Tuple[str, int], Any] = {}
+
+    def note(message: str) -> None:
+        if verbose:
+            print(message, file=sys.stderr)
+
+    cells = miss_cells(params["miss"])
+    base_source = GEMM_TEMPLATE.format(n=8)
+    mixes = mixed_ops(params["mixed"], base_source)
+    with tempfile.TemporaryDirectory(prefix="repro-load-") as workdir:
+        # ---------------- single replica ------------------------------
+        single_cache = os.path.join(workdir, "cache-single")
+        single_log = os.path.join(workdir, "single.log")
+        process, single = start_single(single_cache, single_log, queue_limit)
+        note(f"single replica up on :{single.port}")
+        single_stats: Dict[str, Any] = {}
+        try:
+            single_stats["miss"], errs = run_miss_phase(
+                single, cells, concurrency, record=canonical
+            )
+            failures.extend(f"single/miss: {m}" for m in errs)
+            note(f"single/miss: {single_stats['miss']['qps']} qps, "
+                 f"p99 {single_stats['miss']['p99_ms']} ms")
+            single_stats["mixed"], errs = run_mixed_phase(
+                single, mixes, concurrency
+            )
+            failures.extend(f"single/mixed: {m}" for m in errs)
+            note(f"single/mixed: {single_stats['mixed']['qps']} qps, "
+                 f"dedup {single_stats['mixed']['dedup_rate']}, "
+                 f"cache {single_stats['mixed']['cache_hit_rate']}")
+            byte_single = check_byte_identity([single.port], failures)
+        finally:
+            checks["single_drain_dropped"] = drain_with_inflight(
+                single, process, [single_log], failures, "single"
+            )
+        note("single replica drained")
+
+        # ---------------- fleet --------------------------------------
+        fleet_cache = os.path.join(workdir, "cache-fleet")
+        fleet_logs = os.path.join(workdir, "fleet-logs")
+        os.makedirs(fleet_logs)
+        state_path = os.path.join(workdir, "fleet-state.json")
+        process, fleet, state = start_fleet(
+            fleet_cache, fleet_logs, state_path, queue_limit, replicas
+        )
+        note(f"fleet up on :{fleet.port} "
+             f"({len(state['replicas'])} replicas)")
+        fleet_stats: Dict[str, Any] = {}
+        try:
+            fleet_stats["miss"], errs = run_miss_phase(
+                fleet, cells, concurrency
+            )
+            failures.extend(f"fleet/miss: {m}" for m in errs)
+            note(f"fleet/miss: {fleet_stats['miss']['qps']} qps, "
+                 f"p99 {fleet_stats['miss']['p99_ms']} ms")
+            fleet_stats["mixed"], errs = run_mixed_phase(
+                fleet, mixes, concurrency
+            )
+            failures.extend(f"fleet/mixed: {m}" for m in errs)
+            byte_fleet = check_byte_identity([fleet.port], failures)
+            fleet_stats["kill"], wrong, errs = run_kill_phase(
+                fleet, state, canonical, params["kill"], concurrency
+            )
+            failures.extend(f"fleet/kill: {m}" for m in errs)
+            checks["kill_errors"] = fleet_stats["kill"]["errors"]
+            checks["kill_wrong_answers"] = wrong
+            note(f"fleet/kill: {fleet_stats['kill']['errors']} errors, "
+                 f"{wrong} wrong answers, "
+                 f"{fleet_stats['kill']['failovers']} failovers")
+        finally:
+            survivor_logs = [
+                replica["log"] for replica in state["replicas"][1:]
+            ]
+            checks["fleet_drain_dropped"] = drain_with_inflight(
+                fleet, process, survivor_logs, failures, "fleet"
+            )
+        note("fleet drained")
+
+    checks["byte_identity"] = byte_single and byte_fleet
+    summary = build_summary(
+        scale, os.cpu_count() or 1, concurrency, replicas,
+        single_stats, fleet_stats, checks,
+    )
+    return summary, failures
+
+
+def hard_invariants(summary: Dict[str, Any]) -> List[str]:
+    """The machine-independent gates every run must pass."""
+    problems = []
+    checks = summary["checks"]
+    if not checks["byte_identity"]:
+        problems.append("byte-identity violated")
+    for key in ("single_drain_dropped", "fleet_drain_dropped",
+                "kill_errors", "kill_wrong_answers"):
+        if checks[key]:
+            problems.append(f"{key} = {checks[key]} (want 0)")
+    for topology in ("single", "fleet"):
+        for mix, stats in summary[topology].items():
+            if stats["errors"]:
+                problems.append(
+                    f"{topology}/{mix}: {stats['errors']} errors"
+                )
+    return problems
+
+
+def check_against(recorded: Dict[str, Any],
+                  fresh: Dict[str, Any]) -> List[str]:
+    """Perf floors: fresh numbers vs the recorded trajectory."""
+    problems = []
+    for topology in ("single", "fleet"):
+        fresh_miss = fresh[topology]["miss"]
+        recorded_miss = recorded[topology]["miss"]
+        floor = QPS_FLOOR_FACTOR * recorded_miss["qps"]
+        if fresh_miss["qps"] < floor:
+            problems.append(
+                f"{topology}/miss qps {fresh_miss['qps']} < floor "
+                f"{floor:.1f} (recorded {recorded_miss['qps']})"
+            )
+        ceiling = P99_CEIL_FACTOR * recorded_miss["p99_ms"]
+        if recorded_miss["p99_ms"] and fresh_miss["p99_ms"] > ceiling:
+            problems.append(
+                f"{topology}/miss p99 {fresh_miss['p99_ms']} ms > ceiling "
+                f"{ceiling:.1f} (recorded {recorded_miss['p99_ms']})"
+            )
+    ratio = fresh["fleet_vs_single_qps"]
+    if fresh["cores"] >= FLEET_GATE_MIN_CORES:
+        if ratio < FLEET_RATIO_MULTICORE:
+            problems.append(
+                f"fleet_vs_single_qps {ratio} < {FLEET_RATIO_MULTICORE} "
+                f"on a {fresh['cores']}-core machine"
+            )
+    elif ratio < FLEET_RATIO_STARVED:
+        problems.append(
+            f"fleet_vs_single_qps {ratio} < {FLEET_RATIO_STARVED} even on "
+            f"a starved {fresh['cores']}-core machine"
+        )
+    return problems
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="drive load against repro serve and repro fleet"
+    )
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI scale instead of full scale")
+    parser.add_argument("--check", action="store_true",
+                        help="compare a fresh run against the recorded "
+                        "BENCH_service.json instead of rewriting it")
+    parser.add_argument("--json", action="store_true",
+                        help="print the fresh summary JSON to stdout")
+    parser.add_argument("--concurrency", type=int, default=None,
+                        help="override the scale's client concurrency")
+    parser.add_argument("--output", default=DEFAULT_OUTPUT)
+    args = parser.parse_args()
+    scale = "smoke" if args.smoke else "full"
+
+    sys.path.insert(0, SRC)
+    summary, failures = run_scale(scale, args.concurrency)
+    failures.extend(hard_invariants(summary))
+
+    if args.check:
+        try:
+            with open(args.output, encoding="utf-8") as handle:
+                recorded = json.load(handle)["scales"][scale]
+        except (FileNotFoundError, KeyError):
+            failures.append(
+                f"no recorded '{scale}' scale in {args.output}; "
+                "regenerate it without --check first"
+            )
+        else:
+            failures.extend(check_against(recorded, summary))
+    else:
+        document = {"schema": SCHEMA,
+                    "generated_with": "scripts/service_load.py",
+                    "scales": {}}
+        if os.path.exists(args.output):
+            try:
+                with open(args.output, encoding="utf-8") as handle:
+                    existing = json.load(handle)
+                if existing.get("schema") == SCHEMA:
+                    document["scales"].update(existing.get("scales", {}))
+            except (json.JSONDecodeError, OSError):
+                pass
+        document["scales"][scale] = summary
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {os.path.relpath(args.output, ROOT)} "
+              f"[{scale}]", file=sys.stderr)
+
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    if failures:
+        print("\nFAILURES:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(f"service load [{scale}]: all checks passed "
+          f"(fleet_vs_single_qps={summary['fleet_vs_single_qps']}, "
+          f"cores={summary['cores']})", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

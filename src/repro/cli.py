@@ -16,8 +16,10 @@ Subcommands:
 * ``fuzz``          — differential fuzzing of the whole pipeline against
   the reference interpreter (see :mod:`repro.fuzz`);
 * ``serve``         — run the long-lived compilation service daemon;
-* ``submit``        — run compile/analyze/simulate through a daemon with
-  byte-identical output (see :mod:`repro.service`).
+* ``fleet``         — run N serve replicas behind a consistent-hash
+  router (identical requests always hit the warm replica);
+* ``submit``        — run compile/analyze/simulate through a daemon (or
+  a fleet router) with byte-identical output (see :mod:`repro.service`).
 
 ``compile``/``analyze``/``simulate`` execute through the same job layer
 as the service (:mod:`repro.service.jobs`), so the direct and served
@@ -278,11 +280,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     from repro.analysis.cli import add_analyze_parser
     from repro.fuzz.cli import add_fuzz_parser
-    from repro.service.cli import add_serve_parser, add_submit_parser
+    from repro.service.cli import (
+        add_fleet_parser,
+        add_serve_parser,
+        add_submit_parser,
+    )
 
     add_analyze_parser(sub)
     add_fuzz_parser(sub, parents=[runtime])
     add_serve_parser(sub)
+    add_fleet_parser(sub)
     add_submit_parser(sub, common=common, machine=machine)
     return parser
 

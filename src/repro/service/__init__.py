@@ -16,11 +16,24 @@ Layers:
 * :mod:`repro.service.queueing` — bounded admission with backpressure;
 * :mod:`repro.service.batching` — micro-batching + in-flight dedup;
 * :mod:`repro.service.server` — the asyncio JSON-over-HTTP daemon;
-* :mod:`repro.service.client` — a thin synchronous client;
-* :mod:`repro.service.cli` — ``repro serve`` and ``repro submit``.
+* :mod:`repro.service.router` — the consistent-hash fleet router
+  (cross-replica dedup, health checks, retry-on-next-replica);
+* :mod:`repro.service.fleet` — the ``repro fleet`` replica launcher;
+* :mod:`repro.service.client` — a thin synchronous client with optional
+  bounded retry/backoff;
+* :mod:`repro.service.cli` — ``repro serve``, ``repro fleet`` and
+  ``repro submit``.
 """
 
 from repro.service.client import ServiceClient
 from repro.service.protocol import ServiceConfig, ServiceError
+from repro.service.router import HashRing, RouterConfig, request_fingerprint
 
-__all__ = ["ServiceClient", "ServiceConfig", "ServiceError"]
+__all__ = [
+    "HashRing",
+    "RouterConfig",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "request_fingerprint",
+]

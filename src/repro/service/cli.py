@@ -43,8 +43,33 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return run_server(config)
 
 
+def cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.service.fleet import FleetConfig, run_fleet
+
+    config = FleetConfig(
+        host=args.host,
+        port=args.port,
+        replicas=args.replicas,
+        jobs=args.jobs,
+        queue_limit=args.queue_limit,
+        timeout_s=args.timeout,
+        batch_window_s=args.batch_window,
+        drain_grace_s=args.drain_grace,
+        cache_dir=args.cache_dir,
+        cache_max_entries=args.cache_max_entries,
+        log_dir=args.log_dir,
+        state_file=args.state_file,
+        health_interval_s=args.health_interval,
+        log_requests=not args.quiet,
+    )
+    return run_fleet(config)
+
+
 def cmd_submit(args: argparse.Namespace) -> int:
-    client = ServiceClient(args.host, args.port, timeout=args.client_timeout)
+    client = ServiceClient(
+        args.host, args.port, timeout=args.client_timeout,
+        retries=args.retries,
+    )
     subcommand = args.subcommand
     if subcommand == "health":
         print(json.dumps(client.health(), indent=2, sort_keys=True))
@@ -124,6 +149,75 @@ def add_serve_parser(
     return parser
 
 
+def add_fleet_parser(
+    sub: "argparse._SubParsersAction[argparse.ArgumentParser]",
+) -> argparse.ArgumentParser:
+    parser = sub.add_parser(
+        "fleet",
+        help="run N serve replicas behind a consistent-hash router "
+        "(identical requests always hit the warm replica)",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=default_port(),
+        help="router TCP port clients connect to (0 binds an ephemeral "
+        "port; default %(default)s)",
+    )
+    parser.add_argument(
+        "--replicas", type=int, default=3,
+        help="number of serve replica processes (default %(default)s)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="process-pool width per replica (0 = all cores)",
+    )
+    parser.add_argument(
+        "--queue-limit", type=int, default=64,
+        help="per-replica admission queue capacity (default %(default)s)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=60.0,
+        help="per-request execution timeout in seconds (default %(default)s)",
+    )
+    parser.add_argument(
+        "--batch-window", type=float, default=0.01,
+        help="per-replica micro-batch window in seconds (default %(default)s)",
+    )
+    parser.add_argument(
+        "--drain-grace", type=float, default=30.0,
+        help="max seconds for each drain stage on shutdown",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="shared on-disk simulation cache for every replica "
+        "(default: REPRO_CACHE_DIR)",
+    )
+    parser.add_argument(
+        "--cache-max-entries", type=int, default=None,
+        help="cap on shared disk-cache entries, oldest evicted first",
+    )
+    parser.add_argument(
+        "--log-dir", default=None,
+        help="directory for replica log files (default: a fresh tempdir)",
+    )
+    parser.add_argument(
+        "--state-file", default=None,
+        help="write the running topology (router port, replica pids/"
+        "ports/logs) to this JSON file once the router is up",
+    )
+    parser.add_argument(
+        "--health-interval", type=float, default=1.0,
+        help="seconds between replica health probes (default %(default)s)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress per-request router logs on stderr "
+        "(lifecycle events always print)",
+    )
+    parser.set_defaults(func=cmd_fleet)
+    return parser
+
+
 def add_submit_parser(
     sub: "argparse._SubParsersAction[argparse.ArgumentParser]",
     *,
@@ -156,6 +250,11 @@ def add_submit_parser(
     connection.add_argument(
         "--client-timeout", type=float, default=120.0,
         help="client-side HTTP timeout in seconds (default %(default)s)",
+    )
+    connection.add_argument(
+        "--retries", type=int, default=0,
+        help="retry 429/503/unreachable responses this many times with "
+        "exponential backoff honoring Retry-After (default: no retries)",
     )
     subsub = parser.add_subparsers(dest="subcommand", required=True)
 
@@ -193,8 +292,10 @@ def add_submit_parser(
 
 
 __all__: Sequence[str] = (
+    "add_fleet_parser",
     "add_serve_parser",
     "add_submit_parser",
+    "cmd_fleet",
     "cmd_serve",
     "cmd_submit",
 )

@@ -4,6 +4,14 @@ Stdlib ``http.client`` only; one connection per request (the server
 closes connections after answering).  Failures surface as
 :class:`~repro.service.protocol.ServiceError` carrying the server's
 error code and, for 429, the ``Retry-After`` hint.
+
+Transient failures — 429 ``queue_full``, 503 ``draining``, and
+transport-level unreachability — can be retried transparently: pass
+``retries=N`` and the client sleeps between attempts with exponential
+backoff plus jitter, honoring the server's ``Retry-After`` hint as a
+lower bound (a saturated admission queue tells clients exactly how long
+to back off; ignoring it just feeds the stampede).  The default is no
+retries, preserving the original fail-fast contract.
 """
 
 from __future__ import annotations
@@ -11,10 +19,16 @@ from __future__ import annotations
 import http.client
 import json
 import os
+import random
 import socket
+import time
 from typing import Any, Dict, Mapping, Optional
 
 from repro.service.protocol import DEFAULT_PORT, OPS, ServiceError
+
+#: Error codes worth retrying: the request was never executed, so a
+#: later attempt cannot double-apply anything (every job is pure anyway).
+RETRYABLE_CODES = frozenset({"queue_full", "draining", "unreachable"})
 
 #: Environment overrides consulted for defaults (so ``repro submit`` in a
 #: shell session does not need ``--host/--port`` every time).
@@ -59,15 +73,51 @@ class ServiceClient:
         port: Optional[int] = None,
         *,
         timeout: float = 120.0,
+        retries: int = 0,
+        backoff_base_s: float = 0.1,
+        backoff_max_s: float = 10.0,
     ) -> None:
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
         self.host = host if host is not None else default_host()
         self.port = port if port is not None else default_port()
         self.timeout = timeout
+        self.retries = retries
+        self.backoff_base_s = backoff_base_s
+        self.backoff_max_s = backoff_max_s
 
     # ------------------------------------------------------------------
     # transport
     # ------------------------------------------------------------------
+    def _backoff_s(self, attempt: int, retry_after: Optional[float]) -> float:
+        """Sleep before retry ``attempt`` (0-based): exponential backoff
+        with full jitter, floored by the server's ``Retry-After`` hint."""
+        backoff = min(
+            self.backoff_max_s, self.backoff_base_s * (2.0 ** attempt)
+        )
+        delay = backoff * (0.5 + random.random() / 2.0)
+        if retry_after is not None:
+            delay = max(delay, retry_after)
+        return min(delay, self.backoff_max_s)
+
     def _roundtrip(
+        self, method: str, path: str, body: Optional[Mapping[str, Any]] = None
+    ) -> Dict[str, Any]:
+        """One request with up to ``self.retries`` retries on transient
+        failures (429 queue_full / 503 draining / unreachable)."""
+        for attempt in range(self.retries + 1):
+            try:
+                return self._roundtrip_once(method, path, body)
+            except ServiceError as error:
+                if (
+                    attempt >= self.retries
+                    or error.code not in RETRYABLE_CODES
+                ):
+                    raise
+                time.sleep(self._backoff_s(attempt, error.retry_after))
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _roundtrip_once(
         self, method: str, path: str, body: Optional[Mapping[str, Any]] = None
     ) -> Dict[str, Any]:
         payload = None

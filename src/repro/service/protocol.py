@@ -49,6 +49,7 @@ ERROR_STATUS: Dict[str, int] = {
     "compile_error": 422,
     "queue_full": 429,
     "internal": 500,
+    "bad_gateway": 502,
     "draining": 503,
     "timeout": 504,
 }
@@ -63,6 +64,7 @@ REASONS: Dict[int, str] = {
     422: "Unprocessable Entity",
     429: "Too Many Requests",
     500: "Internal Server Error",
+    502: "Bad Gateway",
     503: "Service Unavailable",
     504: "Gateway Timeout",
 }

@@ -422,8 +422,15 @@ class CompilationServer:
         writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body)
         await writer.drain()
 
+    #: Events printed even under ``--quiet`` (the documented contract:
+    #: quiet disables *request* logs, lifecycle events always print —
+    #: the fleet launcher reads replica ports from ``listening``).
+    _LIFECYCLE_EVENTS = frozenset(
+        {"listening", "drain_begin", "drain_complete", "drain_grace_exceeded"}
+    )
+
     def _log(self, event: str, **fields: object) -> None:
-        if not self.config.log_requests:
+        if not self.config.log_requests and event not in self._LIFECYCLE_EVENTS:
             return
         record: Dict[str, object] = {"ts": round(time.time(), 3), "event": event}
         record.update(fields)

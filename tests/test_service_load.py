@@ -1,0 +1,143 @@
+"""Schema tests for the load harness's summary document.
+
+The harness itself (servers, subprocesses, SIGKILL) runs in CI via
+``scripts/service_load.py --smoke --check``; these tests pin the *pure*
+parts — the summary schema documented in the module docstring must keep
+a fixed key set regardless of concurrency, replica count or job count.
+"""
+
+import importlib.util
+import os
+
+import pytest
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_spec = importlib.util.spec_from_file_location(
+    "service_load", os.path.join(_ROOT, "scripts", "service_load.py")
+)
+service_load = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(service_load)
+
+MIX_KEYS = {
+    "requests", "errors", "qps", "p50_ms", "p99_ms",
+    "dedup_rate", "cache_hit_rate",
+}
+CHECK_KEYS = {
+    "byte_identity", "single_drain_dropped", "fleet_drain_dropped",
+    "kill_errors", "kill_wrong_answers",
+}
+TOP_KEYS = {
+    "cores", "concurrency", "replicas", "single", "fleet", "checks",
+    "fleet_vs_single_qps",
+}
+
+
+def _mix(requests=10, qps=100.0):
+    wall = requests / qps if qps else 0.0
+    return service_load.mix_stats(
+        requests, 0, [1.0] * requests, wall, {"cache_hits": 2}
+    )
+
+
+def _summary(*, concurrency, replicas, single_qps=100.0, fleet_qps=250.0):
+    single = {"miss": _mix(qps=single_qps), "mixed": _mix()}
+    kill = dict(_mix(), failovers=3)
+    fleet = {"miss": _mix(qps=fleet_qps), "mixed": _mix(), "kill": kill}
+    checks = {
+        "byte_identity": True,
+        "single_drain_dropped": 0,
+        "fleet_drain_dropped": 0,
+        "kill_errors": 0,
+        "kill_wrong_answers": 0,
+    }
+    return service_load.build_summary(
+        "smoke", 4, concurrency, replicas, single, fleet, checks
+    )
+
+
+class TestSummarySchema:
+    def test_key_set_matches_documented_schema(self):
+        summary = _summary(concurrency=16, replicas=3)
+        assert set(summary) == TOP_KEYS
+        assert set(summary["checks"]) == CHECK_KEYS
+        assert set(summary["single"]) == {"miss", "mixed"}
+        assert set(summary["fleet"]) == {"miss", "mixed", "kill"}
+        for mix in (*summary["single"].values(), summary["fleet"]["miss"],
+                    summary["fleet"]["mixed"]):
+            assert set(mix) == MIX_KEYS
+        assert set(summary["fleet"]["kill"]) == MIX_KEYS | {"failovers"}
+
+    def test_schema_is_knob_independent(self):
+        """Different concurrency/replica knobs change values, never keys
+        — CI floors and tooling never chase shape changes."""
+        def shape(document):
+            if isinstance(document, dict):
+                return {k: shape(v) for k, v in sorted(document.items())}
+            return type(document).__name__
+        small = _summary(concurrency=2, replicas=3)
+        large = _summary(concurrency=512, replicas=9)
+        assert shape(small) == shape(large)
+
+    def test_ratio_and_zero_division(self):
+        summary = _summary(concurrency=16, replicas=3,
+                           single_qps=100.0, fleet_qps=250.0)
+        assert summary["fleet_vs_single_qps"] == pytest.approx(2.5)
+        zero = _summary(concurrency=16, replicas=3, single_qps=0.0)
+        assert zero["fleet_vs_single_qps"] == 0.0
+
+    def test_hard_invariants_flag_every_violation(self):
+        summary = _summary(concurrency=16, replicas=3)
+        assert service_load.hard_invariants(summary) == []
+        summary["checks"]["kill_wrong_answers"] = 2
+        summary["checks"]["byte_identity"] = False
+        summary["single"]["miss"]["errors"] = 1
+        problems = service_load.hard_invariants(summary)
+        assert len(problems) == 3
+
+    def test_check_gate_is_core_aware(self):
+        recorded = _summary(concurrency=16, replicas=3)
+        fresh = _summary(concurrency=16, replicas=3,
+                         single_qps=100.0, fleet_qps=150.0)  # ratio 1.5
+        fresh_multicore = dict(fresh, cores=4)
+        assert any(
+            "fleet_vs_single_qps" in problem
+            for problem in service_load.check_against(
+                recorded, fresh_multicore
+            )
+        )
+        fresh_starved = dict(fresh, cores=1)
+        assert service_load.check_against(recorded, fresh_starved) == []
+
+    def test_check_gate_floors_qps_and_p99(self):
+        recorded = _summary(concurrency=16, replicas=3,
+                            single_qps=100.0, fleet_qps=250.0)
+        slow = _summary(concurrency=16, replicas=3,
+                        single_qps=10.0, fleet_qps=25.0)
+        slow = dict(slow, cores=1)
+        problems = service_load.check_against(recorded, slow)
+        assert any("qps" in problem and "floor" in problem
+                   for problem in problems)
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        samples = [float(v) for v in range(1, 101)]
+        assert service_load.percentile(samples, 0.50) == 50.0
+        assert service_load.percentile(samples, 0.99) == 99.0
+        assert service_load.percentile([7.0], 0.99) == 7.0
+        assert service_load.percentile([], 0.5) == 0.0
+
+
+class TestWorkload:
+    def test_miss_cells_are_distinct(self):
+        cells = service_load.miss_cells(500)
+        assert len(cells) == 500
+        assert len(set(cells)) == 500
+
+    def test_mixed_ops_cover_all_three_families(self):
+        ops = service_load.mixed_ops(30, "src")
+        kinds = {op for op, _ in ops}
+        assert kinds == {"compile", "simulate"}
+        payloads = [payload for op, payload in ops if op == "simulate"]
+        sources = {payload["source"] for payload in payloads}
+        assert len(sources) > 4  # duplicates pool plus fresh cells
