@@ -1,10 +1,14 @@
-"""Static analysis: legality, bounds, race, and lint passes.
+"""Static analysis: legality, bounds, race, lint, form and kernel passes.
 
 The package independently *rechecks* what the compilation pipeline
 claims — the legality verifier re-proves the transformation legal, the
 bounds checker proves subscripts within extents via Fourier-Motzkin, the
 race checker inspects the emitted SPMD node program, and the lint pass
-surfaces surprising-but-legal outcomes.  See ``docs/analysis.md``.
+surfaces surprising-but-legal outcomes.  Two opt-in passes extend the
+recheck to *derived artifacts*: the symbolic-form verifier certifies the
+tier-0 quasi-polynomial forms against the closed-form engine on a
+finite interpolation grid, and the kernel sanitizer reviews the Python
+text the accounting codegen emits.  See ``docs/analysis.md``.
 """
 
 from repro.analysis.bounds import BoundsPass
@@ -17,6 +21,8 @@ from repro.analysis.diagnostics import (
     collect_suppressions,
     normalize_suppressions,
 )
+from repro.analysis.forms import FormCertificate, FormsPass, certify_node
+from repro.analysis.kernels import KernelPass, sanitize_generated_source
 from repro.analysis.legality import LegalityPass
 from repro.analysis.lint import LintPass
 from repro.analysis.manager import (
@@ -24,8 +30,10 @@ from repro.analysis.manager import (
     AnalysisPass,
     analyze_artifacts,
     analyze_program,
+    available_passes,
     build_context,
     default_passes,
+    resolve_passes,
     run_passes,
 )
 from repro.analysis.races import RacePass
@@ -37,6 +45,9 @@ __all__ = [
     "BoundsPass",
     "CODES",
     "Diagnostic",
+    "FormCertificate",
+    "FormsPass",
+    "KernelPass",
     "LegalityPass",
     "LintPass",
     "RacePass",
@@ -44,9 +55,13 @@ __all__ = [
     "Span",
     "analyze_artifacts",
     "analyze_program",
+    "available_passes",
     "build_context",
+    "certify_node",
     "collect_suppressions",
     "default_passes",
     "normalize_suppressions",
+    "resolve_passes",
     "run_passes",
+    "sanitize_generated_source",
 ]

@@ -28,7 +28,12 @@ from repro.analysis.diagnostics import (
     collect_suppressions,
     normalize_suppressions,
 )
-from repro.analysis.manager import analyze_program
+from repro.analysis.manager import (
+    analyze_program,
+    available_passes,
+    resolve_passes,
+)
+from repro.errors import ReproError
 from repro.ir.program import Program
 from repro.lang import parse_program
 
@@ -70,14 +75,18 @@ def analyze_texts(
     schedule: str = "wrapped",
     assume_sync: bool = False,
     as_json: bool = False,
+    passes: Optional[Sequence[str]] = None,
 ) -> Tuple[str, str, int]:
     """Analyze ``(name, text)`` inputs and render the CLI report.
 
-    Returns ``(stdout, stderr, exit_code)`` exactly as ``repro analyze``
-    would print them — the compilation service reuses this so its
-    ``analyze`` endpoint is byte-identical to the direct CLI path.
+    ``passes`` selects analysis passes by registry name (``None`` runs
+    the default pipeline).  Returns ``(stdout, stderr, exit_code)``
+    exactly as ``repro analyze`` would print them — the compilation
+    service reuses this so its ``analyze`` endpoint is byte-identical to
+    the direct CLI path.
     """
     threshold = Severity.from_label(fail_on)
+    selected = resolve_passes(passes) if passes is not None else None
     reports: List[AnalysisReport] = []
     for name, text in inputs:
         program, suppressions = load_analysis_input(name, text)
@@ -89,6 +98,7 @@ def analyze_texts(
             ),
             schedule=schedule,
             sync=assume_sync,
+            passes=selected,
             suppressions=suppressions,
         )
         reports.append(report)
@@ -117,7 +127,21 @@ def analyze_texts(
     return "\n".join(out_lines), "\n".join(err_lines), 1 if failed else 0
 
 
+def render_pass_list() -> str:
+    """The ``--list-passes`` table (shared with ``repro submit analyze``)."""
+    rows = available_passes()
+    width = max(len(name) for name, _ in rows)
+    return "\n".join(
+        f"{name.ljust(width)}  {description}" for name, description in rows
+    )
+
+
 def cmd_analyze(args: argparse.Namespace) -> int:
+    if args.list_passes:
+        print(render_pass_list())
+        return 0
+    if not args.files:
+        raise ReproError("no input files (or use --list-passes)")
     inputs: List[Tuple[str, str]] = []
     for path in args.files:
         with open(path, "r", encoding="utf-8") as handle:
@@ -130,6 +154,7 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         schedule=args.schedule,
         assume_sync=args.assume_sync,
         as_json=args.json,
+        passes=args.passes.split(",") if args.passes else None,
     )
     if stdout:
         print(stdout)
@@ -156,12 +181,23 @@ def add_analyze_options(parser: argparse.ArgumentParser) -> None:
     """The ``analyze`` arguments, shared with ``repro submit analyze``."""
     parser.add_argument(
         "files",
-        nargs="+",
+        nargs="*",
         metavar="FILE",
         help="DSL source (*.an) or fuzz-corpus entry (*.json)",
     )
     parser.add_argument(
         "--json", action="store_true", help="emit a machine-readable report"
+    )
+    parser.add_argument(
+        "--passes",
+        metavar="NAME[,NAME...]",
+        help="comma-separated analysis passes to run (default: "
+        "legality,bounds,races,lint); see --list-passes",
+    )
+    parser.add_argument(
+        "--list-passes",
+        action="store_true",
+        help="list the available analysis passes and exit",
     )
     parser.add_argument(
         "--fail-on",

@@ -60,6 +60,20 @@ CODES: Mapping[str, str] = {
     "LINT002": "loop index unused by the loop body",
     "LINT003": "guard condition is provably constant",
     "LINT004": "distribution-dimension subscript is not normal after normalization",
+    # symbolic-form verifier -------------------------------------------
+    "FORM001": "unsimplified or ill-formed Mod/FloorDiv atom in a derived form",
+    "FORM002": "count form takes a non-integral value at an integer grid point",
+    "FORM003": "residual BoundedSum loops push evaluation past the auto cost ceiling",
+    "FORM004": "form mentions a symbol outside (params, P, proc)",
+    "FORM005": "form disagrees with the closed-form engine at a certificate grid point",
+    "FORM006": "symbolic tier unavailable for this nest (informational)",
+    "FORM007": "certificate grid exceeds the verification budget; form unverified",
+    # kernel sanitizer -------------------------------------------------
+    "KERN001": "loop-invariant computation inside a generated loop (hoistable)",
+    "KERN002": "generated kernel assigns a local that is never read",
+    "KERN003": "dead branch in a generated kernel (constant or duplicated test)",
+    "KERN004": "kernel ownership test inconsistent with the node program's distributions",
+    "KERN005": "compiled accounting kernel unavailable for this nest (informational)",
     # analyzer plumbing ------------------------------------------------
     "ANA001": "the compilation pipeline failed before analysis could run",
     "ANA002": "an analysis pass crashed (analyzer bug)",

@@ -22,7 +22,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import (
     TYPE_CHECKING,
+    Callable,
+    Dict,
     FrozenSet,
+    Iterable,
     List,
     Optional,
     Protocol,
@@ -73,9 +76,91 @@ class AnalysisPass(Protocol):
         ...
 
 
+def _forms_pass() -> AnalysisPass:
+    from repro.analysis.forms import FormsPass
+
+    return FormsPass()
+
+
+def _kernels_pass() -> AnalysisPass:
+    from repro.analysis.kernels import KernelPass
+
+    return KernelPass()
+
+
+#: The pass registry: name -> (description, factory), in execution
+#: order.  ``legality``..``lint`` form the default pipeline; ``forms``
+#: and ``kernels`` verify *derived artifacts* (tier-0 symbolic forms,
+#: generated accounting kernels) and are opt-in via ``--passes`` — they
+#: compile the artifacts they check, which the default lint run should
+#: not pay for.
+PASS_REGISTRY: Dict[str, Tuple[str, Callable[[], AnalysisPass]]] = {
+    "legality": (
+        "re-prove the transformation legal (LEG codes)",
+        LegalityPass,
+    ),
+    "bounds": (
+        "Fourier-Motzkin subscript bounds proofs (BND codes)",
+        BoundsPass,
+    ),
+    "races": (
+        "SPMD cross-processor race detection (RACE codes)",
+        RacePass,
+    ),
+    "lint": (
+        "structural lint of the normalized nest (LINT codes)",
+        LintPass,
+    ),
+    "forms": (
+        "verify + certify tier-0 symbolic forms against the "
+        "closed-form engine (FORM codes)",
+        _forms_pass,
+    ),
+    "kernels": (
+        "sanitize generated accounting-kernel code (KERN codes)",
+        _kernels_pass,
+    ),
+}
+
+#: Pass names run when the user selects nothing explicitly.
+DEFAULT_PASS_NAMES: Tuple[str, ...] = ("legality", "bounds", "races", "lint")
+
+
+def available_passes() -> Tuple[Tuple[str, str], ...]:
+    """``(name, description)`` rows for ``--list-passes``, in run order."""
+    return tuple(
+        (name, description) for name, (description, _) in PASS_REGISTRY.items()
+    )
+
+
+def resolve_passes(names: Iterable[str]) -> Tuple[AnalysisPass, ...]:
+    """Instantiate the named passes, in registry (execution) order.
+
+    Unknown names raise :class:`~repro.errors.ReproError` listing the
+    registry — a typo must not silently run everything.
+    """
+    requested = [str(name).strip() for name in names]
+    requested = [name for name in requested if name]
+    unknown = sorted(set(requested) - set(PASS_REGISTRY))
+    if unknown:
+        known = ", ".join(PASS_REGISTRY)
+        raise ReproError(
+            f"unknown analysis pass(es): {', '.join(unknown)} "
+            f"(available: {known})"
+        )
+    if not requested:
+        raise ReproError("no analysis passes selected")
+    chosen = set(requested)
+    return tuple(
+        factory()
+        for name, (_description, factory) in PASS_REGISTRY.items()
+        if name in chosen
+    )
+
+
 def default_passes() -> Tuple[AnalysisPass, ...]:
     """The standard pass pipeline, in execution order."""
-    return (LegalityPass(), BoundsPass(), RacePass(), LintPass())
+    return resolve_passes(DEFAULT_PASS_NAMES)
 
 
 def build_context(

@@ -101,6 +101,7 @@ def summarize(
     """
     by_status: Dict[str, int] = {}
     by_static: Dict[str, int] = {}
+    by_certified: Dict[str, int] = {}
     checks = 0
     for record in records:
         by_status[record.status] = by_status.get(record.status, 0) + 1
@@ -111,6 +112,8 @@ def summarize(
         elif static.startswith("analyzer-crash"):
             static = "analyzer-crash"
         by_static[static] = by_static.get(static, 0) + 1
+        certified = record.certified or "(none)"
+        by_certified[certified] = by_certified.get(certified, 0) + 1
     return {
         "tool": "repro-fuzz",
         "seed": seed,
@@ -118,7 +121,9 @@ def summarize(
         "checks": checks,
         "status": dict(sorted(by_status.items())),
         "static": dict(sorted(by_static.items())),
+        "certified": dict(sorted(by_certified.items())),
         "static_consistent": by_status.get("inconsistent", 0) == 0,
+        "forms_certified": by_status.get("form-uncertified", 0) == 0,
         "ok": by_status.get("ok", 0) == len(records),
         "failures": list(failures),
     }

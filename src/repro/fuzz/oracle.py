@@ -22,7 +22,14 @@ For one program spec, runs the full pipeline (``core.access_normalize`` →
    wherever they accept the nest, reproduce the interpreter walk's
    per-processor :class:`AccessCounts` bit for bit.  A disagreement is
    reported with its own status, ``"tier-mismatch"``, because it is an
-   engine bug rather than a semantics bug.
+   engine bug rather than a semantics bug;
+6. **Form certification** — each schedule's symbolic forms (when the nest
+   has a tier 0) get a :class:`~repro.analysis.forms.FormCertificate`
+   proving them identical to the closed-form engine on an interpolation
+   grid.  The verdict is recorded (``certified``: ``yes`` / ``no`` /
+   ``unverified`` / ``n/a``); a failed certificate is its own status,
+   ``"form-uncertified"``, while an over-budget grid stays an honest
+   ``unverified``, not a failure.
 
 Arrays are seeded with small integers (``init="smallint"``), and the
 generator only multiplies read-only values, so float64 arithmetic is exact
@@ -72,6 +79,7 @@ class CheckResult:
     program_name: str = ""
     notes: Tuple[str, ...] = ()
     static: str = ""  # "clean" | "flagged:CODE,..." | "analyzer-crash: ..."
+    certified: str = ""  # "yes" | "no" | "unverified" | "n/a"
 
 
 @dataclass
@@ -90,6 +98,7 @@ class FuzzRecord:
     checks: int = 0
     spec: Optional[Dict] = None  # spec dict, kept only for failures
     static: str = ""  # static-analyzer verdict for the same artifacts
+    certified: str = ""  # symbolic-form certificate verdict
 
     @property
     def ok(self) -> bool:
@@ -107,6 +116,16 @@ class _Mismatch(Exception):
 
 class _TierMismatch(_Mismatch):
     """Two accounting engines disagreed on a count (status ``tier-mismatch``)."""
+
+
+class _FormUncertified(_Mismatch):
+    """A symbolic form failed its certificate (status ``form-uncertified``).
+
+    Distinct from :class:`_TierMismatch`: the tier check compares engines
+    at the handful of swept cells, while the certificate compares the
+    form against the closed-form engine on the full interpolation grid —
+    a *derivation* bug can pass the former and fail only here.
+    """
 
 
 def _fresh_arrays(program: Program):
@@ -182,6 +201,7 @@ def check_program(
     notes: List[str] = []
     result = None
     first_node = None
+    certified = "n/a"
     try:
         # -- sequential ground truth --------------------------------------
         baseline = _fresh_arrays(program)
@@ -299,9 +319,34 @@ def check_program(
                             "execute-mode accounting disagrees with account mode",
                         )
                     checks += 2
+
+        # -- 6: symbolic-form certification ---------------------------
+        # Tier equivalence (check 5) compared engines at the swept
+        # cells; the certificate proves form ≡ closed-form engine on the
+        # whole interpolation grid.  Memoized per node fingerprint, so
+        # re-checking a shrunken case is free.
+        from repro.analysis.forms import certify_node
+
+        for schedule, node in nodes.items():
+            certificate = certify_node(node)
+            if certificate is None:
+                continue  # no symbolic tier for this nest: nothing to certify
+            checks += 1
+            if certificate.verified:
+                if certified == "n/a":
+                    certified = "yes"
+            elif certificate.failure in ("mismatch", "non-integral"):
+                certified = "no"
+                raise _FormUncertified(
+                    f"certify[{schedule}]", certificate.reason
+                )
+            else:  # budget / structure: honestly unverified, not a failure
+                certified = "unverified"
     except _Mismatch as mismatch:
         static = _static_verdict(program, result, first_node)
-        if isinstance(mismatch, _TierMismatch):
+        if isinstance(mismatch, _FormUncertified):
+            status = "form-uncertified"
+        elif isinstance(mismatch, _TierMismatch):
             status = "tier-mismatch"
         else:
             status = "inconsistent" if static == "clean" else "mismatch"
@@ -311,6 +356,7 @@ def check_program(
             stage=mismatch.stage,
             detail=mismatch.detail, checks=checks,
             program_name=program.name, notes=tuple(notes), static=static,
+            certified=certified,
         )
     except Exception as error:  # noqa: BLE001 - a fuzzer records every crash
         return CheckResult(
@@ -318,10 +364,12 @@ def check_program(
             detail=_summarize_exception(error), checks=checks,
             program_name=program.name, notes=tuple(notes),
             static=_static_verdict(program, result, first_node),
+            certified=certified,
         )
     return CheckResult(
         ok=True, status="ok", checks=checks, program_name=program.name,
         notes=tuple(notes), static=_static_verdict(program, result, first_node),
+        certified=certified,
     )
 
 
@@ -376,7 +424,7 @@ def fuzz_task(task: FuzzTask) -> FuzzRecord:
     record = FuzzRecord(
         index=index, seed=case_seed, status=outcome.status,
         stage=outcome.stage, detail=outcome.detail, checks=outcome.checks,
-        static=outcome.static,
+        static=outcome.static, certified=outcome.certified,
     )
     if not outcome.ok:
         record.spec = spec.to_dict()

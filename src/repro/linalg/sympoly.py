@@ -125,6 +125,11 @@ class Mod(_Atom):
 
     __slots__ = ("arg", "modulus")
 
+    # Annotation-only declarations (slots hold the storage): they let
+    # strictly-typed consumers (repro.analysis.forms) see the fields.
+    arg: "SymExpr"
+    modulus: Union[int, "SymExpr"]
+
     def __init__(self, arg: "SymExpr", modulus) -> None:
         object.__setattr__(self, "arg", arg)
         object.__setattr__(self, "modulus", modulus)
@@ -152,6 +157,9 @@ class FloorDiv(_Atom):
     """``floor(arg / modulus)`` with ``modulus`` a positive int or SymExpr."""
 
     __slots__ = ("arg", "modulus")
+
+    arg: "SymExpr"
+    modulus: Union[int, "SymExpr"]
 
     def __init__(self, arg: "SymExpr", modulus) -> None:
         object.__setattr__(self, "arg", arg)
@@ -186,6 +194,8 @@ class Pos(_Atom):
 
     __slots__ = ("arg",)
 
+    arg: "SymExpr"
+
     def __init__(self, arg: "SymExpr") -> None:
         object.__setattr__(self, "arg", arg)
 
@@ -210,6 +220,8 @@ class Ge0(_Atom):
     """Indicator ``1 if arg >= 0 else 0`` (``arg`` integer-valued)."""
 
     __slots__ = ("arg",)
+
+    arg: "SymExpr"
 
     def __init__(self, arg: "SymExpr") -> None:
         object.__setattr__(self, "arg", arg)
@@ -239,6 +251,10 @@ class BoundedSum(_Atom):
     """
 
     __slots__ = ("var", "bound", "body", "_freeatoms")
+
+    var: str
+    bound: "SymExpr"
+    body: "SymExpr"
 
     def __init__(self, var: str, bound: "SymExpr", body: "SymExpr") -> None:
         object.__setattr__(self, "var", var)
@@ -341,6 +357,8 @@ class SymExpr:
     """A normalized polynomial over symbols and atoms (Fraction coeffs)."""
 
     __slots__ = ("_terms", "_hashv", "_symbols", "_plan", "_compiledf")
+
+    _terms: Tuple[Tuple[_Monomial, Fraction], ...]
 
     def __init__(self, terms: Dict[_Monomial, Fraction]) -> None:
         clean = tuple(
@@ -1413,6 +1431,17 @@ def _bound_vars_ambiguous(expr: SymExpr) -> bool:
     )
 
 
+def _mono_depends(mono: _Monomial, var: str) -> bool:
+    """Whether a monomial's value changes with the bound variable ``var``."""
+    for base, _exp in mono:
+        if isinstance(base, str):
+            if base == var:
+                return True
+        elif base.depends_on(var):
+            return True
+    return False
+
+
 class _Scope:
     """Atom -> local-variable cache, chained through enclosing scopes."""
 
@@ -1455,6 +1484,13 @@ class _Emitter:
         den, terms = expr._eval_plan()
         if not terms:
             return "0"
+        body = self.terms_code(terms, scope, indent)
+        if den != 1:
+            body = f"_exact_div({body}, {den})"
+        return f"({body})"
+
+    def terms_code(self, terms, scope: _Scope, indent: int) -> str:
+        """Render a subset of an eval plan's integer-scaled terms."""
         parts = []
         for coeff, mono in terms:
             factors = []
@@ -1464,10 +1500,7 @@ class _Emitter:
             if coeff != 1 or not factors:
                 factors.insert(0, repr(coeff))
             parts.append("*".join(factors))
-        body = " + ".join(parts)
-        if den != 1:
-            body = f"_exact_div({body}, {den})"
-        return f"({body})"
+        return " + ".join(parts)
 
     def _modulus_code(self, modulus, scope: _Scope, indent: int) -> str:
         if isinstance(modulus, int):
@@ -1508,21 +1541,42 @@ class _Emitter:
                 self.base_code(atom, scope, indent)
             limit, acc = self.temp(), self.temp()
             self.lines.append(f"{pad}{limit} = {bound}")
+            self.lines.append(f"{pad}if {limit} < 0:")
+            self.lines.append(f"{pad}    {limit} = 0")
+            den, terms = base.body._eval_plan()
+            moving = [t for t in terms if _mono_depends(t[1], base.var)]
+            invariant = [t for t in terms if not _mono_depends(t[1], base.var)]
+            # Terms free of the bound variable contribute the same value
+            # every iteration: evaluate them once, multiply by the trip
+            # count, and divide the common denominator out of the *total*
+            # — one division per sum instead of one per iteration.
+            hoisted = None
+            if invariant:
+                hoisted = self.temp()
+                code = self.terms_code(invariant, scope, indent)
+                self.lines.append(f"{pad}{hoisted} = {code}")
             self.lines.append(f"{pad}{acc} = 0")
-            loop = self.temp()
-            self.lines.append(
-                f"{pad}for {loop} in range({limit} if {limit} > 0 else 0):"
-            )
-            saved = self.symmap.get(base.var)
-            self.symmap[base.var] = loop
-            inner = _Scope(scope)
-            body = self.expr_code(base.body, inner, indent + 1)
-            self.lines.append(f"{pad}    {acc} += {body}")
-            if saved is None:
-                del self.symmap[base.var]
+            if moving:
+                loop = self.temp()
+                self.lines.append(f"{pad}for {loop} in range({limit}):")
+                saved = self.symmap.get(base.var)
+                self.symmap[base.var] = loop
+                inner = _Scope(scope)
+                code = self.terms_code(moving, inner, indent + 1)
+                self.lines.append(f"{pad}    {acc} += {code}")
+                if saved is None:
+                    del self.symmap[base.var]
+                else:
+                    self.symmap[base.var] = saved
+            total = acc if hoisted is None else f"{acc} + {hoisted}*{limit}"
+            if den != 1:
+                var = self.temp()
+                self.lines.append(f"{pad}{var} = _exact_div({total}, {den})")
+            elif hoisted is not None:
+                var = self.temp()
+                self.lines.append(f"{pad}{var} = {total}")
             else:
-                self.symmap[base.var] = saved
-            var = acc
+                var = acc
         else:  # pragma: no cover - new atom kinds must be handled here
             raise SymbolicUnsupported(f"cannot compile atom {base!r}")
         scope.cache[base] = var
@@ -1536,10 +1590,15 @@ def _compile_form(expr: SymExpr):
     lines.extend(emitter.loads)
     lines.extend(emitter.lines)
     lines.append(f"    return {result}")
+    source = "\n".join(lines) + "\n"
     namespace = {
         "_exact_div": _exact_div,
         "_checked_mod": _checked_mod,
         "_checked_fdiv": _checked_fdiv,
     }
-    exec(compile("\n".join(lines), "<sympoly-form>", "exec"), namespace)
-    return namespace["_form"]
+    exec(compile(source, "<sympoly-form>", "exec"), namespace)
+    form = namespace["_form"]
+    # The generated text rides along for the kernel sanitizer
+    # (repro.analysis.kernels) and for debugging.
+    form.source = source
+    return form

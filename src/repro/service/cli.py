@@ -80,6 +80,18 @@ def cmd_submit(args: argparse.Namespace) -> int:
     if subcommand == "compile":
         response = client.compile(compile_payload(args))
     elif subcommand == "analyze":
+        if getattr(args, "list_passes", False):
+            # Pure registry metadata: answer locally, no round trip.
+            from repro.analysis.cli import render_pass_list
+
+            print(render_pass_list())
+            return 0
+        if not args.files:
+            print(
+                "error: no input files (or use --list-passes)",
+                file=sys.stderr,
+            )
+            return 2
         response = client.analyze(analyze_payload(args))
     elif subcommand == "simulate":
         # The CLI's `simulate` is a full speedup sweep -> the sweep op.

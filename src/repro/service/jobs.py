@@ -90,6 +90,7 @@ def analyze_payload(args) -> Dict[str, object]:
         "assume": list(args.assume),
         "schedule": args.schedule,
         "assume_sync": bool(args.assume_sync),
+        "passes": args.passes,
     }
 
 
@@ -298,6 +299,7 @@ def run_analyze(
             )
         inputs.append((str(item.get("name", "<request>")), str(item["text"])))
     priority_text = payload.get("priority")
+    passes_text = payload.get("passes")
     with metrics.stage("analyze"):
         return analyze_texts(
             inputs,
@@ -307,6 +309,7 @@ def run_analyze(
             schedule=str(payload.get("schedule", "wrapped")),
             assume_sync=bool(payload.get("assume_sync", False)),
             as_json=bool(payload.get("json", False)),
+            passes=str(passes_text).split(",") if passes_text else None,
         )
 
 
