@@ -29,6 +29,14 @@ scale is selected) and fails if either drops below the value recorded in
 the JSON — the CI ``perf-smoke`` job runs this so a change that silently
 demotes the paper kernels off the symbolic (or any analytic) engine
 cannot land.
+
+The ``tune`` section records the transformation autotuner on the same
+two kernels: candidates explored under the budget, search wall clock,
+and the best found schedule validated at *full* kernel scale against the
+paper's hand-picked transformation (``best_vs_paper <= 1`` means the
+search matched or beat the paper).  ``--check`` gates both properties:
+at least 100 legality-pruned candidates explored, and the best schedule
+no slower than the paper's.
 """
 
 from __future__ import annotations
@@ -69,6 +77,42 @@ SCALES = {
         },
     },
 }
+
+
+#: The autotuner benchmark: search with scoring at a scaled-down size
+#: (the relative ranking is what matters), then validate the top
+#: candidates and the paper baseline at full kernel scale.
+TUNE_SCALES = {
+    "paper": {
+        # 216 distribution assignments per kernel: a 250 budget covers
+        # the full derived pass and then explores exotic recipes (row
+        # subsets, skews, scalings), exercising the legality pruner.
+        "fig4-gemm": {
+            "kind": "gemm", "n": 400, "score": {"N": 24},
+            "procs": [4, 16], "budget": 250, "top_k": 3,
+        },
+        "fig5-syr2k": {
+            "kind": "syr2k", "n": 400, "b": 48, "score": {"N": 24, "b": 3},
+            "procs": [4, 16], "budget": 250, "top_k": 3,
+        },
+    },
+    "smoke": {
+        "fig4-gemm": {
+            "kind": "gemm", "n": 64, "score": {"N": 16},
+            "procs": [4, 16], "budget": 120, "top_k": 3,
+        },
+        "fig5-syr2k": {
+            "kind": "syr2k", "n": 80, "b": 10, "score": {"N": 16, "b": 2},
+            "procs": [4, 16], "budget": 120, "top_k": 3,
+        },
+    },
+}
+
+#: The ``--check`` floors for the tune section (the PR's acceptance
+#: criteria): candidates explored per kernel, and how the best found
+#: schedule may compare to the paper's hand-picked one at full scale.
+TUNE_MIN_EXPLORED = 100
+TUNE_MAX_VS_PAPER = 1.0005  # exact tie expected; tiny float headroom
 
 
 def _variants(config):
@@ -135,6 +179,107 @@ def _measure(config, engine, jobs):
     }
 
 
+def _tune_full_program(config):
+    from repro.blas import gemm_program, syr2k_program
+
+    if config["kind"] == "gemm":
+        return gemm_program(config["n"]), None
+    from repro.blas import PAPER_PRIORITY
+
+    return (
+        syr2k_program(config["n"], config["b"]),
+        list(PAPER_PRIORITY),
+    )
+
+
+def _validate_candidate(program, candidate, procs, machine):
+    """Simulated time of one tuner candidate at *full* kernel scale."""
+    from repro.codegen.spmd import generate_spmd
+    from repro.core.transform import apply_transformation
+    from repro.numa.simulator import simulate
+    from repro.tune.search import _trial_program
+
+    trial = _trial_program(program, candidate.distributions, None)
+    transformation = apply_transformation(
+        trial.nest, candidate.matrix,
+        assumptions=tuple(trial.assumptions),
+    )
+    node = generate_spmd(trial.with_nest(transformation.nest))
+    times = {
+        str(p): simulate(node, processors=p, machine=machine).total_time_us
+        for p in procs
+    }
+    return times, sum(times.values())
+
+
+def _measure_tune(config, jobs):
+    """Run the autotuner on one kernel and validate at full scale."""
+    from repro.codegen.spmd import generate_spmd
+    from repro.core.normalize import access_normalize
+    from repro.numa.simulator import simulate
+    from repro.tune.search import tune_program
+
+    shared_cache().clear()
+    program, priority = _tune_full_program(config)
+    machine = figure_machine()
+    procs = config["procs"]
+    start = time.perf_counter()
+    result = tune_program(
+        program,
+        processors=tuple(procs),
+        machine=machine,
+        params=config["score"],
+        priority=priority,
+        budget=config["budget"],
+        jobs=jobs,
+    )
+    wall = time.perf_counter() - start
+
+    # The paper's configuration at full scale: declared distributions,
+    # derived transformation.
+    paper_node = generate_spmd(
+        access_normalize(program, priority=priority).transformed
+    )
+    paper_times = {
+        str(p): simulate(
+            paper_node, processors=p, machine=machine
+        ).total_time_us
+        for p in procs
+    }
+    paper_total = sum(paper_times.values())
+
+    best_entry = None
+    for candidate in result.ranking[: config["top_k"]]:
+        times, total = _validate_candidate(program, candidate, procs, machine)
+        if best_entry is None or total < best_entry["total_us"]:
+            best_entry = {
+                "rank_at_score_scale": result.ranking.index(candidate) + 1,
+                "distributions": candidate.describe_distributions(),
+                "recipe": candidate.recipe.describe(),
+                "matrix": candidate.describe_matrix(),
+                "times_us": times,
+                "total_us": total,
+            }
+    return {
+        "score_params": dict(config["score"]),
+        "processors": list(procs),
+        "budget": config["budget"],
+        "explored": result.enumerated,
+        "admitted": result.admitted,
+        "scored": result.scored,
+        "pruned": len(result.pruned),
+        "wall_s": round(wall, 4),
+        "best": best_entry,
+        "paper_times_us": paper_times,
+        "paper_total_us": paper_total,
+        "best_vs_paper": (
+            round(best_entry["total_us"] / paper_total, 4)
+            if best_entry and paper_total
+            else None
+        ),
+    }
+
+
 def run_benchmark(scale, jobs):
     document = {
         "schema": 1,
@@ -182,6 +327,17 @@ def run_benchmark(scale, jobs):
             f"{symbolic_speedup:.1f}x), symbolic coverage "
             f"{symbolic_coverage:.0%}, analytic coverage {coverage:.0%}"
         )
+    document["tune"] = {}
+    for name, config in TUNE_SCALES[scale].items():
+        section = _measure_tune(config, jobs)
+        document["tune"][name] = section
+        ratio = section["best_vs_paper"]
+        print(
+            f"{name}: tune explored {section['explored']} candidates "
+            f"({section['scored']} scored, {section['pruned']} pruned) in "
+            f"{section['wall_s']:.1f}s; best vs paper at full scale: "
+            f"{ratio:.4f}x"
+        )
     return document
 
 
@@ -206,6 +362,18 @@ def check_coverage(document, recorded_path):
                     f"{name}: {label} {fresh[metric]:.0%} "
                     f"dropped below recorded {floor:.0%}"
                 )
+    for name, fresh in document.get("tune", {}).items():
+        if fresh["explored"] < TUNE_MIN_EXPLORED:
+            failures.append(
+                f"{name}: tuner explored only {fresh['explored']} "
+                f"candidates (floor {TUNE_MIN_EXPLORED})"
+            )
+        ratio = fresh["best_vs_paper"]
+        if ratio is None or ratio > TUNE_MAX_VS_PAPER:
+            failures.append(
+                f"{name}: tuner best is {ratio}x of the paper's hand-picked "
+                f"schedule at full scale (must be <= {TUNE_MAX_VS_PAPER})"
+            )
     return failures
 
 

@@ -285,6 +285,14 @@ def build_parser() -> argparse.ArgumentParser:
         add_serve_parser,
         add_submit_parser,
     )
+    from repro.tune.cli import add_tune_options, cmd_tune
+
+    tune_cmd = sub.add_parser(
+        "tune", parents=[common, machine, runtime],
+        help="autotune the transformation and data distribution jointly",
+    )
+    add_tune_options(tune_cmd)
+    tune_cmd.set_defaults(func=cmd_tune)
 
     add_analyze_parser(sub)
     add_fuzz_parser(sub, parents=[runtime])

@@ -25,7 +25,6 @@ from repro.ir.program import Program
 from repro.numa.machine import MachineConfig, butterfly_gp1000
 from repro.numa.simulator import simulate
 from repro.runtime.cache import SimulationCache
-from repro.runtime.executor import SweepCell, run_grid
 from repro.runtime.metrics import Metrics
 
 
@@ -130,59 +129,46 @@ def search_distributions(
     *relative* ranking is what matters.  Candidates whose pipeline fails
     (e.g. no legal transformation) are skipped.
 
-    The search runs in two phases on the sweep engine: normalization and
-    code generation build one node program per viable candidate (timed
-    under the ``normalize``/``codegen`` metric stages), then the
-    simulations fan out over ``jobs`` worker processes with memoization —
-    the ranking is identical at any job count.
+    This classic search is now a thin preset of the transformation
+    autotuner (:func:`repro.tune.search.tune_program`): the same
+    wrapped/blocked menu (``SearchSpace(block_sizes=(), ...)``), only the
+    paper's derived transformation per assignment
+    (``recipes=("derived",)``), scored at a single processor count.  The
+    tuner shares the scoring path — one :func:`run_grid` fan-out over
+    ``jobs`` workers with memoization — so the ranking is identical at
+    any job count, and each candidate keeps its full provenance.
     """
+    from repro.tune.search import tune_program
+    from repro.tune.space import SearchSpace
+
     machine = machine or butterfly_gp1000()
     metrics = metrics if metrics is not None else Metrics()
-    built = []  # (assignment, transformation labels, node program)
-    for assignment in candidate_assignments(
-        program, allow_replicated=allow_replicated
-    ):
-        if max_candidates is not None and len(built) >= max_candidates:
-            break
-        distributions = {
-            name: distribution
-            for name, distribution in assignment.items()
-            if distribution is not None
-        }
-        trial = Program(
-            nest=program.nest,
-            arrays=program.arrays,
-            distributions=distributions,
-            params=program.bound_params(params),
-            name=program.name,
-        )
-        try:
-            with metrics.stage("normalize"):
-                result = access_normalize(trial)
-            with metrics.stage("codegen"):
-                node = generate_spmd(result.transformed)
-        except ReproError:
-            continue
-        built.append((dict(assignment), tuple(result.labels), node))
-    cells = [
-        SweepCell(f"candidate-{rank}", node, processors, None, machine)
-        for rank, (_, _, node) in enumerate(built)
-    ]
-    outcomes = run_grid(
-        cells, jobs=jobs, cache=cache, metrics=metrics, on_error="keep"
+    space = SearchSpace(
+        block_sizes=(),
+        allow_replicated=allow_replicated,
+        recipes=("derived",),
     )
-    candidates: List[Candidate] = []
-    for (assignment, labels, _), outcome in zip(built, outcomes):
-        if isinstance(outcome, ReproError):
-            continue
-        candidates.append(
-            Candidate(
-                distributions=assignment,
-                time_us=outcome.total_time_us,
-                transformation_labels=labels,
-            )
+    try:
+        outcome = tune_program(
+            program,
+            processors=(processors,),
+            machine=machine,
+            params=params,
+            budget=max_candidates,
+            space=space,
+            jobs=jobs,
+            cache=cache,
+            metrics=metrics,
+            include_baseline=False,
         )
-    if not candidates:
+    except ReproError:
         raise ReproError("no distribution candidate could be evaluated")
-    candidates.sort(key=lambda c: c.time_us)
+    candidates = [
+        Candidate(
+            distributions=dict(scored.distributions),
+            time_us=scored.times_us[0],
+            transformation_labels=tuple(scored.labels),
+        )
+        for scored in outcome.ranking
+    ]
     return AutoDistResult(ranking=tuple(candidates), evaluated=len(candidates))

@@ -37,16 +37,22 @@ def run_campaign(
     time_budget: Optional[float] = None,
     jobs: int = 1,
     metrics: Optional[Metrics] = None,
+    tune: bool = False,
 ) -> List[FuzzRecord]:
     """Run fuzz cases and return their records in index order.
 
     With ``time_budget`` set, batches of cases are dispatched until the
     budget (seconds) is exhausted — ``count`` then only caps the total.
+    With ``tune`` set, every case also runs the tuner search-space oracle
+    (each emitted transformation must survive the legality pass).
     """
     metrics = metrics if metrics is not None else Metrics()
     records: List[FuzzRecord] = []
     if time_budget is None:
-        tasks = [(index, seed) for index in range(count)]
+        tasks = [
+            (index, seed, True) if tune else (index, seed)
+            for index in range(count)
+        ]
         with metrics.stage("fuzz"):
             records = list(run_tasks(fuzz_task, tasks, jobs=jobs, metrics=metrics))
         metrics.count("fuzz_cases", len(records))
@@ -62,14 +68,19 @@ def run_campaign(
                 upper = min(upper, count)
             if upper <= next_index:
                 break
-            tasks = [(index, seed) for index in range(next_index, upper)]
+            tasks = [
+                (index, seed, True) if tune else (index, seed)
+                for index in range(next_index, upper)
+            ]
             records.extend(run_tasks(fuzz_task, tasks, jobs=jobs, metrics=metrics))
             next_index = upper
     metrics.count("fuzz_cases", len(records))
     return records
 
 
-def shrink_failure(record: FuzzRecord) -> Optional[ProgramSpec]:
+def shrink_failure(
+    record: FuzzRecord, *, tune: bool = False
+) -> Optional[ProgramSpec]:
     """Minimize one failing record's program; ``None`` if nothing to shrink."""
     if record.spec is None:
         return None
@@ -79,7 +90,7 @@ def shrink_failure(record: FuzzRecord) -> Optional[ProgramSpec]:
         return None
 
     def still_failing(candidate: ProgramSpec) -> bool:
-        return not check_spec(candidate).ok
+        return not check_spec(candidate, tune=tune).ok
 
     if not still_failing(spec):
         return spec  # flaky or environment-dependent; keep the original
@@ -123,6 +134,7 @@ def summarize(
         "static": dict(sorted(by_static.items())),
         "certified": dict(sorted(by_certified.items())),
         "static_consistent": by_status.get("inconsistent", 0) == 0,
+        "tuner_legal": by_status.get("tuner-illegal", 0) == 0,
         "forms_certified": by_status.get("form-uncertified", 0) == 0,
         "ok": by_status.get("ok", 0) == len(records),
         "failures": list(failures),
@@ -139,6 +151,7 @@ def cmd_fuzz(args) -> int:
         time_budget=args.time_budget,
         jobs=args.jobs,
         metrics=metrics,
+        tune=args.tune_oracle,
     )
     elapsed = time.monotonic() - started
 
@@ -155,9 +168,9 @@ def cmd_fuzz(args) -> int:
             "detail": record.detail,
         }
         if not args.no_shrink and record.spec is not None:
-            shrunk = shrink_failure(record)
+            shrunk = shrink_failure(record, tune=args.tune_oracle)
             if shrunk is not None:
-                verdict = check_spec(shrunk)
+                verdict = check_spec(shrunk, tune=args.tune_oracle)
                 entry["shrunk"] = shrunk.to_dict()
                 entry["corpus_entry"] = write_corpus_entry(
                     shrunk, pending_dir,
@@ -226,5 +239,11 @@ def add_fuzz_parser(subparsers, parents=()) -> None:
     fuzz_cmd.add_argument(
         "--no-shrink", action="store_true",
         help="skip delta-debugging minimization of failing cases",
+    )
+    fuzz_cmd.add_argument(
+        "--tune-oracle", action="store_true",
+        help="also verify the autotuner's search space on every case: "
+        "each emitted transformation must pass the analysis legality "
+        "pass (violations get status 'tuner-illegal')",
     )
     fuzz_cmd.set_defaults(func=cmd_fuzz)

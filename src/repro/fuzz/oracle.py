@@ -128,6 +128,12 @@ class _FormUncertified(_Mismatch):
     """
 
 
+class _TunerIllegal(_Mismatch):
+    """The autotuner emitted an illegal transformation (status
+    ``tuner-illegal``): its pruner admitted a candidate that the analysis
+    legality pass rejects over the materialized artifacts."""
+
+
 def _fresh_arrays(program: Program):
     return allocate_arrays(program, init="smallint", seed=ARRAY_SEED)
 
@@ -190,6 +196,7 @@ def check_program(
     *,
     procs: Tuple[int, ...] = DEFAULT_PROCS,
     schedules: Tuple[str, ...] = DEFAULT_SCHEDULES,
+    tune: bool = False,
 ) -> CheckResult:
     """Run every oracle check on one (already validated) program.
 
@@ -342,9 +349,24 @@ def check_program(
                 )
             else:  # budget / structure: honestly unverified, not a failure
                 certified = "unverified"
+
+        # -- 7: tuner search-space legality ---------------------------
+        # Every transformation the autotuner's enumerator emits (after
+        # its own quick prune) must survive the analysis legality pass
+        # over the materialized artifacts; an admitted-but-illegal
+        # candidate is a tuner bug, not a semantics bug.
+        if tune:
+            from repro.tune.search import verify_search_legality
+
+            tuner_checked, violation = verify_search_legality(program)
+            checks += tuner_checked
+            if violation:
+                raise _TunerIllegal("tune", violation)
     except _Mismatch as mismatch:
         static = _static_verdict(program, result, first_node)
-        if isinstance(mismatch, _FormUncertified):
+        if isinstance(mismatch, _TunerIllegal):
+            status = "tuner-illegal"
+        elif isinstance(mismatch, _FormUncertified):
             status = "form-uncertified"
         elif isinstance(mismatch, _TierMismatch):
             status = "tier-mismatch"
@@ -378,6 +400,7 @@ def check_spec(
     *,
     procs: Tuple[int, ...] = DEFAULT_PROCS,
     schedules: Tuple[str, ...] = DEFAULT_SCHEDULES,
+    tune: bool = False,
 ) -> CheckResult:
     """Build a spec and run :func:`check_program` on it."""
     try:
@@ -387,7 +410,7 @@ def check_spec(
             ok=False, status="invalid", stage="build", detail=str(error),
             program_name=spec.name,
         )
-    return check_program(program, procs=procs, schedules=schedules)
+    return check_program(program, procs=procs, schedules=schedules, tune=tune)
 
 
 def _summarize_exception(error: BaseException) -> str:
@@ -400,8 +423,9 @@ def _summarize_exception(error: BaseException) -> str:
     return f"{type(error).__name__}: {error}{location}"
 
 
-#: The argument tuple of :func:`fuzz_task`: ``(index, base_seed)``.
-FuzzTask = Tuple[int, int]
+#: The argument tuple of :func:`fuzz_task`: ``(index, base_seed)`` or
+#: ``(index, base_seed, tune_oracle)``.
+FuzzTask = Tuple[int, ...]
 
 
 def fuzz_task(task: FuzzTask) -> FuzzRecord:
@@ -411,7 +435,8 @@ def fuzz_task(task: FuzzTask) -> FuzzRecord:
     program, runs the oracle, and returns a plain record — exceptions never
     escape, so a crashing case cannot take down a worker pool.
     """
-    index, base_seed = task
+    index, base_seed = task[0], task[1]
+    tune = bool(task[2]) if len(task) > 2 else False
     case_seed = base_seed * 1_000_003 + index
     try:
         spec = generate_spec(case_seed)
@@ -420,7 +445,7 @@ def fuzz_task(task: FuzzTask) -> FuzzRecord:
             index=index, seed=case_seed, status="generator-error",
             stage=type(error).__name__, detail=_summarize_exception(error),
         )
-    outcome = check_spec(spec)
+    outcome = check_spec(spec, tune=tune)
     record = FuzzRecord(
         index=index, seed=case_seed, status=outcome.status,
         stage=outcome.stage, detail=outcome.detail, checks=outcome.checks,

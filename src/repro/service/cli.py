@@ -98,6 +98,10 @@ def cmd_submit(args: argparse.Namespace) -> int:
         response = client.sweep(sweep_payload(args))
     elif subcommand == "solve":
         response = client.solve(solve_payload(args))
+    elif subcommand == "tune":
+        from repro.service.jobs import tune_payload
+
+        response = client.tune(tune_payload(args))
     else:  # pragma: no cover - argparse enforces choices
         raise AssertionError(f"unknown submit subcommand {subcommand!r}")
     result = response.get("result") or {}
@@ -292,6 +296,14 @@ def add_submit_parser(
         help="as 'repro solve', served",
     )
     add_solve_options(solve_cmd)
+
+    from repro.tune.cli import add_tune_options
+
+    tune_cmd = subsub.add_parser(
+        "tune", parents=[connection, common, machine],
+        help="as 'repro tune', served",
+    )
+    add_tune_options(tune_cmd)
 
     subsub.add_parser(
         "health", parents=[connection], help="print the /healthz document"

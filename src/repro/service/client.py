@@ -204,3 +204,6 @@ class ServiceClient:
 
     def solve(self, payload: Mapping[str, Any]) -> Dict[str, Any]:
         return self.submit("solve", payload)
+
+    def tune(self, payload: Mapping[str, Any]) -> Dict[str, Any]:
+        return self.submit("tune", payload)

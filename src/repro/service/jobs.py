@@ -136,6 +136,25 @@ def _parse_bindings(pairs) -> Optional[Dict[str, int]]:
     return params
 
 
+def tune_payload(args) -> Dict[str, object]:
+    """The ``tune`` payload for parsed ``repro tune`` args."""
+    return {
+        "source": _read_file(args.file),
+        "name": args.file,
+        "priority": args.priority,
+        "assume": list(args.assume),
+        "machine": args.machine,
+        "contention": args.contention,
+        "processors": list(args.processors),
+        "params": _parse_bindings(args.param),
+        "budget": args.budget,
+        "top_k": args.top_k,
+        "block_sizes": list(args.block_sizes),
+        "allow_replicated": bool(args.allow_replicated),
+        "json": bool(args.json),
+    }
+
+
 def solve_payload(args) -> Dict[str, object]:
     """The ``solve`` payload for parsed ``repro solve`` args."""
     return {
@@ -529,6 +548,91 @@ def run_solve(
     return "\n".join(lines)
 
 
+def run_tune(
+    payload: Mapping[str, object],
+    *,
+    jobs: int = 1,
+    cache: Optional[SimulationCache] = None,
+    metrics: Optional[Metrics] = None,
+) -> str:
+    """``repro tune``'s stdout for ``payload``.
+
+    The CLI and the daemon's ``/v1/tune`` endpoint both call this
+    function with the same payload dict, so served output is
+    byte-identical to the direct CLI by construction.
+    """
+    from repro.tune.cli import render_json, render_text
+    from repro.tune.search import tune_program
+    from repro.tune.space import SearchSpace
+
+    metrics = metrics if metrics is not None else Metrics()
+    program = _parse_source(payload, metrics)
+    machine = machine_from_payload(payload)
+    procs = _normalize_processors(payload.get("processors") or [4, 16])
+
+    raw_params = payload.get("params") or None
+    params = None
+    if raw_params is not None:
+        if not isinstance(raw_params, Mapping):
+            raise ReproError("'params' must be an object of integer bindings")
+        try:
+            params = {str(k): int(v) for k, v in raw_params.items()}  # type: ignore[arg-type]
+        except (TypeError, ValueError):
+            raise ReproError("'params' must be an object of integer bindings")
+
+    raw_budget = payload.get("budget", 400)
+    budget: Optional[int]
+    try:
+        budget = None if raw_budget is None else int(raw_budget)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        raise ReproError(f"invalid budget {raw_budget!r}")
+    if budget is not None and budget <= 0:
+        budget = None  # 0 (and the CLI's --budget 0) means unbounded
+
+    try:
+        top_k = int(payload.get("top_k", 5))  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        raise ReproError(f"invalid top_k {payload.get('top_k')!r}")
+    if top_k <= 0:
+        raise ReproError(f"top_k must be positive, got {top_k}")
+
+    raw_blocks = payload.get("block_sizes")
+    if raw_blocks is None:
+        raw_blocks = [8]
+    if not isinstance(raw_blocks, (list, tuple)):
+        raise ReproError("'block_sizes' must be a list of positive integers")
+    try:
+        block_sizes = tuple(sorted({int(b) for b in raw_blocks}))
+    except (TypeError, ValueError):
+        raise ReproError("'block_sizes' must be a list of positive integers")
+
+    space = SearchSpace(
+        block_sizes=block_sizes,
+        allow_replicated=bool(payload.get("allow_replicated")),
+    )
+
+    priority_text = payload.get("priority")
+    priority = str(priority_text).split(",") if priority_text else None
+    assume = tuple(str(fact) for fact in (payload.get("assume") or ()))
+
+    result = tune_program(
+        program,
+        processors=tuple(procs),
+        machine=machine,
+        params=params,
+        priority=priority,
+        assumptions=(tuple(program.assumptions) + assume) or None,
+        budget=budget,
+        space=space,
+        jobs=jobs,
+        cache=cache,
+        metrics=metrics,
+    )
+    if payload.get("json"):
+        return render_json(result, top_k)
+    return render_text(result, top_k)
+
+
 def build_simulation_cell(
     payload: Mapping[str, object], metrics: Optional[Metrics] = None
 ) -> SweepCell:
@@ -627,6 +731,9 @@ def execute_job(item: Tuple[str, Mapping[str, object]]) -> Dict[str, object]:
             response = _ok({"stdout": stdout, "stderr": stderr})
         elif op == "solve":
             stdout = run_solve(payload, metrics=metrics)
+            response = _ok({"stdout": stdout, "stderr": ""})
+        elif op == "tune":
+            stdout = run_tune(payload, metrics=metrics)
             response = _ok({"stdout": stdout, "stderr": ""})
         else:
             response = _failed("bad_request", f"unknown op {op!r}")

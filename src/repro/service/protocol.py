@@ -36,7 +36,7 @@ from repro.errors import ReproError
 PROTOCOL_VERSION = 1
 
 #: The ops accepted under ``POST /v1/<op>``.
-OPS = ("compile", "analyze", "simulate", "sweep", "solve")
+OPS = ("compile", "analyze", "simulate", "sweep", "solve", "tune")
 
 #: Default TCP port (an unassigned high port).
 DEFAULT_PORT = 8753

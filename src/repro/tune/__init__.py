@@ -1,0 +1,44 @@
+"""The transformation autotuner: search T × distribution × block size.
+
+The paper picks its transformation and data distribution by hand per
+kernel; this package closes that loop.  :mod:`repro.tune.space`
+enumerates candidate transformation matrices from the paper's own
+machinery (BasisMatrix row subsets, skews, scalings, LegalBasis repair,
+LegalInvt completion) crossed with a per-array distribution menu;
+:mod:`repro.tune.search` prunes illegal candidates, materializes the
+survivors, and ranks them with the tiered accounting engine;
+:mod:`repro.tune.cli` renders results for ``repro tune`` and the
+``/v1/tune`` service endpoint.
+"""
+
+from repro.tune.search import (
+    DEFAULT_BUDGET,
+    DEFAULT_PROCESSORS,
+    TuneCandidate,
+    TuneResult,
+    tune_program,
+    verify_search_legality,
+)
+from repro.tune.space import (
+    RECIPE_KINDS,
+    SearchSpace,
+    TransformRecipe,
+    assignment_count,
+    candidate_assignments,
+    enumerate_recipes,
+)
+
+__all__ = [
+    "DEFAULT_BUDGET",
+    "DEFAULT_PROCESSORS",
+    "RECIPE_KINDS",
+    "SearchSpace",
+    "TransformRecipe",
+    "TuneCandidate",
+    "TuneResult",
+    "assignment_count",
+    "candidate_assignments",
+    "enumerate_recipes",
+    "tune_program",
+    "verify_search_legality",
+]
