@@ -428,13 +428,17 @@ def certify_node(node: "NodeProgram") -> Optional[FormCertificate]:
     shrunken program) certifies each distinct node program once.
     """
     from repro.numa.simulator import _cached_form
+    from repro.numa.symbolic import FORM_SCHEMA
     from repro.runtime.cache import node_fingerprint, shared_cache
 
     status = _cached_form(node)
     if status[0] != "ok":
         return None
     engine = status[1]
-    key = node_fingerprint(node) + "|symcert"
+    # FORM_SCHEMA in the key: a certificate proves one derivation
+    # schema's forms; it must not vouch for a newer one from a shared
+    # store.
+    key = node_fingerprint(node) + f"|symcert:{FORM_SCHEMA}"
 
     def factory() -> FormCertificate:
         return certify_engine(engine)

@@ -14,7 +14,10 @@ back into an AST and checks it like a reviewer would:
   once per iteration (the exact inefficiency the ROADMAP names for the
   tier-0 residual ``BoundedSum`` loops, fixed in ``_compile_form`` by
   the hoist this PR ships — the check keeps it fixed);
-* ``KERN002`` — a local assigned but never read: dead codegen output;
+* ``KERN002`` — a local assigned but never read: dead codegen output
+  (``for`` targets are exempt — a counted-repeat loop must bind one
+  even when strength reduction moved every use onto induction
+  registers);
 * ``KERN003`` — a dead branch: a constant ``if`` test, or a test
   identical to an enclosing test none of whose operands changed in
   between;
@@ -119,14 +122,19 @@ def _check_unused_locals(
     arguments = {arg.arg for arg in func.args.args}
     first_store: Dict[str, int] = {}
     loaded: Set[str] = set()
+    repeat_targets: Set[str] = set()
     for node in ast.walk(func):
         if isinstance(node, ast.Name):
             if isinstance(node.ctx, ast.Load):
                 loaded.add(node.id)
             elif isinstance(node.ctx, ast.Store):
                 first_store.setdefault(node.id, node.lineno)
+        elif isinstance(node, ast.For) and isinstance(node.target, ast.Name):
+            # A counted-repeat loop has to bind a target even when the
+            # body reads only induction registers, never the index.
+            repeat_targets.add(node.target.id)
     for name in sorted(first_store):
-        if name in loaded or name in arguments:
+        if name in loaded or name in arguments or name in repeat_targets:
             continue
         diagnostics.append(
             Diagnostic(

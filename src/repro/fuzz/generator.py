@@ -2,9 +2,12 @@
 
 The generator aims at the corners where the normalization pipeline's repair
 paths (BasisMatrix completion, LegalBasis negation, LegalInvt padding) have
-to work hardest: interchange/skew/reversal-inducing subscripts, triangular
-and shifted bounds, strided loops, singular and rank-deficient access
-matrices, and every standard distribution (wrapped, blocked, block-cyclic).
+to work hardest: interchange/skew/reversal-inducing subscripts, triangular,
+shifted and *banded* bounds (``max``/``min``-armed diagonal bands around an
+outer index — the shapes whose residue-class specialized forms the tier-0
+engine must stay bit-identical on), strided loops, singular and
+rank-deficient access matrices, and every standard distribution (wrapped,
+blocked, block-cyclic).
 
 Every generated program is *valid by construction*:
 
@@ -174,8 +177,15 @@ def _try_generate(rng: random.Random, name: str) -> Optional[ProgramSpec]:
         draft.params["M"] = rng.randint(3, 6)
 
     # ------------------------------------------------------------------
-    # loops: rectangular, shifted, triangular, occasionally strided
+    # loops: rectangular, shifted, triangular, banded, occasionally strided
     # ------------------------------------------------------------------
+    # Banded drafts get a band-width parameter and emit SYR2K-style
+    # multi-armed bounds on inner levels: the residue-class specialized
+    # symbolic evaluators must stay bit-identical (and certified) on
+    # exactly these shapes, so the fuzzer leans into them.
+    banded = depth >= 2 and rng.random() < 0.35
+    if banded:
+        draft.params["b"] = rng.randint(2, 3)
     size = "N"
     for level, index in enumerate(indices):
         if "M" in draft.params:
@@ -184,6 +194,13 @@ def _try_generate(rng: random.Random, name: str) -> Optional[ProgramSpec]:
         lower = "0"
         upper = f"{size}-1"
         roll = rng.random()
+        if banded and outer and roll < 0.6:
+            # A width-b diagonal band around an outer index.
+            anchor = rng.choice(outer)
+            lower = f"max({anchor}-b+1, 0)"
+            upper = f"min({anchor}+b-1, {size}-1)"
+            draft.loops.append((index, lower, upper, 1))
+            continue
         if roll < 0.25 and outer:  # triangular lower bound
             lower = rng.choice(outer)
             if rng.random() < 0.4:
@@ -191,7 +208,7 @@ def _try_generate(rng: random.Random, name: str) -> Optional[ProgramSpec]:
         elif roll < 0.35:  # shifted lower bound
             lower = "1"
         roll = rng.random()
-        if roll < 0.15 and outer:  # triangular upper bound
+        if roll < 0.2 and outer:  # triangular upper bound
             upper = f"{size}-1-{rng.choice(outer)}"
         elif roll < 0.3:
             upper = f"{size}-2" if draft.params[size] >= 4 else f"{size}-1"
@@ -321,12 +338,31 @@ def _finalize(draft: _Draft, name: str) -> Optional[ProgramSpec]:
 def _pick_distributions(
     rng: random.Random, spec: ProgramSpec
 ) -> Tuple[Tuple[str, DistSpec], ...]:
+    # Banded nests (max/min-armed bounds) lean toward wrapped and
+    # block-cyclic: wrapped is what puts Mod/FloorDiv atoms into the
+    # tier-0 forms (the paper's SYR2K shape), block-cyclic exercises
+    # the engines' decline paths on the same bounds.
+    banded = any(
+        "max(" in str(loop[1]) or "min(" in str(loop[2])
+        for loop in spec.loops
+    )
     chosen: List[Tuple[str, DistSpec]] = []
     for array, extents in spec.arrays:
         roll = rng.random()
-        if roll < 0.2:
+        replicated = 0.1 if banded else 0.2
+        if roll < replicated:
             continue  # replicated
         dim = rng.randrange(len(extents))
+        if banded:
+            if roll < 0.65:
+                chosen.append((array, DistSpec("wrapped", dim)))
+            elif roll < 0.8:
+                chosen.append(
+                    (array, DistSpec("blockcyclic", dim, rng.choice([2, 3])))
+                )
+            else:
+                chosen.append((array, DistSpec("blocked", dim)))
+            continue
         if roll < 0.55:
             chosen.append((array, DistSpec("wrapped", dim)))
         elif roll < 0.8:

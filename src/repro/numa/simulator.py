@@ -777,25 +777,41 @@ ENGINES = ("auto", "symbolic", "closed-form", "compiled", "walk")
 #: tier when its estimated per-processor evaluation cost (flat ops, see
 #: :meth:`SymbolicEngine.estimate_cost`) exceeds this ceiling — a form
 #: dominated by residual ``BoundedSum`` loops over large extents can be
-#: slower than the closed-form engine it would replace.  Forcing
-#: ``engine="symbolic"`` bypasses the ceiling.
-SYMBOLIC_COST_CEILING = 10_000
+#: slower than the closed-form engine it would replace.  The estimate is
+#: plan-aware (fused loops costed once, residue-class plan levels at
+#: O(classes)); one estimated op measures ~0.3–0.6 µs of compiled-form
+#: evaluation (``scripts/bench_sympoly.py``, recorded in
+#: ``BENCH_simulator.json``), so the ceiling admits accounts up to tens
+#: of milliseconds — the regime where the banded paper kernels still
+#: beat the closed-form tier.  Forcing ``engine="symbolic"`` bypasses
+#: the ceiling.
+SYMBOLIC_COST_CEILING = 120_000
+
+#: Structural budget for :func:`_symbolic_unpromising`: total *excess*
+#: ``max``/``min`` bound arms across the nest (arms beyond the first
+#: per bound).  Each excess arm can double the range-split work inside
+#: :func:`~repro.linalg.sympoly.sym_sum`, so past a handful the
+#: derivation mostly burns its budget and falls back to loops anyway.
+SYMBOLIC_MAX_EXTRA_ARMS = 8
 
 
 def _symbolic_unpromising(node: NodeProgram) -> bool:
     """Cheap structural predictor that symbolic derivation will not pay.
 
-    Multi-armed ``max``/``min`` loop bounds (skewed/banded nests) are
-    exactly what makes symbolic range splitting exponential and leaves
-    residual ``BoundedSum`` loops behind, so ``auto`` skips the (cached
-    but non-trivial) derivation entirely for such nests instead of
-    deriving a form only to demote it on cost.  Forced
+    Multi-armed ``max``/``min`` loop bounds (skewed/banded nests) make
+    symbolic range splitting exponential in the number of arms.  A
+    *few* arms are now worth deriving — residual ``BoundedSum`` levels
+    compile to fused loops with residue-class run plans, which is how
+    the banded SYR2K shapes win — so ``auto`` only skips the (cached
+    but non-trivial) derivation when the total excess-arm count says
+    the derivation itself would blow its budget.  Forced
     ``engine="symbolic"`` always derives.
     """
-    return any(
-        len(loop.lower) > 1 or len(loop.upper) > 1
+    excess = sum(
+        (len(loop.lower) - 1) + (len(loop.upper) - 1)
         for loop in node.nest.loops
     )
+    return excess > SYMBOLIC_MAX_EXTRA_ARMS
 
 
 def _cached_form(node: NodeProgram):
@@ -806,10 +822,16 @@ def _cached_form(node: NodeProgram):
     alone — the derived form is symbolic in ``(params, P, proc)``, so one
     derivation answers every cell of a sweep.
     """
-    from repro.numa.symbolic import SymbolicEngine, SymbolicUnsupported
+    from repro.numa.symbolic import (
+        FORM_SCHEMA,
+        SymbolicEngine,
+        SymbolicUnsupported,
+    )
     from repro.runtime.cache import node_fingerprint, shared_cache
 
-    key = node_fingerprint(node) + "|symform"
+    # FORM_SCHEMA in the key: an upgraded derivation/compilation schema
+    # must never read a stale pre-upgrade engine from a shared store.
+    key = node_fingerprint(node) + f"|symform:{FORM_SCHEMA}"
 
     def factory():
         try:

@@ -38,6 +38,7 @@ from repro.linalg.sympoly import (
     SymExpr,
     SymbolicUnsupported,
     bounded_sum,
+    compile_account,
     const,
     eq0,
     eval_cost,
@@ -45,6 +46,7 @@ from repro.linalg.sympoly import (
     fresh_name,
     ge0,
     mod,
+    planned_cost,
     pos,
     smax,
     smin,
@@ -55,7 +57,15 @@ from repro.linalg.sympoly import (
 from repro.numa.counting import ClosedFormEngine, ClosedFormUnsupported
 from repro.numa.simulator import AccessCounts
 
-__all__ = ["SymbolicEngine", "SymbolicUnsupported", "FIELDS"]
+__all__ = ["SymbolicEngine", "SymbolicUnsupported", "FIELDS", "FORM_SCHEMA"]
+
+#: Version of the derivation + compilation schema.  Cached artifacts
+#: keyed off a node fingerprint (the memoized engine in
+#: ``SimulationCache.form`` and the ``|symcert`` certificates) embed
+#: this so an upgraded derivation — new splits, new evaluator shapes —
+#: never reads a stale pre-upgrade entry from a shared store.  Bump it
+#: whenever the derived forms or their compiled evaluators change shape.
+FORM_SCHEMA = 2
 
 #: ``sym_sum`` invocations allowed per level elimination before falling
 #: back to an explicit loop.  Multi-armed ``smax``/``smin`` bounds (e.g.
@@ -138,6 +148,16 @@ class SymbolicEngine:
         self.forms: Dict[str, SymExpr] = self._derive()
         for form in self.forms.values():
             form.compiled()
+        # One fused evaluator for all fields: sums sharing a summation
+        # level run in one loop (or one residue-class plan) and shared
+        # atoms evaluate once.  None only for pathological bound-variable
+        # shadowing; account() then falls back to per-form evaluation.
+        # The identity snapshot lets _fused() detect callers that rebind
+        # ``self.forms`` entries (certification injects defective forms
+        # this way) and recompile, so the fused path can never serve a
+        # stale pre-mutation evaluator.
+        self._account = compile_account(self.forms)
+        self._account_forms = tuple(self.forms.values())
 
     # ------------------------------------------------------------------
     # derivation
@@ -463,6 +483,22 @@ class SymbolicEngine:
     # ------------------------------------------------------------------
     # evaluation
     # ------------------------------------------------------------------
+    def _fused(self):
+        """The fused evaluator for the *current* ``self.forms``.
+
+        Recompiled whenever a form object has been rebound since the last
+        compile, so mutations of ``self.forms`` (defect injection during
+        certification, experimental form surgery) are always honored by
+        the evaluation path the certificate vouches for.
+        """
+        current = tuple(self.forms.values())
+        if len(current) != len(self._account_forms) or any(
+            a is not b for a, b in zip(current, self._account_forms)
+        ):
+            self._account = compile_account(self.forms)
+            self._account_forms = current
+        return self._account
+
     def account(
         self, env: Dict[str, int], processors: int, proc: int
     ) -> AccessCounts:
@@ -470,6 +506,15 @@ class SymbolicEngine:
         eval_env = dict(env)
         eval_env[self.procs_name] = processors
         eval_env[self.proc_name] = proc
+        fused = self._fused()
+        if fused is not None:
+            try:
+                values = fused(eval_env)
+            except KeyError as error:
+                raise SymbolicUnsupported(
+                    f"unbound symbol {error.args[0]!r} at evaluation"
+                )
+            return AccessCounts(**dict(zip(fused.fields, values)))
         return AccessCounts(
             **{
                 name: form.evaluate_fast(eval_env)
@@ -490,9 +535,20 @@ class SymbolicEngine:
         tier selection uses this to demote a derivable-but-expensive form
         (residual loops over large extents) to the next tier; a forced
         ``symbolic`` engine is never demoted.
+
+        When the fused evaluator compiled, the estimate walks its cost
+        tree (:func:`~repro.linalg.sympoly.planned_cost`), mirroring what
+        the runtime will actually execute: fused loops are costed once —
+        not once per field — and a level with a residue-class plan costs
+        O(classes) with the *concrete* ``lcm`` of its moduli, so banded
+        forms whose wrapped levels collapse to one class promote
+        honestly instead of being demoted by a worst-case loop model.
         """
         eval_env = dict(env)
         eval_env[self.procs_name] = processors
         eval_env[self.proc_name] = 0
         hint = self._make_hint(eval_env)
+        fused = self._fused()
+        if fused is not None:
+            return planned_cost(fused.cost_tree, hint)
         return sum(eval_cost(form, hint) for form in self.forms.values())

@@ -266,6 +266,13 @@ class SimulationCache:
         those.  One derivation answers every cell of a sweep.  Failures
         (nests outside the symbolic fragment) are remembered too, so a
         sweep probes each unsupported program once.
+
+        Callers caching derivation *products* (the engine itself, its
+        certificates) must suffix their key with
+        :data:`repro.numa.symbolic.FORM_SCHEMA` — e.g. ``"|symform:2"``
+        — so that if this cache ever gains a shared/persistent backing,
+        an upgraded derivation schema can never read a stale
+        pre-upgrade entry.
         """
         if key in self._forms:
             self._forms.move_to_end(key)
